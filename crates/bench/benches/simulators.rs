@@ -1,0 +1,92 @@
+//! Criterion benches for the substrates: cache simulator throughput, the
+//! TRISC instruction-set simulator, the assembler and the scheduler
+//! co-simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rtcache::{CacheGeometry, CacheSim, MemoryBlock, ReplacementPolicy};
+use rtprogram::asm::assemble;
+use rtprogram::sim::Simulator;
+use rtsched::{simulate, CacheMode, SchedConfig, SchedTask, VariantPolicy};
+use rtwcet::TimingModel;
+
+fn bench_cache(c: &mut Criterion) {
+    let g = CacheGeometry::paper_l1();
+    let accesses: Vec<MemoryBlock> =
+        (0..10_000u64).map(|i| MemoryBlock::new((i * 31) % 3000)).collect();
+    let mut group = c.benchmark_group("cache_sim");
+    group.throughput(Throughput::Elements(accesses.len() as u64));
+    for policy in ReplacementPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, policy| {
+                b.iter(|| {
+                    let mut cache = CacheSim::with_policy(g, *policy);
+                    for a in &accesses {
+                        black_box(cache.access_block(*a));
+                    }
+                    cache.stats()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_iss(c: &mut Criterion) {
+    let program = rtworkloads::mobile_robot();
+    let mut probe = Simulator::new(&program);
+    let instructions = probe.run_to_halt().expect("runs").instructions;
+    let mut group = c.benchmark_group("iss");
+    group.throughput(Throughput::Elements(instructions));
+    group.bench_function("mr_full_run", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(black_box(&program));
+            sim.run_to_halt().expect("runs").instructions
+        })
+    });
+    group.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    // A representative source: a few hundred lines of loops and data.
+    let mut source = String::from(".text 0x1000\n.data 0x80000\n");
+    for i in 0..64 {
+        source.push_str(&format!("tab{i}: .word 1, 2, 3, 4\n"));
+    }
+    source.push_str(".text\nstart:\n");
+    for i in 0..64 {
+        source.push_str(&format!(
+            "l{i}: li r1, tab{i}\n ld r2, 0(r1)\n addi r2, r2, 1\n st r2, 0(r1)\n"
+        ));
+    }
+    source.push_str(" halt\n");
+    c.bench_function("assembler/350_lines", |b| {
+        b.iter(|| assemble("bench", black_box(&source)).expect("assembles"))
+    });
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let tasks = vec![
+        SchedTask::new(rtworkloads::mobile_robot(), 60_000, 2),
+        SchedTask::new(rtworkloads::edge_detection_with_dim(12), 400_000, 3),
+    ];
+    let config = SchedConfig {
+        geometry: CacheGeometry::paper_l1(),
+        model: TimingModel::default(),
+        ctx_switch: 400,
+        horizon: 400_000,
+        variant_policy: VariantPolicy::Worst,
+        cache_mode: CacheMode::Shared,
+        replacement: Default::default(),
+        l2: None,
+    };
+    c.bench_function("sched/two_tasks_400k_cycles", |b| {
+        b.iter(|| simulate(black_box(&tasks), black_box(&config)).expect("simulates"))
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_iss, bench_assembler, bench_sched);
+criterion_main!(benches);

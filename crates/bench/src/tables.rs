@@ -1,0 +1,291 @@
+//! Table builders mirroring the paper's Tables I–VI.
+
+use crpd::{CrpdApproach, CrpdMatrix};
+
+use crate::{improvement_percent, Experiment, CMISS_SWEEP};
+
+/// Renders an aligned ASCII table.
+pub fn render(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = format!("{title}\n");
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&line(&headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Table I: task parameters (WCET in cycles, derived period, priority).
+pub fn table1(e: &Experiment) -> String {
+    let rows: Vec<Vec<String>> = e
+        .reference
+        .iter()
+        .zip(&e.periods)
+        .zip(&e.priorities)
+        .map(|((t, period), prio)| {
+            vec![
+                t.name().to_string(),
+                t.wcet().to_string(),
+                period.to_string(),
+                prio.to_string(),
+                format!("{:.3}", t.wcet() as f64 / *period as f64),
+            ]
+        })
+        .collect();
+    render(
+        &format!("Table I ({}): tasks", e.name),
+        &["Task", "WCET(cycles)", "Period(cycles)", "Priority", "Utilization"],
+        &rows,
+    )
+}
+
+/// The preemption pairs of a 3-task experiment, in the paper's order:
+/// `(preempted, preempting)` index pairs.
+pub fn preemption_pairs(e: &Experiment) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for i in (0..e.reference.len()).rev() {
+        for j in 0..i {
+            pairs.push((i, j));
+        }
+    }
+    // Paper order: lowest-priority task's pairs first (OFDM by MR, OFDM by
+    // ED, ED by MR).
+    pairs.sort_by_key(|(i, j)| (usize::MAX - i, *j));
+    pairs
+}
+
+/// Table II: number of cache lines to be reloaded per preemption type,
+/// one column per approach.
+pub fn table2(e: &Experiment) -> String {
+    let matrices: Vec<CrpdMatrix> =
+        CrpdApproach::ALL.iter().map(|a| CrpdMatrix::compute(*a, &e.reference)).collect();
+    let rows: Vec<Vec<String>> = preemption_pairs(e)
+        .into_iter()
+        .map(|(i, j)| {
+            let mut row = vec![format!(
+                "{} by {}",
+                e.reference[i].name(),
+                e.reference[j].name()
+            )];
+            row.extend(matrices.iter().map(|m| m.reload(i, j).to_string()));
+            row
+        })
+        .collect();
+    render(
+        &format!("Table II ({}): cache lines to be reloaded", e.name),
+        &["Preemption", "App. 1", "App. 2", "App. 3", "App. 4"],
+        &rows,
+    )
+}
+
+/// The WCRT numbers behind Tables III/V: per miss penalty, per preemptible
+/// task, the four approaches' estimates plus the measured ART.
+///
+/// Entries whose recurrence crossed the deadline carry
+/// [`WcrtComparison::schedulable`] `= false`; like the paper, the first
+/// value past the deadline is reported (marked `*` in the rendered
+/// table). Such values are where the iteration stopped, not fixed points,
+/// so cross-approach monotonicity can be violated among starred entries.
+pub struct WcrtComparison {
+    /// Miss penalties swept.
+    pub cmiss: Vec<u64>,
+    /// Task names (preemptible tasks only — all but the highest
+    /// priority).
+    pub tasks: Vec<String>,
+    /// `estimates[c][t][a]`: WCRT for cmiss index `c`, task index `t`,
+    /// approach index `a`.
+    pub estimates: Vec<Vec<[u64; 4]>>,
+    /// `schedulable[c][t][a]`: whether the estimate converged at or below
+    /// the deadline.
+    pub schedulable: Vec<Vec<[bool; 4]>>,
+    /// `art[c][t]`: measured actual response time.
+    pub art: Vec<Vec<u64>>,
+}
+
+/// Computes the full WCRT comparison (this runs the co-simulation once
+/// per miss penalty; `horizon_periods` controls its length).
+pub fn wcrt_comparison(e: &Experiment, horizon_periods: u64) -> WcrtComparison {
+    // All tasks except the highest-priority one can be preempted.
+    let preemptible: Vec<usize> = {
+        let hp = e
+            .priorities
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| **p)
+            .map(|(i, _)| i)
+            .expect("experiments are non-empty");
+        (0..e.reference.len()).filter(|i| *i != hp).collect()
+    };
+    let mut estimates = Vec::new();
+    let mut schedulable = Vec::new();
+    let mut art = Vec::new();
+    for &cmiss in &CMISS_SWEEP {
+        let per_approach: Vec<Vec<crpd::WcrtResult>> =
+            CrpdApproach::ALL.iter().map(|a| e.wcrt(*a, cmiss)).collect();
+        estimates.push(
+            preemptible
+                .iter()
+                .map(|&t| {
+                    [
+                        per_approach[0][t].cycles,
+                        per_approach[1][t].cycles,
+                        per_approach[2][t].cycles,
+                        per_approach[3][t].cycles,
+                    ]
+                })
+                .collect(),
+        );
+        schedulable.push(
+            preemptible
+                .iter()
+                .map(|&t| {
+                    [
+                        per_approach[0][t].schedulable,
+                        per_approach[1][t].schedulable,
+                        per_approach[2][t].schedulable,
+                        per_approach[3][t].schedulable,
+                    ]
+                })
+                .collect(),
+        );
+        let measured = e.measured_art(cmiss, horizon_periods);
+        art.push(preemptible.iter().map(|&t| measured[t]).collect());
+    }
+    WcrtComparison {
+        cmiss: CMISS_SWEEP.to_vec(),
+        tasks: preemptible.iter().map(|&t| e.reference[t].name().to_string()).collect(),
+        estimates,
+        schedulable,
+        art,
+    }
+}
+
+/// Table III/V: WCRT estimates and ART per miss penalty.
+pub fn table_wcrt(e: &Experiment, cmp: &WcrtComparison) -> String {
+    let mut rows = Vec::new();
+    for (c, &cmiss) in cmp.cmiss.iter().enumerate() {
+        // Report the lowest-priority task first, as the paper does.
+        for t in (0..cmp.tasks.len()).rev() {
+            let est = cmp.estimates[c][t];
+            let sched = cmp.schedulable[c][t];
+            let cell = |a: usize| {
+                if sched[a] {
+                    est[a].to_string()
+                } else {
+                    format!("{}*", est[a])
+                }
+            };
+            rows.push(vec![
+                cmiss.to_string(),
+                cmp.tasks[t].clone(),
+                cell(0),
+                cell(1),
+                cell(2),
+                cell(3),
+                cmp.art[c][t].to_string(),
+            ]);
+        }
+    }
+    let mut out = render(
+        &format!("Table III/V ({}): WCRT estimates vs measured ART (cycles)", e.name),
+        &["Cmiss", "Task", "App. 1", "App. 2", "App. 3", "App. 4", "ART"],
+        &rows,
+    );
+    out.push_str("(*: recurrence crossed the deadline; value is where iteration stopped)\n");
+    out
+}
+
+/// Table IV/VI: improvement of App. 4 over the other approaches.
+pub fn table_improvements(e: &Experiment, cmp: &WcrtComparison) -> String {
+    let mut rows = Vec::new();
+    for other in 0..3 {
+        for t in (0..cmp.tasks.len()).rev() {
+            let mut row =
+                vec![format!("App.4 vs App.{}", other + 1), cmp.tasks[t].clone()];
+            for c in 0..cmp.cmiss.len() {
+                let est = cmp.estimates[c][t];
+                row.push(format!("{:.0}%", improvement_percent(est[other], est[3])));
+            }
+            rows.push(row);
+        }
+    }
+    render(
+        &format!("Table IV/VI ({}): WCRT reduction of the combined approach", e.name),
+        &["Comparison", "Task", "Cmiss=10", "Cmiss=20", "Cmiss=30", "Cmiss=40"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::tiny_experiment;
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = render("T", &["a", "bb"], &[vec!["1".into(), "2".into()]]);
+        assert!(s.starts_with("T\n"));
+        assert!(s.contains("a  bb"));
+        assert!(s.contains("1   2"));
+    }
+
+    #[test]
+    fn table1_lists_all_tasks() {
+        let e = tiny_experiment();
+        let t = table1(&e);
+        for name in ["mr", "ed", "ofdm"] {
+            assert!(t.contains(name), "{t}");
+        }
+    }
+
+    #[test]
+    fn preemption_pairs_match_paper_order() {
+        let e = tiny_experiment();
+        // [0]=mr(hi), [1]=ed, [2]=ofdm(lo): expect ofdm-by-mr, ofdm-by-ed,
+        // ed-by-mr.
+        assert_eq!(preemption_pairs(&e), vec![(2, 0), (2, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn table2_has_three_rows_and_four_approaches() {
+        let e = tiny_experiment();
+        let t = table2(&e);
+        assert_eq!(t.lines().count(), 3 + 3, "title + header + rule + 3 rows");
+        assert!(t.contains("ofdm by mr"));
+        assert!(t.contains("App. 4"));
+    }
+
+    #[test]
+    fn wcrt_comparison_shape() {
+        let e = tiny_experiment();
+        let cmp = wcrt_comparison(&e, 1);
+        assert_eq!(cmp.cmiss, vec![10, 20, 30, 40]);
+        assert_eq!(cmp.tasks.len(), 2, "ED and OFDM are preemptible");
+        assert_eq!(cmp.estimates.len(), 4);
+        assert_eq!(cmp.art.len(), 4);
+        let t3 = table_wcrt(&e, &cmp);
+        assert!(t3.contains("ART"));
+        let t4 = table_improvements(&e, &cmp);
+        assert!(t4.contains("App.4 vs App.1"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Cache line replacement policies.
+
+use std::fmt;
+
+/// A cache line replacement policy.
+///
+/// The paper assumes LRU (§III-A: "we assume that LRU algorithm is used for
+/// cache line replacement. However, our approach can also be applied to the
+/// caches with other replacement algorithms with minor modifications").
+/// FIFO and tree-based pseudo-LRU are provided so the ablation benches can
+/// measure how far measured response times move under other policies while
+/// the analysis keeps its LRU-based bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used: evict the line whose last access is oldest.
+    #[default]
+    Lru,
+    /// First-in-first-out: evict the line that was filled earliest,
+    /// regardless of hits.
+    Fifo,
+    /// Tree-based pseudo-LRU (requires a power-of-two way count; falls back
+    /// to LRU otherwise).
+    PseudoLru,
+}
+
+impl ReplacementPolicy {
+    /// All supported policies, for sweeps.
+    pub const ALL: [ReplacementPolicy; 3] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::PseudoLru,
+    ];
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Fifo => "FIFO",
+            ReplacementPolicy::PseudoLru => "PLRU",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ReplacementPolicy::Lru.to_string(), "LRU");
+        assert_eq!(ReplacementPolicy::Fifo.to_string(), "FIFO");
+        assert_eq!(ReplacementPolicy::PseudoLru.to_string(), "PLRU");
+    }
+}

@@ -1,0 +1,17 @@
+//! `trisc` — assemble, run and analyze TRISC task systems. All logic
+//! lives in [`rtcli`]; this shim only touches stdio and the exit code.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match rtcli::dispatch(std::env::args().skip(1).collect()) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trisc: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Argument dispatch for the `trisc` binary, kept in the library so it is
+//! unit-testable without spawning processes.
+
+use std::path::Path;
+
+use crate::options::{CacheOptions, CliError};
+use crate::spec::SystemSpec;
+use crate::{cmd_asm, cmd_crpd, cmd_disasm, cmd_footprint, cmd_run, cmd_sim, cmd_wcet, cmd_wcrt};
+
+/// The usage line printed on bad invocations and `--help`.
+pub const USAGE: &str = "trisc <asm|disasm|run|wcet|footprint|crpd|wcrt|sim> ... (see --help)";
+
+fn read(path: &str) -> Result<(String, String), CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let name = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program")
+        .to_string();
+    Ok((name, text))
+}
+
+/// Extracts `--flag VALUE` from `args`, removing both tokens.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] if the flag is present without a value.
+pub fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(CliError::Usage(format!("{flag} needs a value")));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Runs one `trisc` invocation (`args` excludes the program name) and
+/// returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for bad usage or any underlying failure; the
+/// binary prints it to stderr and exits non-zero.
+pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(format!("{USAGE}\n"));
+    }
+    let Some(command) = args.first().cloned() else {
+        return Err(CliError::Usage(USAGE.into()));
+    };
+    args.remove(0);
+    let mut cache = CacheOptions::default();
+    cache.parse_from(&mut args)?;
+    match command.as_str() {
+        "asm" | "disasm" => {
+            let [file] = args.as_slice() else {
+                return Err(CliError::Usage(format!("trisc {command} FILE.s")));
+            };
+            let (name, text) = read(file)?;
+            if command == "asm" {
+                cmd_asm(&name, &text)
+            } else {
+                cmd_disasm(&name, &text)
+            }
+        }
+        "run" => {
+            let variant = take_flag_value(&mut args, "--variant")?;
+            let [file] = args.as_slice() else {
+                return Err(CliError::Usage("trisc run FILE.s [--variant NAME]".into()));
+            };
+            let (name, text) = read(file)?;
+            cmd_run(&name, &text, variant.as_deref())
+        }
+        "wcet" | "footprint" => {
+            let [file] = args.as_slice() else {
+                return Err(CliError::Usage(format!("trisc {command} FILE.s [cache options]")));
+            };
+            let (name, text) = read(file)?;
+            if command == "wcet" {
+                cmd_wcet(&name, &text, &cache)
+            } else {
+                cmd_footprint(&name, &text, &cache)
+            }
+        }
+        "crpd" => {
+            let [low, high] = args.as_slice() else {
+                return Err(CliError::Usage("trisc crpd LOW.s HIGH.s [cache options]".into()));
+            };
+            let (low_name, low_text) = read(low)?;
+            let (high_name, high_text) = read(high)?;
+            cmd_crpd((&low_name, &low_text), (&high_name, &high_text), &cache)
+        }
+        "wcrt" => {
+            let [file] = args.as_slice() else {
+                return Err(CliError::Usage("trisc wcrt SYSTEM.spec".into()));
+            };
+            cmd_wcrt(&SystemSpec::load(Path::new(file))?)
+        }
+        "sim" => {
+            let horizon = take_flag_value(&mut args, "--horizon")?
+                .map(|v| {
+                    v.parse::<u64>().map_err(|_| CliError::Usage(format!("bad horizon `{v}`")))
+                })
+                .transpose()?;
+            let [file] = args.as_slice() else {
+                return Err(CliError::Usage("trisc sim SYSTEM.spec [--horizon CYCLES]".into()));
+            };
+            cmd_sim(&SystemSpec::load(Path::new(file))?, horizon)
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`; {USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("trisc-dispatch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn help_and_empty_usage() {
+        assert!(dispatch(argv(&["--help"])).unwrap().contains("trisc"));
+        assert!(matches!(dispatch(vec![]), Err(CliError::Usage(_))));
+        assert!(matches!(dispatch(argv(&["frobnicate"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn asm_command_end_to_end() {
+        let f = temp_file("ok.s", "start: li r1, 7\nhalt\n");
+        let out = dispatch(argv(&["asm", f.to_str().unwrap()])).unwrap();
+        assert!(out.contains("program `ok`"));
+    }
+
+    #[test]
+    fn wcet_respects_cache_flags() {
+        let f = temp_file("w.s", "start: li r1, 7\nhalt\n");
+        let out =
+            dispatch(argv(&["wcet", f.to_str().unwrap(), "--cmiss", "40", "--sets", "64"]))
+                .unwrap();
+        assert!(out.contains("Cmiss=40"), "{out}");
+        assert!(out.contains("64 sets"), "{out}");
+    }
+
+    #[test]
+    fn missing_operands_are_usage_errors() {
+        for cmd in ["asm", "disasm", "run", "wcet", "footprint", "wcrt", "sim"] {
+            assert!(matches!(dispatch(argv(&[cmd])), Err(CliError::Usage(_))), "{cmd}");
+        }
+        assert!(matches!(dispatch(argv(&["crpd", "one.s"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn take_flag_value_extracts_and_errors() {
+        let mut args = argv(&["a", "--variant", "sobel", "b"]);
+        assert_eq!(take_flag_value(&mut args, "--variant").unwrap().as_deref(), Some("sobel"));
+        assert_eq!(args, argv(&["a", "b"]));
+        assert_eq!(take_flag_value(&mut args, "--variant").unwrap(), None);
+        let mut dangling = argv(&["--horizon"]);
+        assert!(matches!(take_flag_value(&mut dangling, "--horizon"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bad_horizon_is_usage_error() {
+        let f = temp_file("sys.spec", "task a a.s 1 1\n");
+        assert!(matches!(
+            dispatch(argv(&["sim", f.to_str().unwrap(), "--horizon", "soon"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

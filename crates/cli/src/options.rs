@@ -1,0 +1,165 @@
+//! Shared command-line options and the CLI error type.
+
+use std::fmt;
+
+use rtcache::{CacheGeometry, GeometryError};
+use rtwcet::TimingModel;
+
+/// Cache/timing options shared by the analysis subcommands
+/// (`--sets`, `--ways`, `--line`, `--cmiss`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOptions {
+    /// Number of cache sets.
+    pub sets: u32,
+    /// Number of ways.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line: u32,
+    /// Miss penalty in cycles.
+    pub cmiss: u64,
+}
+
+impl Default for CacheOptions {
+    /// The paper's configuration: 512 × 4 × 16 B, 20-cycle misses.
+    fn default() -> Self {
+        CacheOptions { sets: 512, ways: 4, line: 16, cmiss: 20 }
+    }
+}
+
+impl CacheOptions {
+    /// Builds the cache geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Options`] for invalid dimensions.
+    pub fn geometry(&self) -> Result<CacheGeometry, CliError> {
+        CacheGeometry::new(self.sets, self.ways, self.line)
+            .map_err(|e: GeometryError| CliError::Options(e.to_string()))
+    }
+
+    /// Builds the timing model.
+    pub fn model(&self) -> TimingModel {
+        TimingModel::with_miss_penalty(self.cmiss)
+    }
+
+    /// Consumes recognized `--flag value` pairs from an argument list,
+    /// leaving the rest untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Options`] for malformed values or a flag
+    /// missing its value.
+    pub fn parse_from(&mut self, args: &mut Vec<String>) -> Result<(), CliError> {
+        let mut remaining = Vec::with_capacity(args.len());
+        let mut it = args.drain(..);
+        while let Some(arg) = it.next() {
+            let target: Option<&mut dyn FnMut(u64)> = None;
+            let _ = target;
+            match arg.as_str() {
+                "--sets" | "--ways" | "--line" | "--cmiss" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| CliError::Options(format!("{arg} needs a value")))?;
+                    let parsed: u64 = value
+                        .parse()
+                        .map_err(|_| CliError::Options(format!("bad value for {arg}: {value}")))?;
+                    match arg.as_str() {
+                        "--sets" => self.sets = parsed as u32,
+                        "--ways" => self.ways = parsed as u32,
+                        "--line" => self.line = parsed as u32,
+                        _ => self.cmiss = parsed,
+                    }
+                }
+                _ => remaining.push(arg),
+            }
+        }
+        drop(it);
+        *args = remaining;
+        Ok(())
+    }
+}
+
+/// Errors surfaced to the command-line user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad command-line usage.
+    Usage(String),
+    /// Bad option values.
+    Options(String),
+    /// Assembly failed.
+    Asm(String),
+    /// Execution failed.
+    Exec(String),
+    /// Analysis failed.
+    Analysis(String),
+    /// Simulation failed.
+    Sim(String),
+    /// A referenced variant does not exist.
+    UnknownVariant(String),
+    /// Reading a file failed.
+    Io(String),
+    /// A system spec file was malformed.
+    Spec(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage: {m}"),
+            CliError::Options(m) => write!(f, "bad options: {m}"),
+            CliError::Asm(m) => write!(f, "assembly failed: {m}"),
+            CliError::Exec(m) => write!(f, "execution failed: {m}"),
+            CliError::Analysis(m) => write!(f, "analysis failed: {m}"),
+            CliError::Sim(m) => write!(f, "simulation failed: {m}"),
+            CliError::UnknownVariant(v) => write!(f, "unknown variant `{v}`"),
+            CliError::Io(m) => write!(f, "io error: {m}"),
+            CliError::Spec(m) => write!(f, "bad system spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = CacheOptions::default();
+        assert_eq!(o.geometry().unwrap(), rtcache::CacheGeometry::paper_l1());
+        assert_eq!(o.model().miss_penalty, 20);
+    }
+
+    #[test]
+    fn parses_and_removes_flags() {
+        let mut o = CacheOptions::default();
+        let mut args: Vec<String> =
+            ["file.s", "--ways", "2", "--cmiss", "40", "--keep"].iter().map(|s| s.to_string()).collect();
+        o.parse_from(&mut args).unwrap();
+        assert_eq!(o.ways, 2);
+        assert_eq!(o.cmiss, 40);
+        assert_eq!(args, vec!["file.s".to_string(), "--keep".to_string()]);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let mut o = CacheOptions::default();
+        let mut args: Vec<String> = ["--sets", "many"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(o.parse_from(&mut args), Err(CliError::Options(_))));
+        let mut args: Vec<String> = vec!["--sets".to_string()];
+        assert!(matches!(o.parse_from(&mut args), Err(CliError::Options(_))));
+    }
+
+    #[test]
+    fn invalid_geometry_is_an_options_error() {
+        let o = CacheOptions { sets: 3, ways: 4, line: 16, cmiss: 20 };
+        assert!(matches!(o.geometry(), Err(CliError::Options(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CliError::Usage("trisc asm FILE".into()).to_string().starts_with("usage"));
+        assert!(CliError::Spec("line 3".into()).to_string().contains("line 3"));
+    }
+}

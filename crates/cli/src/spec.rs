@@ -1,0 +1,245 @@
+//! The system-spec file format for `trisc wcrt` / `trisc sim`.
+//!
+//! A spec describes a fixed-priority task system in plain text:
+//!
+//! ```text
+//! # three tasks sharing the paper's L1
+//! cache 512 4 16
+//! cmiss 20
+//! ccs   376
+//! task mr   mr.s   100000 2
+//! task ed   ed.s   800000 3
+//! task ofdm ofdm.s 4000000 4
+//! ```
+//!
+//! Task source paths are resolved relative to the spec file's directory.
+
+use std::path::{Path, PathBuf};
+
+use crpd::{AnalyzedTask, TaskParams};
+use rtprogram::Program;
+
+use crate::options::{CacheOptions, CliError};
+
+/// One `task` line of the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecTask {
+    /// Task name.
+    pub name: String,
+    /// Path to the assembly source (resolved against the spec dir).
+    pub source: PathBuf,
+    /// Period (= deadline) in cycles.
+    pub period: u64,
+    /// Fixed priority (smaller = higher).
+    pub priority: u32,
+}
+
+/// A parsed system spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemSpec {
+    /// Cache and miss-penalty configuration.
+    pub cache: CacheOptions,
+    /// Context-switch cost in cycles.
+    pub ctx_switch: u64,
+    /// The tasks, in file order.
+    pub tasks: Vec<SpecTask>,
+}
+
+impl SystemSpec {
+    /// Parses spec text; `base_dir` anchors relative source paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Spec`] with the offending line for malformed
+    /// input.
+    pub fn parse(text: &str, base_dir: &Path) -> Result<SystemSpec, CliError> {
+        let mut spec = SystemSpec {
+            cache: CacheOptions::default(),
+            ctx_switch: 0,
+            tasks: Vec::new(),
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = lineno + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = content.split_whitespace().collect();
+            let bad = |msg: &str| CliError::Spec(format!("line {line}: {msg}"));
+            let parse_u64 = |s: &str, what: &str| -> Result<u64, CliError> {
+                s.parse().map_err(|_| bad(&format!("bad {what} `{s}`")))
+            };
+            match fields[0] {
+                "cache" => {
+                    let [_, sets, ways, line_bytes] = fields.as_slice() else {
+                        return Err(bad("expected `cache SETS WAYS LINE`"));
+                    };
+                    spec.cache.sets = parse_u64(sets, "sets")? as u32;
+                    spec.cache.ways = parse_u64(ways, "ways")? as u32;
+                    spec.cache.line = parse_u64(line_bytes, "line size")? as u32;
+                }
+                "cmiss" => {
+                    let [_, v] = fields.as_slice() else {
+                        return Err(bad("expected `cmiss CYCLES`"));
+                    };
+                    spec.cache.cmiss = parse_u64(v, "cmiss")?;
+                }
+                "ccs" => {
+                    let [_, v] = fields.as_slice() else {
+                        return Err(bad("expected `ccs CYCLES`"));
+                    };
+                    spec.ctx_switch = parse_u64(v, "ccs")?;
+                }
+                "task" => {
+                    let [_, name, source, period, priority] = fields.as_slice() else {
+                        return Err(bad("expected `task NAME FILE PERIOD PRIORITY`"));
+                    };
+                    spec.tasks.push(SpecTask {
+                        name: (*name).to_string(),
+                        source: base_dir.join(source),
+                        period: parse_u64(period, "period")?,
+                        priority: parse_u64(priority, "priority")? as u32,
+                    });
+                }
+                other => return Err(bad(&format!("unknown directive `{other}`"))),
+            }
+        }
+        if spec.tasks.is_empty() {
+            return Err(CliError::Spec("no `task` lines".into()));
+        }
+        Ok(spec)
+    }
+
+    /// Loads a spec from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Io`] or [`CliError::Spec`].
+    pub fn load(path: &Path) -> Result<SystemSpec, CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+        let base = path.parent().unwrap_or_else(|| Path::new("."));
+        SystemSpec::parse(&text, base)
+    }
+
+    /// Assembles every task's program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Io`] or [`CliError::Asm`].
+    pub fn programs(&self) -> Result<Vec<Program>, CliError> {
+        self.tasks
+            .iter()
+            .map(|t| {
+                let source = std::fs::read_to_string(&t.source)
+                    .map_err(|e| CliError::Io(format!("{}: {e}", t.source.display())))?;
+                crate::assemble_named(&t.name, &source)
+            })
+            .collect()
+    }
+
+    /// Assembles and analyzes every task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] on assembly or analysis failure.
+    pub fn analyzed_tasks(&self) -> Result<Vec<AnalyzedTask>, CliError> {
+        let geometry = self.cache.geometry()?;
+        let model = self.cache.model();
+        self.programs()?
+            .iter()
+            .zip(&self.tasks)
+            .map(|(p, t)| {
+                AnalyzedTask::analyze(
+                    p,
+                    TaskParams { period: t.period, priority: t.priority },
+                    geometry,
+                    model,
+                )
+                .map_err(|e| CliError::Analysis(e.to_string()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "\
+# demo
+cache 64 2 16
+cmiss 40
+ccs 100
+task a a.s 10000 1
+task b b.s 100000 2
+";
+
+    #[test]
+    fn parses_directives_and_tasks() {
+        let s = SystemSpec::parse(SPEC, Path::new("/tmp/x")).unwrap();
+        assert_eq!(s.cache.sets, 64);
+        assert_eq!(s.cache.cmiss, 40);
+        assert_eq!(s.ctx_switch, 100);
+        assert_eq!(s.tasks.len(), 2);
+        assert_eq!(s.tasks[0].name, "a");
+        assert_eq!(s.tasks[0].source, Path::new("/tmp/x/a.s"));
+        assert_eq!(s.tasks[1].period, 100_000);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let s = SystemSpec::parse("# only\n\ntask a a.s 1 1 # trailing\n", Path::new("."))
+            .unwrap();
+        assert_eq!(s.tasks.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "cache 64 2\ntask a a.s 1 1\n",
+            "cmiss\ntask a a.s 1 1\n",
+            "task a a.s 1\n",
+            "task a a.s one 1\n",
+            "frob\ntask a a.s 1 1\n",
+            "cmiss 20\n",
+        ] {
+            let err = SystemSpec::parse(bad, Path::new(".")).unwrap_err();
+            assert!(matches!(err, CliError::Spec(_)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_with_real_files() {
+        let dir = std::env::temp_dir().join(format!("trisc-spec-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("a.s"),
+            ".data 0x100000\nbuf: .word 1,2,3\n.text 0x1000\nstart: li r1, buf\nld r2, 0(r1)\nld r2, 0(r1)\nhalt\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("b.s"),
+            ".data 0x100400\nbuf: .word 7\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\nhalt\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("sys.spec"),
+            "cache 64 2 16\ncmiss 20\nccs 50\ntask hi a.s 5000 1\ntask lo b.s 50000 2\n",
+        )
+        .unwrap();
+        let spec = SystemSpec::load(&dir.join("sys.spec")).unwrap();
+        let wcrt = crate::cmd_wcrt(&spec).unwrap();
+        assert!(wcrt.contains("App. 4"), "{wcrt}");
+        assert!(wcrt.contains("hi"));
+        let sim = crate::cmd_sim(&spec, Some(60_000)).unwrap();
+        assert!(sim.contains("max response"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = SystemSpec::load(Path::new("/nonexistent/x.spec")).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

@@ -1,0 +1,216 @@
+//! Two-level (L1 + L2) CRPD and WCRT analysis — the extension the paper
+//! names as future work (§IX: "expand our analysis approach for systems
+//! with more than two-level memory hierarchy").
+//!
+//! # How the bound extends
+//!
+//! With an L2 behind the L1, a preemption-displaced useful block is not
+//! necessarily fetched from memory when reloaded: if it still sits in the
+//! L2 the reload costs only `l2_penalty`. A reload goes all the way to
+//! memory only when the block was *also* displaced from the L2, which
+//! requires an L2-set conflict with the preemptor. Hence, per preemption
+//! of task `a` by task `b`:
+//!
+//! ```text
+//! Cpre(a, b) ≤ S₄(a, b | L1) · l2_penalty
+//!            + min(S₄(a, b | L1), S₂(a, b | L2)) · (mem_penalty − l2_penalty)
+//! ```
+//!
+//! where `S₄(·|L1)` is the paper's combined per-preemption line bound at
+//! the L1 geometry (Eq. 4) and `S₂(·|L2)` is the Eq. 2 footprint-overlap
+//! bound evaluated at the L2 geometry. Because memory blocks share the
+//! line size across levels, the same block sets re-partition directly
+//! under the L2's index function.
+
+use rtcache::{CacheGeometry, Ciip};
+use rtwcet::{estimate_wcet_hierarchy, HierarchyTimingModel, WcetError};
+
+use crate::approaches::{reload_lines, CrpdApproach};
+use crate::task::AnalyzedTask;
+use crate::wcrt::{response_time_generic, WcrtResult};
+use crate::AnalysisError;
+
+/// Parameters of the two-level analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoLevelParams {
+    /// The L2 geometry (the L1 geometry is the one the tasks were
+    /// analyzed under).
+    pub l2_geometry: CacheGeometry,
+    /// Hierarchy timing (`l2_penalty`, `mem_penalty`).
+    pub model: HierarchyTimingModel,
+    /// Context switch WCET, charged twice per preemption.
+    pub ctx_switch: u64,
+    /// Iteration cap for the recurrence.
+    pub max_iterations: u32,
+}
+
+/// The per-preemption delay bound in cycles for task `preempted` being
+/// preempted once by `preempting` under a two-level hierarchy (without
+/// the context-switch term).
+///
+/// # Panics
+///
+/// Panics if the tasks were analyzed under different L1 geometries, the
+/// L2 line size differs from the L1's, or `mem_penalty < l2_penalty`.
+pub fn two_level_preemption_delay(
+    preempted: &AnalyzedTask,
+    preempting: &AnalyzedTask,
+    params: &TwoLevelParams,
+) -> u64 {
+    assert_eq!(
+        preempted.geometry().line_bytes(),
+        params.l2_geometry.line_bytes(),
+        "L1 and L2 must share a line size"
+    );
+    assert!(
+        params.model.mem_penalty >= params.model.l2_penalty,
+        "memory cannot be faster than the L2"
+    );
+    let s4_l1 = reload_lines(CrpdApproach::Combined, preempted, preempting) as u64;
+    let a_l2 = Ciip::from_blocks(params.l2_geometry, preempted.all_blocks().blocks());
+    let b_l2 = Ciip::from_blocks(params.l2_geometry, preempting.all_blocks().blocks());
+    let s2_l2 = a_l2.overlap_bound(&b_l2) as u64;
+    s4_l1 * params.model.l2_penalty
+        + s4_l1.min(s2_l2) * (params.model.mem_penalty - params.model.l2_penalty)
+}
+
+/// Two-level WCRT of every task: the Eq. 7 recurrence with hierarchy
+/// WCETs and the two-level per-preemption delay.
+///
+/// `programs` supplies each task's program so the hierarchy WCET can be
+/// estimated; order must match `tasks`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Wcet`] if a hierarchy WCET estimation fails.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`two_level_preemption_delay`], or
+/// if `programs` and `tasks` disagree in length.
+pub fn two_level_analyze_all(
+    tasks: &[AnalyzedTask],
+    programs: &[rtprogram::Program],
+    params: &TwoLevelParams,
+) -> Result<Vec<WcrtResult>, AnalysisError> {
+    assert_eq!(tasks.len(), programs.len(), "one program per task");
+    let mut wcets = Vec::with_capacity(tasks.len());
+    for (task, program) in tasks.iter().zip(programs) {
+        let est: Result<_, WcetError> =
+            estimate_wcet_hierarchy(program, task.geometry(), params.l2_geometry, params.model);
+        wcets.push(
+            est.map_err(|source| AnalysisError::Wcet {
+                task: task.name().to_string(),
+                source,
+            })?
+            .cycles,
+        );
+    }
+    let periods: Vec<u64> = tasks.iter().map(|t| t.params().period).collect();
+    let priorities: Vec<u32> = tasks.iter().map(|t| t.params().priority).collect();
+    let cpre = |i: usize, j: usize| {
+        two_level_preemption_delay(&tasks[i], &tasks[j], params) + 2 * params.ctx_switch
+    };
+    Ok((0..tasks.len())
+        .map(|i| {
+            response_time_generic(&wcets, &periods, &priorities, &cpre, i, params.max_iterations)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskParams;
+    use crate::wcrt::WcrtParams;
+    use crate::CrpdMatrix;
+    use rtwcet::TimingModel;
+
+    fn l1() -> CacheGeometry {
+        CacheGeometry::new(64, 2, 16).unwrap()
+    }
+
+    fn l2() -> CacheGeometry {
+        CacheGeometry::new(1024, 8, 16).unwrap()
+    }
+
+    fn analyze(p: &rtprogram::Program, period: u64, prio: u32) -> AnalyzedTask {
+        AnalyzedTask::analyze(
+            p,
+            TaskParams { period, priority: prio },
+            l1(),
+            TimingModel { cpi: 1, miss_penalty: 40 },
+        )
+        .unwrap()
+    }
+
+    fn params() -> TwoLevelParams {
+        TwoLevelParams {
+            l2_geometry: l2(),
+            model: HierarchyTimingModel { cpi: 1, l2_penalty: 6, mem_penalty: 40 },
+            ctx_switch: 300,
+            max_iterations: 10_000,
+        }
+    }
+
+    #[test]
+    fn delay_bounded_by_single_level_worst_case() {
+        let mr = analyze(&rtworkloads::mobile_robot(), 100_000, 2);
+        let ed = analyze(&rtworkloads::edge_detection_with_dim(10), 500_000, 3);
+        let two = two_level_preemption_delay(&ed, &mr, &params());
+        // All-memory reloads would cost S4 * mem_penalty.
+        let s4 = reload_lines(CrpdApproach::Combined, &ed, &mr) as u64;
+        assert!(two <= s4 * 40);
+        assert!(two >= s4 * 6, "every reload pays at least the L2 penalty");
+    }
+
+    #[test]
+    fn big_l2_absorbs_most_of_the_crpd() {
+        // With an L2 holding both footprints comfortably, the L2-overlap
+        // term shrinks and the two-level delay approaches S4 * l2_penalty.
+        let mr = analyze(&rtworkloads::mobile_robot(), 100_000, 2);
+        let ed = analyze(&rtworkloads::edge_detection_with_dim(10), 500_000, 3);
+        let mut p = params();
+        let small_l2 = CacheGeometry::new(128, 2, 16).unwrap();
+        p.l2_geometry = small_l2;
+        let with_small = two_level_preemption_delay(&ed, &mr, &p);
+        p.l2_geometry = CacheGeometry::new(4096, 8, 16).unwrap();
+        let with_big = two_level_preemption_delay(&ed, &mr, &p);
+        assert!(with_big <= with_small);
+    }
+
+    #[test]
+    fn two_level_wcrt_beats_memory_only_analysis() {
+        let programs =
+            vec![rtworkloads::mobile_robot(), rtworkloads::edge_detection_with_dim(10)];
+        let tasks =
+            vec![analyze(&programs[0], 200_000, 2), analyze(&programs[1], 2_000_000, 3)];
+        let two = two_level_analyze_all(&tasks, &programs, &params()).unwrap();
+        // Single-level analysis at the memory penalty.
+        let matrix = CrpdMatrix::compute(CrpdApproach::Combined, &tasks);
+        let single = crate::analyze_all(
+            &tasks,
+            &matrix,
+            &WcrtParams { miss_penalty: 40, ctx_switch: 300, max_iterations: 10_000 },
+        );
+        for (t, s) in two.iter().zip(&single) {
+            assert!(
+                t.cycles <= s.cycles,
+                "an L2 can only improve the bound: {} vs {}",
+                t.cycles,
+                s.cycles
+            );
+        }
+        assert!(two.iter().all(|r| r.schedulable));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a line size")]
+    fn mismatched_line_size_panics() {
+        let mr = analyze(&rtworkloads::mobile_robot(), 100_000, 2);
+        let ed = analyze(&rtworkloads::edge_detection_with_dim(10), 500_000, 3);
+        let mut p = params();
+        p.l2_geometry = CacheGeometry::new(512, 8, 32).unwrap();
+        let _ = two_level_preemption_delay(&ed, &mr, &p);
+    }
+}

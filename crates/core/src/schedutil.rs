@@ -1,0 +1,116 @@
+//! Schedulability utilities around the WCRT analysis: rate-monotonic
+//! priority assignment (the paper assumes RMA, §II), utilization,
+//! hyperperiods and the Liu–Layland bound.
+
+use crate::task::AnalyzedTask;
+
+/// Total processor utilization `Σ C_i / P_i` (preemption overheads not
+/// included, as in the classic test).
+pub fn total_utilization(tasks: &[AnalyzedTask]) -> f64 {
+    tasks.iter().map(|t| t.wcet() as f64 / t.params().period as f64).sum()
+}
+
+/// The Liu–Layland rate-monotonic utilization bound `n(2^{1/n} − 1)`:
+/// below it, a task set is schedulable under RMA regardless of phasing.
+///
+/// Returns 0 for `n == 0`.
+pub fn liu_layland_bound(n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        n as f64 * ((2f64).powf(1.0 / n as f64) - 1.0)
+    }
+}
+
+/// Rate-monotonic priorities for the given periods: the shortest period
+/// gets priority 1 (highest), ties broken by input order. The result is
+/// parallel to `periods`.
+pub fn rate_monotonic_priorities(periods: &[u64]) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..periods.len()).collect();
+    order.sort_by_key(|i| (periods[*i], *i));
+    let mut priorities = vec![0u32; periods.len()];
+    for (rank, task) in order.into_iter().enumerate() {
+        priorities[task] = rank as u32 + 1;
+    }
+    priorities
+}
+
+/// The hyperperiod (least common multiple of the periods), or `None` on
+/// overflow or an empty/zero-period input.
+pub fn hyperperiod(periods: &[u64]) -> Option<u64> {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+    let mut acc = 1u64;
+    if periods.is_empty() {
+        return None;
+    }
+    for &p in periods {
+        if p == 0 {
+            return None;
+        }
+        acc = acc.checked_mul(p / gcd(acc, p))?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskParams;
+    use rtcache::CacheGeometry;
+    use rtwcet::TimingModel;
+
+    #[test]
+    fn rm_orders_by_period() {
+        assert_eq!(rate_monotonic_priorities(&[40_000, 6_500, 3_500]), vec![3, 2, 1]);
+        assert_eq!(rate_monotonic_priorities(&[5, 5, 1]), vec![2, 3, 1], "ties by input order");
+        assert!(rate_monotonic_priorities(&[]).is_empty());
+    }
+
+    #[test]
+    fn paper_task_sets_follow_rm() {
+        // Table I's priorities (2, 3, 4 from shortest to longest period)
+        // are exactly rate monotonic.
+        let rm = rate_monotonic_priorities(&[3_500, 6_500, 40_000]);
+        assert_eq!(rm, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn hyperperiod_basics() {
+        assert_eq!(hyperperiod(&[4, 6]), Some(12));
+        assert_eq!(hyperperiod(&[7]), Some(7));
+        assert_eq!(hyperperiod(&[2, 3, 5]), Some(30));
+        assert_eq!(hyperperiod(&[]), None);
+        assert_eq!(hyperperiod(&[0, 3]), None);
+        assert_eq!(hyperperiod(&[u64::MAX, u64::MAX - 1]), None, "overflow detected");
+    }
+
+    #[test]
+    fn liu_layland_values() {
+        assert_eq!(liu_layland_bound(0), 0.0);
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.8284).abs() < 1e-3);
+        assert!(liu_layland_bound(100) > 2f64.ln() - 1e-3);
+    }
+
+    #[test]
+    fn utilization_sums_ratios() {
+        let g = CacheGeometry::paper_l1();
+        let model = TimingModel::default();
+        let p = rtworkloads::mobile_robot();
+        let t = AnalyzedTask::analyze(
+            &p,
+            TaskParams { period: 100_000, priority: 1 },
+            g,
+            model,
+        )
+        .unwrap();
+        let u = total_utilization(&[t.clone(), t.clone()]);
+        let single = t.wcet() as f64 / 100_000.0;
+        assert!((u - 2.0 * single).abs() < 1e-12);
+    }
+}

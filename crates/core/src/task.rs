@@ -1,0 +1,229 @@
+//! Analyzed tasks: a program plus everything the CRPD/WCRT analysis needs.
+
+use std::fmt;
+
+use rtcache::{CacheGeometry, Ciip};
+use rtprogram::Program;
+use rtwcet::{estimate_wcet, TimingModel};
+
+use crate::intra::UsefulTrace;
+use crate::AnalysisError;
+
+/// Scheduling parameters of a task (paper Table I). Smaller `priority`
+/// values denote **higher** priority (MR, priority 2, preempts OFDM,
+/// priority 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskParams {
+    /// Task period in cycles; the deadline equals the period (§III-A).
+    pub period: u64,
+    /// Fixed priority; smaller is higher.
+    pub priority: u32,
+}
+
+/// A task with its memory-trace analysis artifacts for one cache
+/// geometry: per-feasible-path traces with hit classification, the union
+/// footprint `M`, per-path footprints `M^k`, and the task's WCET.
+#[derive(Debug, Clone)]
+pub struct AnalyzedTask {
+    name: String,
+    params: TaskParams,
+    wcet: u64,
+    geometry: CacheGeometry,
+    /// One entry per input variant (feasible path).
+    paths: Vec<AnalyzedPath>,
+    /// Union footprint over all paths (`Ma`).
+    all_blocks: Ciip,
+}
+
+/// One feasible path's artifacts.
+#[derive(Debug, Clone)]
+pub struct AnalyzedPath {
+    /// Variant name.
+    pub name: String,
+    /// Block-level trace with hit flags (drives the useful-block sweep).
+    pub trace: UsefulTrace,
+    /// The path's footprint (`M^k` in §VI).
+    pub blocks: Ciip,
+}
+
+impl AnalyzedTask {
+    /// Simulates every feasible path of `program`, classifies its accesses
+    /// against a cold cache and estimates the WCET.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] if a path simulation faults.
+    pub fn analyze(
+        program: &Program,
+        params: TaskParams,
+        geometry: CacheGeometry,
+        model: TimingModel,
+    ) -> Result<Self, AnalysisError> {
+        let wcet = estimate_wcet(program, geometry, model)
+            .map_err(|e| AnalysisError::Wcet { task: program.name().to_string(), source: e })?;
+        let mut paths = Vec::with_capacity(program.variants().len());
+        let mut all_blocks = Ciip::empty(geometry);
+        for variant in program.variants() {
+            let trace = rtprogram::sim::trace_variant(program, variant).map_err(|source| {
+                AnalysisError::Exec { task: program.name().to_string(), source }
+            })?;
+            let trace = UsefulTrace::from_trace(&trace, geometry);
+            let blocks = trace.all_blocks();
+            all_blocks = all_blocks.union(&blocks);
+            paths.push(AnalyzedPath { name: variant.name.clone(), trace, blocks });
+        }
+        Ok(AnalyzedTask {
+            name: program.name().to_string(),
+            params,
+            wcet: wcet.cycles,
+            geometry,
+            paths,
+            all_blocks,
+        })
+    }
+
+    /// The task name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Scheduling parameters.
+    pub fn params(&self) -> &TaskParams {
+        &self.params
+    }
+
+    /// The task's WCET in cycles (without preemption costs), per Eq. 6's
+    /// `C_i`.
+    pub fn wcet(&self) -> u64 {
+        self.wcet
+    }
+
+    /// The cache geometry the analysis ran under.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Per-feasible-path artifacts.
+    pub fn paths(&self) -> &[AnalyzedPath] {
+        &self.paths
+    }
+
+    /// The union footprint `Ma` over all feasible paths.
+    pub fn all_blocks(&self) -> &Ciip {
+        &self.all_blocks
+    }
+
+    /// Approach 3's per-task reload count: the maximum over feasible paths
+    /// and execution points of `Σ_r min(|useful_r|, L)` (Definition 4
+    /// evaluated per path).
+    pub fn useful_line_bound(&self) -> usize {
+        self.paths.iter().map(|p| p.trace.max_line_bound().0).max().unwrap_or(0)
+    }
+
+    /// The maximum useful memory blocks set (`M̃a`, Definition 4): the
+    /// useful set at the worst execution point of the worst path.
+    pub fn mumbs(&self) -> Ciip {
+        self.paths
+            .iter()
+            .map(|p| p.trace.mumbs())
+            .max_by_key(Ciip::line_bound)
+            .unwrap_or_else(|| Ciip::empty(self.geometry))
+    }
+
+    /// The combined bound of §V–VI against a preempting footprint `mb`:
+    /// maximum over this task's paths and execution points of
+    /// `S(useful(t), mb)`.
+    pub fn max_useful_overlap(&self, mb: &Ciip) -> usize {
+        self.paths.iter().map(|p| p.trace.max_overlap_bound(mb).0).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for AnalyzedTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: C={} cycles, P={}, prio={}, footprint={} lines",
+            self.name,
+            self.wcet,
+            self.params.period,
+            self.params.priority,
+            self.all_blocks.line_bound()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcache::CacheGeometry;
+
+    fn analyze(p: &Program) -> AnalyzedTask {
+        AnalyzedTask::analyze(
+            p,
+            TaskParams { period: 1_000_000, priority: 1 },
+            CacheGeometry::paper_l1(),
+            TimingModel::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paths_cover_variants() {
+        let p = rtworkloads::edge_detection_with_dim(8);
+        let t = analyze(&p);
+        assert_eq!(t.paths().len(), 2);
+        assert_eq!(t.paths()[0].name, "sobel");
+        assert!(t.wcet() > 0);
+    }
+
+    #[test]
+    fn union_footprint_contains_each_path() {
+        let p = rtworkloads::edge_detection_with_dim(8);
+        let t = analyze(&p);
+        for path in t.paths() {
+            for b in path.blocks.blocks() {
+                assert!(t.all_blocks().contains(b));
+            }
+        }
+        // The Cauchy path touches tables the Sobel path does not, so the
+        // union is strictly larger than the Sobel footprint.
+        assert!(t.all_blocks().block_count() > t.paths()[0].blocks.block_count());
+    }
+
+    #[test]
+    fn useful_bound_at_most_footprint() {
+        let p = rtworkloads::mobile_robot();
+        let t = analyze(&p);
+        assert!(t.useful_line_bound() <= t.all_blocks().line_bound());
+        assert!(t.useful_line_bound() > 0, "a looping task reuses blocks");
+    }
+
+    #[test]
+    fn mumbs_is_a_subset_of_the_footprint() {
+        let p = rtworkloads::mobile_robot();
+        let t = analyze(&p);
+        let mumbs = t.mumbs();
+        for b in mumbs.blocks() {
+            assert!(t.all_blocks().contains(b));
+        }
+    }
+
+    #[test]
+    fn overlap_bound_never_exceeds_either_side() {
+        let p1 = rtworkloads::mobile_robot();
+        let p2 = rtworkloads::edge_detection_with_dim(8);
+        let a = analyze(&p1);
+        let b = analyze(&p2);
+        let s = a.max_useful_overlap(b.all_blocks());
+        assert!(s <= a.useful_line_bound());
+        assert!(s <= b.all_blocks().line_bound());
+    }
+
+    #[test]
+    fn display_mentions_wcet() {
+        let p = rtworkloads::mobile_robot();
+        let t = analyze(&p);
+        assert!(t.to_string().contains("mr"));
+        assert!(t.to_string().contains("cycles"));
+    }
+}

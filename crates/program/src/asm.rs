@@ -1,0 +1,692 @@
+//! A two-pass assembler for TRISC-16.
+//!
+//! Syntax overview (see the crate-level docs for a complete program):
+//!
+//! ```text
+//! ; comments run to end of line
+//! .text 0x1000        ; switch to the code section (address on first use)
+//! .data 0x8000        ; switch to the data section
+//! table: .word 1, 2, 3
+//! buf:   .space 16    ; 16 zeroed words
+//! .text
+//! start:
+//!     li   r1, table  ; immediates may be symbols
+//!     ld   r2, 0(r1)
+//!     addi r2, r2, 1
+//!     st   r2, 4(r1)
+//! loop:               ; .bound declares the loop's iteration bound
+//!     addi r3, r3, 1
+//!     bne  r3, r2, loop
+//! .bound loop, 64
+//!     halt
+//! ```
+//!
+//! Execution starts at the `start` label if present, otherwise at the
+//! first instruction.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::isa::{AluOp, Cond, Instr, Reg};
+use crate::program::{DataSegment, Program, ProgramError};
+
+/// Default code base when a bare `.text` appears first.
+const DEFAULT_TEXT_BASE: u64 = 0x1000;
+/// Default data base when a bare `.data` appears first.
+const DEFAULT_DATA_BASE: u64 = 0x0010_0000;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The kinds of assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Unknown mnemonic or directive.
+    UnknownMnemonic(String),
+    /// Operand list malformed for the mnemonic.
+    BadOperands(String),
+    /// An operand failed to parse as a register.
+    BadRegister(String),
+    /// An operand failed to parse as an immediate or known symbol.
+    BadImmediate(String),
+    /// Label defined twice.
+    DuplicateLabel(String),
+    /// A referenced symbol was never defined.
+    UndefinedSymbol(String),
+    /// A directive's argument is malformed.
+    BadDirective(String),
+    /// The assembled pieces failed whole-program validation.
+    Program(ProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::BadOperands(m) => write!(f, "bad operands: {m}"),
+            AsmErrorKind::BadRegister(r) => write!(f, "bad register `{r}`"),
+            AsmErrorKind::BadImmediate(i) => write!(f, "bad immediate `{i}`"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmErrorKind::BadDirective(d) => write!(f, "bad directive: {d}"),
+            AsmErrorKind::Program(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// An instruction awaiting symbol resolution.
+#[derive(Debug, Clone)]
+enum PendingInstr {
+    Ready(Instr),
+    Branch { cond: Cond, rs1: Reg, rs2: Reg, target: String },
+    Jal { rd: Reg, target: String },
+    Li { rd: Reg, symbol: String },
+}
+
+/// Assembles TRISC-16 source text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the offending line for syntax errors,
+/// undefined/duplicate symbols, or whole-program validation failures.
+///
+/// ```
+/// use rtprogram::asm::assemble;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("answer", ".text 0x1000\nstart: li r1, 42\n halt\n")?;
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.entry(), 0x1000);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
+    Assembler::default().assemble(name, source)
+}
+
+/// Disassembles a program back to assembly text.
+///
+/// The listing re-assembles to an equivalent program: same code, same
+/// entry point, same data image and same loop bounds (original symbol
+/// names are replaced by generated labels). Branch and jump targets are
+/// emitted as absolute hex addresses, which the assembler accepts
+/// directly.
+///
+/// ```
+/// use rtprogram::asm::{assemble, disassemble};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("t", "start: li r1, 3\nloop: addi r1, r1, -1\nbne r1, r0, loop\n.bound loop, 3\nhalt\n")?;
+/// let q = assemble("t", &disassemble(&p))?;
+/// assert_eq!(p.code(), q.code());
+/// assert_eq!(p.loop_bounds(), q.loop_bounds());
+/// # Ok(())
+/// # }
+/// ```
+pub fn disassemble(program: &Program) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "; disassembly of `{}`", program.name());
+    let _ = writeln!(out, ".text {:#x}", program.code_base());
+    for (i, instr) in program.code().iter().enumerate() {
+        let addr = program.addr_of_index(i);
+        if program.loop_bounds().contains_key(&addr) {
+            let _ = writeln!(out, "addr_{addr:x}:");
+        }
+        if addr == program.entry() && addr != program.code_base() {
+            let _ = writeln!(out, "start:");
+        }
+        let _ = writeln!(out, "    {instr}    ; {addr:#x}");
+    }
+    for (addr, bound) in program.loop_bounds() {
+        let _ = writeln!(out, ".bound addr_{addr:x}, {bound}");
+    }
+    for segment in program.data_segments() {
+        let _ = writeln!(out, ".data {:#x}    ; segment `{}`", segment.base, segment.name);
+        for chunk in segment.words.chunks(8) {
+            let words: Vec<String> = chunk.iter().map(i32::to_string).collect();
+            let _ = writeln!(out, "    .word {}", words.join(", "));
+        }
+    }
+    out
+}
+
+
+#[derive(Debug, Default)]
+struct Assembler {
+    text_base: Option<u64>,
+    section: Option<Section>,
+    instrs: Vec<(usize, PendingInstr)>,
+    /// `(base, words)` per `.data ADDR` directive seen.
+    data_segments: Vec<(u64, Vec<i32>)>,
+    symbols: BTreeMap<String, u64>,
+    bounds: Vec<(usize, String, u32)>,
+}
+
+impl Assembler {
+    fn text_cursor(&self) -> u64 {
+        self.text_base.unwrap_or(DEFAULT_TEXT_BASE) + self.instrs.len() as u64 * Instr::SIZE
+    }
+
+    /// Ensures a current data segment exists and returns its index.
+    fn current_data_segment(&mut self) -> usize {
+        if self.data_segments.is_empty() {
+            self.data_segments.push((DEFAULT_DATA_BASE, Vec::new()));
+        }
+        self.data_segments.len() - 1
+    }
+
+    fn data_cursor(&mut self) -> u64 {
+        let i = self.current_data_segment();
+        let (base, words) = &self.data_segments[i];
+        base + words.len() as u64 * 4
+    }
+
+    fn assemble(mut self, name: &str, source: &str) -> Result<Program, AsmError> {
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = lineno + 1;
+            let text = strip_comment(raw).trim();
+            if text.is_empty() {
+                continue;
+            }
+            self.line(line, text)?;
+        }
+        self.finish(name)
+    }
+
+    fn line(&mut self, line: usize, mut text: &str) -> Result<(), AsmError> {
+        // Labels (possibly several) prefix the statement.
+        while let Some(colon) = find_label(text) {
+            let label = text[..colon].trim();
+            if !is_ident(label) {
+                return Err(AsmError {
+                    line,
+                    kind: AsmErrorKind::BadDirective(format!("bad label `{label}`")),
+                });
+            }
+            let addr = match self.section.unwrap_or(Section::Text) {
+                Section::Text => self.text_cursor(),
+                Section::Data => self.data_cursor(),
+            };
+            if self.symbols.insert(label.to_string(), addr).is_some() {
+                return Err(AsmError { line, kind: AsmErrorKind::DuplicateLabel(label.into()) });
+            }
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            return Ok(());
+        }
+        if let Some(rest) = text.strip_prefix('.') {
+            return self.directive(line, rest);
+        }
+        self.instruction(line, text)
+    }
+
+    fn directive(&mut self, line: usize, text: &str) -> Result<(), AsmError> {
+        let (name, args) = split_mnemonic(text);
+        match name {
+            "text" => {
+                if !args.is_empty() {
+                    let base = parse_literal(args).ok_or_else(|| AsmError {
+                        line,
+                        kind: AsmErrorKind::BadDirective(format!(".text {args}")),
+                    })?;
+                    if self.text_base.is_some() && !self.instrs.is_empty() {
+                        return Err(AsmError {
+                            line,
+                            kind: AsmErrorKind::BadDirective(
+                                ".text base set after instructions were emitted".into(),
+                            ),
+                        });
+                    }
+                    self.text_base = Some(base as u64);
+                }
+                self.section = Some(Section::Text);
+                Ok(())
+            }
+            "data" => {
+                if !args.is_empty() {
+                    let base = parse_literal(args).ok_or_else(|| AsmError {
+                        line,
+                        kind: AsmErrorKind::BadDirective(format!(".data {args}")),
+                    })?;
+                    // Each addressed `.data` opens a fresh segment (an
+                    // empty just-opened segment is re-based instead).
+                    match self.data_segments.last_mut() {
+                        Some((b, words)) if words.is_empty() => *b = base as u64,
+                        _ => self.data_segments.push((base as u64, Vec::new())),
+                    }
+                }
+                self.section = Some(Section::Data);
+                Ok(())
+            }
+            "word" => {
+                self.section = Some(Section::Data);
+                let seg = self.current_data_segment();
+                for part in args.split(',') {
+                    let v = parse_literal(part.trim()).ok_or_else(|| AsmError {
+                        line,
+                        kind: AsmErrorKind::BadImmediate(part.trim().into()),
+                    })?;
+                    self.data_segments[seg].1.push(v as i32);
+                }
+                Ok(())
+            }
+            "space" => {
+                self.section = Some(Section::Data);
+                let n = parse_literal(args.trim()).ok_or_else(|| AsmError {
+                    line,
+                    kind: AsmErrorKind::BadDirective(format!(".space {args}")),
+                })?;
+                let seg = self.current_data_segment();
+                self.data_segments[seg].1.extend(std::iter::repeat_n(0, n as usize));
+                Ok(())
+            }
+            "bound" => {
+                let mut parts = args.split(',').map(str::trim);
+                let (Some(label), Some(count), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(AsmError {
+                        line,
+                        kind: AsmErrorKind::BadDirective(format!(".bound {args}")),
+                    });
+                };
+                let n = parse_literal(count).ok_or_else(|| AsmError {
+                    line,
+                    kind: AsmErrorKind::BadImmediate(count.into()),
+                })?;
+                self.bounds.push((line, label.to_string(), n as u32));
+                Ok(())
+            }
+            other => {
+                Err(AsmError { line, kind: AsmErrorKind::UnknownMnemonic(format!(".{other}")) })
+            }
+        }
+    }
+
+    fn instruction(&mut self, line: usize, text: &str) -> Result<(), AsmError> {
+        self.section = Some(Section::Text);
+        let (mnemonic, args) = split_mnemonic(text);
+        let ops: Vec<&str> = if args.is_empty() {
+            Vec::new()
+        } else {
+            args.split(',').map(str::trim).collect()
+        };
+        let bad = |msg: &str| AsmError { line, kind: AsmErrorKind::BadOperands(msg.into()) };
+        let alu = |op: AluOp, ops: &[&str]| -> Result<PendingInstr, AsmError> {
+            let [rd, rs1, rs2] = ops else {
+                return Err(bad("expected `rd, rs1, rs2`"));
+            };
+            Ok(PendingInstr::Ready(Instr::Alu {
+                op,
+                rd: parse_reg(rd).map_err(|k| AsmError { line, kind: k })?,
+                rs1: parse_reg(rs1).map_err(|k| AsmError { line, kind: k })?,
+                rs2: parse_reg(rs2).map_err(|k| AsmError { line, kind: k })?,
+            }))
+        };
+        let branch = |cond: Cond, ops: &[&str]| -> Result<PendingInstr, AsmError> {
+            let [rs1, rs2, target] = ops else {
+                return Err(bad("expected `rs1, rs2, target`"));
+            };
+            Ok(PendingInstr::Branch {
+                cond,
+                rs1: parse_reg(rs1).map_err(|k| AsmError { line, kind: k })?,
+                rs2: parse_reg(rs2).map_err(|k| AsmError { line, kind: k })?,
+                target: (*target).to_string(),
+            })
+        };
+        let pending = match mnemonic {
+            "add" => alu(AluOp::Add, &ops)?,
+            "sub" => alu(AluOp::Sub, &ops)?,
+            "mul" => alu(AluOp::Mul, &ops)?,
+            "and" => alu(AluOp::And, &ops)?,
+            "or" => alu(AluOp::Or, &ops)?,
+            "xor" => alu(AluOp::Xor, &ops)?,
+            "shl" => alu(AluOp::Shl, &ops)?,
+            "sra" => alu(AluOp::Sra, &ops)?,
+            "slt" => alu(AluOp::Slt, &ops)?,
+            "addi" => {
+                let [rd, rs1, imm] = ops.as_slice() else {
+                    return Err(bad("expected `rd, rs1, imm`"));
+                };
+                PendingInstr::Ready(Instr::Addi {
+                    rd: parse_reg(rd).map_err(|k| AsmError { line, kind: k })?,
+                    rs1: parse_reg(rs1).map_err(|k| AsmError { line, kind: k })?,
+                    imm: parse_literal(imm)
+                        .ok_or_else(|| AsmError {
+                            line,
+                            kind: AsmErrorKind::BadImmediate((*imm).into()),
+                        })? as i32,
+                })
+            }
+            "li" => {
+                let [rd, imm] = ops.as_slice() else {
+                    return Err(bad("expected `rd, imm`"));
+                };
+                let rd = parse_reg(rd).map_err(|k| AsmError { line, kind: k })?;
+                match parse_literal(imm) {
+                    Some(v) => PendingInstr::Ready(Instr::Li { rd, imm: v as i32 }),
+                    None if is_ident(imm) => PendingInstr::Li { rd, symbol: (*imm).to_string() },
+                    None => {
+                        return Err(AsmError {
+                            line,
+                            kind: AsmErrorKind::BadImmediate((*imm).into()),
+                        })
+                    }
+                }
+            }
+            "ld" | "st" => {
+                let [r, mem] = ops.as_slice() else {
+                    return Err(bad("expected `reg, off(base)`"));
+                };
+                let r = parse_reg(r).map_err(|k| AsmError { line, kind: k })?;
+                let (offset, base) =
+                    parse_mem_operand(mem).ok_or_else(|| bad("expected `off(base)`"))?;
+                let base = parse_reg(base).map_err(|k| AsmError { line, kind: k })?;
+                let offset = parse_literal(offset).ok_or_else(|| AsmError {
+                    line,
+                    kind: AsmErrorKind::BadImmediate(offset.into()),
+                })? as i32;
+                PendingInstr::Ready(if mnemonic == "ld" {
+                    Instr::Ld { rd: r, base, offset }
+                } else {
+                    Instr::St { src: r, base, offset }
+                })
+            }
+            "beq" => branch(Cond::Eq, &ops)?,
+            "bne" => branch(Cond::Ne, &ops)?,
+            "blt" => branch(Cond::Lt, &ops)?,
+            "bge" => branch(Cond::Ge, &ops)?,
+            "jal" => {
+                let [rd, target] = ops.as_slice() else {
+                    return Err(bad("expected `rd, target`"));
+                };
+                PendingInstr::Jal {
+                    rd: parse_reg(rd).map_err(|k| AsmError { line, kind: k })?,
+                    target: (*target).to_string(),
+                }
+            }
+            "jr" => {
+                let [rs1] = ops.as_slice() else {
+                    return Err(bad("expected `rs1`"));
+                };
+                PendingInstr::Ready(Instr::Jr {
+                    rs1: parse_reg(rs1).map_err(|k| AsmError { line, kind: k })?,
+                })
+            }
+            "nop" => PendingInstr::Ready(Instr::Nop),
+            "halt" => PendingInstr::Ready(Instr::Halt),
+            other => {
+                return Err(AsmError { line, kind: AsmErrorKind::UnknownMnemonic(other.into()) })
+            }
+        };
+        self.instrs.push((line, pending));
+        Ok(())
+    }
+
+    fn finish(self, name: &str) -> Result<Program, AsmError> {
+        let symbols = self.symbols;
+        let resolve = |line: usize, sym: &str| -> Result<u64, AsmError> {
+            if let Some(v) = parse_literal(sym) {
+                return Ok(v as u64);
+            }
+            symbols
+                .get(sym)
+                .copied()
+                .ok_or_else(|| AsmError { line, kind: AsmErrorKind::UndefinedSymbol(sym.into()) })
+        };
+        let mut code = Vec::with_capacity(self.instrs.len());
+        let mut last_line = 1;
+        for (line, pending) in &self.instrs {
+            last_line = *line;
+            code.push(match pending {
+                PendingInstr::Ready(i) => *i,
+                PendingInstr::Branch { cond, rs1, rs2, target } => Instr::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    target: resolve(*line, target)?,
+                },
+                PendingInstr::Jal { rd, target } => {
+                    Instr::Jal { rd: *rd, target: resolve(*line, target)? }
+                }
+                PendingInstr::Li { rd, symbol } => {
+                    Instr::Li { rd: *rd, imm: resolve(*line, symbol)? as i32 }
+                }
+            });
+        }
+        let mut loop_bounds = BTreeMap::new();
+        for (line, label, n) in &self.bounds {
+            let addr = symbols.get(label).copied().ok_or_else(|| AsmError {
+                line: *line,
+                kind: AsmErrorKind::UndefinedSymbol(label.clone()),
+            })?;
+            loop_bounds.insert(addr, *n);
+        }
+        let text_base = self.text_base.unwrap_or(DEFAULT_TEXT_BASE);
+        let entry = symbols.get("start").copied().unwrap_or(text_base);
+        let data = self
+            .data_segments
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (_, words))| !words.is_empty())
+            .map(|(i, (base, words))| DataSegment {
+                name: format!("{name}.data{i}"),
+                base,
+                words,
+            })
+            .collect();
+        Program::new(name, text_base, code, data, entry, symbols, loop_bounds, vec![])
+            .map_err(|e| AsmError { line: last_line, kind: AsmErrorKind::Program(e) })
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Finds a label-terminating colon that is part of `ident:` at the start.
+fn find_label(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    if is_ident(text[..colon].trim()) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn split_mnemonic(text: &str) -> (&str, &str) {
+    match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    }
+}
+
+fn parse_reg(s: &str) -> Result<Reg, AsmErrorKind> {
+    let s = s.trim();
+    s.strip_prefix(['r', 'R'])
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|n| *n < Reg::COUNT as u8)
+        .map(Reg::new)
+        .ok_or_else(|| AsmErrorKind::BadRegister(s.into()))
+}
+
+fn parse_literal(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// Splits `off(base)` into `("off", "base")`.
+fn parse_mem_operand(s: &str) -> Option<(&str, &str)> {
+    let open = s.find('(')?;
+    let close = s.rfind(')')?;
+    if close != s.len() - 1 || close <= open {
+        return None;
+    }
+    let off = s[..open].trim();
+    let base = s[open + 1..close].trim();
+    Some((if off.is_empty() { "0" } else { off }, base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::regs::*;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn assembles_and_runs_sum_loop() {
+        let p = assemble(
+            "sum",
+            r#"
+            .text 0x1000
+            .data 0x8000
+            nums:   .word 3, 1, 4, 1, 5
+            result: .space 1
+            .text
+            start:
+                li r1, nums
+                li r2, 0        ; sum
+                li r3, 5        ; count
+            loop:
+                ld r4, 0(r1)
+                add r2, r2, r4
+                addi r1, r1, 4
+                addi r3, r3, -1
+                bne r3, r0, loop
+            .bound loop, 5
+                li r5, result
+                st r2, 0(r5)
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.symbol("nums"), Some(0x8000));
+        assert_eq!(p.symbol("result"), Some(0x8014));
+        assert_eq!(p.entry(), 0x1000);
+        assert_eq!(p.loop_bounds().get(&p.symbol("loop").unwrap()), Some(&5));
+        let mut sim = Simulator::new(&p);
+        sim.run_to_halt().unwrap();
+        assert_eq!(sim.memory().read(0x8014).unwrap(), 14);
+    }
+
+    #[test]
+    fn symbols_usable_as_immediates_and_targets() {
+        let p = assemble(
+            "t",
+            ".text 0x2000\nstart: li r1, start\n beq r0, r0, done\n nop\ndone: halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.code()[0], Instr::Li { rd: R1, imm: 0x2000 });
+        assert_eq!(p.code()[1].target(), Some(0x200c));
+    }
+
+    #[test]
+    fn numeric_branch_targets() {
+        let p = assemble("t", ".text 0x1000\n beq r0, r0, 0x1008\n nop\n halt\n").unwrap();
+        assert_eq!(p.code()[0].target(), Some(0x1008));
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let e = assemble("t", "frob r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(matches!(e.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn rejects_bad_register_and_immediate() {
+        let e = assemble("t", "add r1, r2, r16\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadRegister(_)));
+        let e = assemble("t", "li r1, zz-7\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadImmediate(_)));
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let e = assemble("t", "a: nop\na: halt\n").unwrap_err();
+        assert_eq!(e.kind, AsmErrorKind::DuplicateLabel("a".into()));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_undefined_symbol() {
+        let e = assemble("t", "beq r0, r0, nowhere\nhalt\n").unwrap_err();
+        assert_eq!(e.kind, AsmErrorKind::UndefinedSymbol("nowhere".into()));
+    }
+
+    #[test]
+    fn rejects_bad_mem_operand() {
+        let e = assemble("t", "ld r1, 4[r2]\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadOperands(_)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("t", "\n; nothing\n   # also nothing\n nop ; trailing\n halt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn negative_and_hex_literals() {
+        let p = assemble("t", "addi r1, r0, -12\nli r2, 0x7f\nhalt\n").unwrap();
+        assert_eq!(p.code()[0], Instr::Addi { rd: R1, rs1: R0, imm: -12 });
+        assert_eq!(p.code()[1], Instr::Li { rd: R2, imm: 0x7f });
+    }
+
+    #[test]
+    fn bare_offset_defaults_to_zero() {
+        let p = assemble("t", "ld r1, (r2)\nhalt\n").unwrap();
+        assert_eq!(p.code()[0], Instr::Ld { rd: R1, base: R2, offset: 0 });
+    }
+
+    #[test]
+    fn data_label_addresses_advance() {
+        let p = assemble("t", ".data 0x9000\na: .word 1\nb: .space 3\nc: .word 2\n.text\nhalt\n")
+            .unwrap();
+        assert_eq!(p.symbol("a"), Some(0x9000));
+        assert_eq!(p.symbol("b"), Some(0x9004));
+        assert_eq!(p.symbol("c"), Some(0x9010));
+        assert_eq!(p.data_segments()[0].words, vec![1, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let e = assemble("t", "nop\nfrob\n").unwrap_err();
+        assert!(e.to_string().starts_with("line 2:"));
+    }
+}

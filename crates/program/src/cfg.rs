@@ -1,0 +1,377 @@
+//! Control flow graph extraction and trace attribution.
+//!
+//! Each CFG node is a basic block; the SFP-Prs view of the paper (§III-A)
+//! is obtained by the loop/path machinery in [`crate::paths`], which
+//! collapses fixed-bound loops when enumerating feasible paths.
+
+use std::fmt;
+
+use crate::isa::Instr;
+use crate::program::Program;
+use crate::sim::{AccessKind, MemoryAccess, Trace};
+
+/// Identifier of a basic block within its [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(usize);
+
+impl BlockId {
+    /// The block's index into [`Cfg::blocks`].
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a block id from an index previously obtained via
+    /// [`BlockId::index`]. Passing an index that does not belong to the
+    /// CFG the id is used with leads to panics or wrong blocks downstream.
+    pub const fn from_index(index: usize) -> Self {
+        BlockId(index)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A maximal straight-line sequence of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction address.
+    pub start: u64,
+    /// One-past-the-last instruction address.
+    pub end: u64,
+    /// Successor blocks in CFG order (branch target first, then
+    /// fall-through).
+    pub succs: Vec<BlockId>,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn instr_count(&self) -> u64 {
+        (self.end - self.start) / Instr::SIZE
+    }
+
+    /// `true` if `addr` is inside the block.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Iterates over the instruction addresses of the block.
+    pub fn addrs(&self) -> impl Iterator<Item = u64> {
+        (self.start..self.end).step_by(Instr::SIZE as usize)
+    }
+}
+
+/// The control flow graph of a program.
+///
+/// Built over the whole code region: every branch target and every
+/// fall-through point starts a new block. `jr` (indirect jump) is treated
+/// as an exit edge — the builder-generated workloads are fully inlined and
+/// only the context-switch routine uses `jr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    preds: Vec<Vec<BlockId>>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Extracts the CFG of a program.
+    pub fn from_program(program: &Program) -> Self {
+        let base = program.code_base();
+        let end = program.code_end();
+        // Pass 1: find leaders.
+        let mut leader_flags = vec![false; program.len()];
+        leader_flags[program.index_of_addr(program.entry())] = true;
+        leader_flags[0] = true;
+        for (i, instr) in program.code().iter().enumerate() {
+            if instr.is_control_flow() {
+                if let Some(t) = instr.target() {
+                    leader_flags[program.index_of_addr(t)] = true;
+                }
+                if i + 1 < program.len() {
+                    leader_flags[i + 1] = true;
+                }
+            }
+        }
+        // Pass 2: carve blocks.
+        let mut starts: Vec<u64> = leader_flags
+            .iter()
+            .enumerate()
+            .filter(|(_, is_leader)| **is_leader)
+            .map(|(i, _)| program.addr_of_index(i))
+            .collect();
+        starts.sort_unstable();
+        let mut blocks: Vec<BasicBlock> = starts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| BasicBlock {
+                start: *s,
+                end: starts.get(i + 1).copied().unwrap_or(end),
+                succs: Vec::new(),
+            })
+            .collect();
+        // Pass 3: successors.
+        let block_of = |addr: u64| -> BlockId {
+            let idx = starts.partition_point(|s| *s <= addr);
+            BlockId(idx - 1)
+        };
+        for block in &mut blocks {
+            let last_addr = block.end - Instr::SIZE;
+            let last = program.instr_at(last_addr).expect("block addresses are valid");
+            let mut succs = Vec::new();
+            match last {
+                Instr::Branch { cond, rs1, rs2, target } => {
+                    // A branch comparing a register against itself is
+                    // statically decided: `beq r, r` always jumps (the
+                    // builder's unconditional jump) and `bne r, r` never
+                    // does.
+                    let always =
+                        rs1 == rs2 && matches!(cond, crate::isa::Cond::Eq | crate::isa::Cond::Ge);
+                    let never =
+                        rs1 == rs2 && matches!(cond, crate::isa::Cond::Ne | crate::isa::Cond::Lt);
+                    if !never {
+                        succs.push(block_of(target));
+                    }
+                    if !always && program.is_instr_addr(block.end) {
+                        succs.push(block_of(block.end));
+                    }
+                }
+                Instr::Jal { target, .. } => succs.push(block_of(target)),
+                Instr::Jr { .. } | Instr::Halt => {}
+                _ => {
+                    if program.is_instr_addr(block.end) {
+                        succs.push(block_of(block.end));
+                    }
+                }
+            }
+            succs.dedup();
+            block.succs = succs;
+        }
+        let mut preds = vec![Vec::new(); blocks.len()];
+        for (i, b) in blocks.iter().enumerate() {
+            for s in &b.succs {
+                preds[s.index()].push(BlockId(i));
+            }
+        }
+        let entry = block_of(program.entry());
+        debug_assert_eq!(blocks[entry.index()].start, program.entry());
+        debug_assert!(base <= program.entry());
+        Cfg { blocks, preds, entry }
+    }
+
+    /// The basic blocks, ordered by start address.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if the CFG has no blocks (never true for a valid program).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block a program's execution starts in.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The block with the given id.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Predecessors of a block.
+    pub fn preds(&self, id: BlockId) -> &[BlockId] {
+        &self.preds[id.index()]
+    }
+
+    /// All block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len()).map(BlockId)
+    }
+
+    /// Blocks with no successors (program exits).
+    pub fn exits(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.block_ids().filter(|b| self.block(*b).succs.is_empty())
+    }
+
+    /// The block containing `addr`, if any.
+    pub fn block_containing(&self, addr: u64) -> Option<BlockId> {
+        let idx = self.blocks.partition_point(|b| b.start <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let id = BlockId(idx - 1);
+        self.block(id).contains(addr).then_some(id)
+    }
+
+    /// Splits a memory trace into per-block executions: a new execution
+    /// starts whenever control enters a block at its first instruction.
+    /// Each execution carries all accesses (fetches and data) made while
+    /// inside the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fetch in the trace falls outside the CFG's code region
+    /// (the trace belongs to a different program).
+    pub fn attribute(&self, trace: &Trace) -> Vec<NodeExecution> {
+        let mut executions: Vec<NodeExecution> = Vec::new();
+        let mut current: Option<BlockId> = None;
+        for access in &trace.accesses {
+            if access.kind == AccessKind::Fetch {
+                let block = self
+                    .block_containing(access.pc)
+                    .unwrap_or_else(|| panic!("fetch at {:#x} outside program", access.pc));
+                let entering = self.block(block).start == access.pc;
+                if entering || current != Some(block) {
+                    executions.push(NodeExecution { block, accesses: Vec::new() });
+                    current = Some(block);
+                }
+            }
+            if let Some(exec) = executions.last_mut() {
+                exec.accesses.push(*access);
+            }
+        }
+        executions
+    }
+}
+
+/// One dynamic execution of a basic block with the memory accesses it
+/// performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeExecution {
+    /// The executed block.
+    pub block: BlockId,
+    /// The accesses, in order (fetches and data).
+    pub accesses: Vec<MemoryAccess>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::builder::ProgramBuilder;
+    use crate::isa::regs::*;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = assemble("t", "nop\nnop\nhalt\n").unwrap();
+        let cfg = Cfg::from_program(&p);
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.block(cfg.entry()).instr_count(), 3);
+        assert!(cfg.block(cfg.entry()).succs.is_empty());
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let p = assemble(
+            "t",
+            r#"
+            .text 0x1000
+            start: beq r1, r0, other
+                   nop
+                   beq r0, r0, join
+            other: nop
+            join:  halt
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::from_program(&p);
+        // Blocks: [start], [then-arm], [other], [join].
+        assert_eq!(cfg.len(), 4);
+        let entry = cfg.block(cfg.entry());
+        assert_eq!(entry.succs.len(), 2);
+        let join = cfg.block_containing(p.symbol("join").unwrap()).unwrap();
+        assert_eq!(cfg.preds(join).len(), 2);
+        assert_eq!(cfg.exits().collect::<Vec<_>>(), vec![join]);
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let p = assemble(
+            "t",
+            "start: li r1, 3\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt\n",
+        )
+        .unwrap();
+        let cfg = Cfg::from_program(&p);
+        assert_eq!(cfg.len(), 3); // [li], [loop body], [halt]
+        let body = cfg.block_containing(p.symbol("loop").unwrap()).unwrap();
+        assert!(cfg.block(body).succs.contains(&body), "self back edge");
+    }
+
+    #[test]
+    fn attribution_counts_loop_iterations() {
+        let p = assemble(
+            "t",
+            "start: li r1, 4\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt\n",
+        )
+        .unwrap();
+        let cfg = Cfg::from_program(&p);
+        let mut sim = Simulator::new(&p);
+        let trace = sim.run_to_halt().unwrap();
+        let execs = cfg.attribute(&trace);
+        let body = cfg.block_containing(p.symbol("loop").unwrap()).unwrap();
+        let body_execs = execs.iter().filter(|e| e.block == body).count();
+        assert_eq!(body_execs, 4);
+        // Every access in the trace is attributed exactly once.
+        let total: usize = execs.iter().map(|e| e.accesses.len()).sum();
+        assert_eq!(total, trace.accesses.len());
+    }
+
+    #[test]
+    fn attribution_includes_data_accesses() {
+        let mut b = ProgramBuilder::new("t", 0x1000, 0x8000);
+        let buf = b.data_space("buf", 4);
+        b.li_addr(R1, buf);
+        b.counted_loop(4, R2, |b| {
+            b.st(R2, R1, 0);
+            b.addi(R1, R1, 4);
+        });
+        let p = b.build().unwrap();
+        let cfg = Cfg::from_program(&p);
+        let mut sim = Simulator::new(&p);
+        let trace = sim.run_to_halt().unwrap();
+        let execs = cfg.attribute(&trace);
+        let stores: usize = execs
+            .iter()
+            .flat_map(|e| &e.accesses)
+            .filter(|a| a.kind == AccessKind::Store)
+            .count();
+        assert_eq!(stores, 4);
+    }
+
+    #[test]
+    fn block_containing_misses_outside() {
+        let p = assemble("t", ".text 0x1000\nnop\nhalt\n").unwrap();
+        let cfg = Cfg::from_program(&p);
+        assert!(cfg.block_containing(0x0).is_none());
+        assert!(cfg.block_containing(0x2000).is_none());
+        assert!(cfg.block_containing(0x1004).is_some());
+    }
+
+    #[test]
+    fn jal_creates_edge_jr_terminates() {
+        let p = assemble(
+            "t",
+            ".text 0x1000\nstart: jal r15, f\n halt\nf: nop\n jr r15\n",
+        )
+        .unwrap();
+        let cfg = Cfg::from_program(&p);
+        let f = cfg.block_containing(p.symbol("f").unwrap()).unwrap();
+        let entry = cfg.block(cfg.entry());
+        assert_eq!(entry.succs, vec![f]);
+        assert!(cfg.block(f).succs.is_empty(), "jr is an exit edge");
+    }
+
+    #[test]
+    fn display_block_id() {
+        assert_eq!(BlockId(3).to_string(), "B3");
+    }
+}

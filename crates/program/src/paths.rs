@@ -1,0 +1,422 @@
+//! Dominators, natural loops and feasible-path enumeration.
+//!
+//! This module provides the structural side of the paper's path analysis
+//! (§VI): loops with fixed bounds are collapsed (each back edge is removed
+//! and the loop's blocks are weighted by their iteration factor), after
+//! which the residual acyclic graph's entry→exit paths are the feasible
+//! path skeletons of the program — the SFP-Prs path view of Fig. 4(b).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::cfg::{BlockId, Cfg};
+use crate::program::Program;
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the body).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: BTreeSet<BlockId>,
+    /// The back-edge sources (`tail → header` edges).
+    pub tails: Vec<BlockId>,
+    /// Iteration bound from the program's annotations, if declared.
+    pub bound: Option<u32>,
+}
+
+/// Errors from [`enumerate_paths`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathEnumError {
+    /// More entry→exit paths exist than the supplied limit.
+    TooManyPaths {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The CFG is irreducible (a retreating edge's target does not
+    /// dominate its source), so back-edge removal is not well defined.
+    Irreducible,
+}
+
+impl fmt::Display for PathEnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathEnumError::TooManyPaths { limit } => {
+                write!(f, "more than {limit} feasible paths; raise the limit or coarsen the CFG")
+            }
+            PathEnumError::Irreducible => write!(f, "irreducible control flow"),
+        }
+    }
+}
+
+impl std::error::Error for PathEnumError {}
+
+/// Computes the immediate dominator of every reachable block (the entry
+/// dominates itself). Unreachable blocks get `None`.
+///
+/// Uses the Cooper–Harvey–Kennedy iterative algorithm over a reverse
+/// post-order.
+pub fn immediate_dominators(cfg: &Cfg) -> Vec<Option<BlockId>> {
+    let n = cfg.len();
+    // Reverse post-order.
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut stack = vec![(cfg.entry(), 0usize)];
+    visited[cfg.entry().index()] = true;
+    while let Some((b, child)) = stack.pop() {
+        let succs = &cfg.block(b).succs;
+        if child < succs.len() {
+            stack.push((b, child + 1));
+            let s = succs[child];
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            order.push(b);
+        }
+    }
+    order.reverse();
+    let mut rpo_number = vec![usize::MAX; n];
+    for (i, b) in order.iter().enumerate() {
+        rpo_number[b.index()] = i;
+    }
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[cfg.entry().index()] = Some(cfg.entry());
+    let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+        while a != b {
+            while rpo_number[a.index()] > rpo_number[b.index()] {
+                a = idom[a.index()].expect("processed block has idom");
+            }
+            while rpo_number[b.index()] > rpo_number[a.index()] {
+                b = idom[b.index()].expect("processed block has idom");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in &order {
+            if *b == cfg.entry() {
+                continue;
+            }
+            let mut new_idom: Option<BlockId> = None;
+            for p in cfg.preds(*b) {
+                if idom[p.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => *p,
+                    Some(cur) => intersect(&idom, cur, *p),
+                });
+            }
+            if new_idom.is_some() && idom[b.index()] != new_idom {
+                idom[b.index()] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+/// `true` if `a` dominates `b` (reflexive).
+pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur.index()] {
+            Some(d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+/// Finds all natural loops of the CFG and attaches the program's declared
+/// bounds (matched by header start address).
+///
+/// Back edges with a shared header are merged into one loop, following the
+/// usual convention.
+///
+/// # Errors
+///
+/// Returns [`PathEnumError::Irreducible`] if a retreating edge's target
+/// does not dominate its source.
+pub fn natural_loops(cfg: &Cfg, program: &Program) -> Result<Vec<NaturalLoop>, PathEnumError> {
+    let idom = immediate_dominators(cfg);
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for b in cfg.block_ids() {
+        if idom[b.index()].is_none() {
+            continue; // unreachable
+        }
+        for s in &cfg.block(b).succs {
+            if dominates(&idom, *s, b) {
+                // Back edge b -> s. Collect the body by walking predecessors
+                // from the tail until the header.
+                let header = *s;
+                let mut body = BTreeSet::from([header, b]);
+                let mut work = vec![b];
+                while let Some(x) = work.pop() {
+                    if x == header {
+                        continue;
+                    }
+                    for p in cfg.preds(x) {
+                        if body.insert(*p) {
+                            work.push(*p);
+                        }
+                    }
+                }
+                if let Some(l) = loops.iter_mut().find(|l| l.header == header) {
+                    l.body.extend(body);
+                    l.tails.push(b);
+                } else {
+                    let bound = program.loop_bounds().get(&cfg.block(header).start).copied();
+                    loops.push(NaturalLoop { header, body, tails: vec![b], bound });
+                }
+            }
+        }
+    }
+    // Reducibility check: every cycle must be covered by a natural loop.
+    // Remove all back edges and verify the residual graph is acyclic.
+    let back_edges: BTreeSet<(BlockId, BlockId)> = loops
+        .iter()
+        .flat_map(|l| l.tails.iter().map(move |t| (*t, l.header)))
+        .collect();
+    if residual_has_cycle(cfg, &back_edges) {
+        return Err(PathEnumError::Irreducible);
+    }
+    Ok(loops)
+}
+
+fn residual_has_cycle(cfg: &Cfg, back_edges: &BTreeSet<(BlockId, BlockId)>) -> bool {
+    // Kahn's algorithm over the residual graph.
+    let n = cfg.len();
+    let mut indeg = vec![0usize; n];
+    for b in cfg.block_ids() {
+        for s in &cfg.block(b).succs {
+            if !back_edges.contains(&(b, *s)) {
+                indeg[s.index()] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<BlockId> = cfg.block_ids().filter(|b| indeg[b.index()] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(b) = queue.pop() {
+        seen += 1;
+        for s in &cfg.block(b).succs {
+            if !back_edges.contains(&(b, *s)) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(*s);
+                }
+            }
+        }
+    }
+    seen != n
+}
+
+/// Per-block iteration factor: the product of the bounds of every loop the
+/// block belongs to. Blocks outside loops have factor 1; loops without a
+/// declared bound contribute `default_bound`.
+pub fn iteration_factors(cfg: &Cfg, loops: &[NaturalLoop], default_bound: u32) -> Vec<u64> {
+    let mut factors = vec![1u64; cfg.len()];
+    for l in loops {
+        let bound = u64::from(l.bound.unwrap_or(default_bound));
+        for b in &l.body {
+            factors[b.index()] = factors[b.index()].saturating_mul(bound);
+        }
+    }
+    factors
+}
+
+/// Enumerates every entry→exit path of the CFG with back edges removed
+/// (each loop contributes its body once per path; iteration counts are
+/// handled by [`iteration_factors`]).
+///
+/// # Errors
+///
+/// Returns [`PathEnumError::TooManyPaths`] if more than `limit` paths
+/// exist, or [`PathEnumError::Irreducible`] for irreducible control flow.
+pub fn enumerate_paths(
+    cfg: &Cfg,
+    program: &Program,
+    limit: usize,
+) -> Result<Vec<Vec<BlockId>>, PathEnumError> {
+    let loops = natural_loops(cfg, program)?;
+    let back_edges: BTreeSet<(BlockId, BlockId)> = loops
+        .iter()
+        .flat_map(|l| l.tails.iter().map(move |t| (*t, l.header)))
+        .collect();
+    let mut paths = Vec::new();
+    let mut current = vec![cfg.entry()];
+    dfs_paths(cfg, &back_edges, &mut current, &mut paths, limit)?;
+    Ok(paths)
+}
+
+fn dfs_paths(
+    cfg: &Cfg,
+    back_edges: &BTreeSet<(BlockId, BlockId)>,
+    current: &mut Vec<BlockId>,
+    paths: &mut Vec<Vec<BlockId>>,
+    limit: usize,
+) -> Result<(), PathEnumError> {
+    let b = *current.last().expect("path is non-empty");
+    let succs: Vec<BlockId> = cfg
+        .block(b)
+        .succs
+        .iter()
+        .copied()
+        .filter(|s| !back_edges.contains(&(b, *s)))
+        .collect();
+    if succs.is_empty() {
+        if paths.len() >= limit {
+            return Err(PathEnumError::TooManyPaths { limit });
+        }
+        paths.push(current.clone());
+        return Ok(());
+    }
+    for s in succs {
+        current.push(s);
+        dfs_paths(cfg, back_edges, current, paths, limit)?;
+        current.pop();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::builder::ProgramBuilder;
+    use crate::isa::regs::*;
+    use crate::isa::Cond;
+
+    #[test]
+    fn dominators_of_diamond() {
+        let p = assemble(
+            "t",
+            "start: beq r1, r0, b\n nop\n beq r0, r0, j\nb: nop\nj: halt\n",
+        )
+        .unwrap();
+        let cfg = Cfg::from_program(&p);
+        let idom = immediate_dominators(&cfg);
+        let entry = cfg.entry();
+        let join = cfg.block_containing(p.symbol("j").unwrap()).unwrap();
+        assert_eq!(idom[join.index()], Some(entry));
+        assert!(dominates(&idom, entry, join));
+        assert!(!dominates(&idom, join, entry));
+    }
+
+    #[test]
+    fn simple_loop_detected_with_bound() {
+        let p = assemble(
+            "t",
+            "start: li r1, 6\nloop: addi r1, r1, -1\n bne r1, r0, loop\n.bound loop, 6\n halt\n",
+        )
+        .unwrap();
+        let cfg = Cfg::from_program(&p);
+        let loops = natural_loops(&cfg, &p).unwrap();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].bound, Some(6));
+        assert_eq!(loops[0].body.len(), 1); // single-block loop
+        let factors = iteration_factors(&cfg, &loops, 1);
+        assert_eq!(factors[loops[0].header.index()], 6);
+    }
+
+    #[test]
+    fn nested_loops_multiply_factors() {
+        let mut b = ProgramBuilder::new("t", 0x1000, 0x8000);
+        b.counted_loop(4, R1, |b| {
+            b.counted_loop(5, R2, |b| {
+                b.nop();
+            });
+        });
+        let p = b.build().unwrap();
+        let cfg = Cfg::from_program(&p);
+        let loops = natural_loops(&cfg, &p).unwrap();
+        assert_eq!(loops.len(), 2);
+        let factors = iteration_factors(&cfg, &loops, 1);
+        assert_eq!(factors.iter().max(), Some(&20));
+    }
+
+    #[test]
+    fn two_arm_program_has_two_paths() {
+        let mut b = ProgramBuilder::new("t", 0x1000, 0x8000);
+        let sel = b.data_space("sel", 1);
+        b.li_addr(R1, sel);
+        b.ld(R2, R1, 0);
+        b.if_else(
+            Cond::Eq,
+            R2,
+            R0,
+            |b| b.counted_loop(3, R3, |b| b.nop()),
+            |b| b.nop(),
+        );
+        let p = b.build().unwrap();
+        let cfg = Cfg::from_program(&p);
+        let paths = enumerate_paths(&cfg, &p, 100).unwrap();
+        assert_eq!(paths.len(), 2);
+        for path in &paths {
+            assert_eq!(path[0], cfg.entry());
+            assert!(cfg.block(*path.last().unwrap()).succs.is_empty());
+        }
+    }
+
+    #[test]
+    fn straight_line_single_path() {
+        let p = assemble("t", "nop\nnop\nhalt\n").unwrap();
+        let cfg = Cfg::from_program(&p);
+        let paths = enumerate_paths(&cfg, &p, 10).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 1);
+    }
+
+    #[test]
+    fn loops_do_not_multiply_paths() {
+        let mut b = ProgramBuilder::new("t", 0x1000, 0x8000);
+        b.counted_loop(100, R1, |b| b.nop());
+        b.counted_loop(100, R2, |b| b.nop());
+        let p = b.build().unwrap();
+        let cfg = Cfg::from_program(&p);
+        let paths = enumerate_paths(&cfg, &p, 10).unwrap();
+        assert_eq!(paths.len(), 1, "loops collapse on paths");
+    }
+
+    #[test]
+    fn path_limit_enforced() {
+        // 2^4 = 16 paths from four sequential diamonds.
+        let mut b = ProgramBuilder::new("t", 0x1000, 0x8000);
+        for _ in 0..4 {
+            b.if_else(Cond::Eq, R1, R0, |b| b.nop(), |b| b.nop());
+        }
+        let p = b.build().unwrap();
+        let cfg = Cfg::from_program(&p);
+        assert_eq!(enumerate_paths(&cfg, &p, 100).unwrap().len(), 16);
+        assert_eq!(
+            enumerate_paths(&cfg, &p, 7).unwrap_err(),
+            PathEnumError::TooManyPaths { limit: 7 }
+        );
+    }
+
+    #[test]
+    fn default_bound_applies_when_unannotated() {
+        let p = assemble(
+            "t",
+            "start: li r1, 6\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt\n",
+        )
+        .unwrap();
+        let cfg = Cfg::from_program(&p);
+        let loops = natural_loops(&cfg, &p).unwrap();
+        assert_eq!(loops[0].bound, None);
+        let factors = iteration_factors(&cfg, &loops, 42);
+        assert_eq!(*factors.iter().max().unwrap(), 42);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PathEnumError::TooManyPaths { limit: 3 }.to_string().contains('3'));
+        assert!(PathEnumError::Irreducible.to_string().contains("irreducible"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the scheduler co-simulation: timeline and
+//! accounting invariants over randomized synthetic task systems.
+
+use proptest::prelude::*;
+use rtcache::CacheGeometry;
+use rtsched::{simulate, CacheMode, SchedConfig, SchedTask, VariantPolicy};
+use rtwcet::TimingModel;
+use rtworkloads::synthetic::{synthetic_task, SyntheticSpec};
+
+fn system(seed: u64, hi_period: u64, lo_period: u64) -> Vec<SchedTask> {
+    let mut hi_spec = SyntheticSpec::new("hi", 0x0001_0000, 0x0010_0000);
+    hi_spec.seed = seed;
+    hi_spec.outer_iters = 2;
+    let mut lo_spec = SyntheticSpec::new("lo", 0x0002_0000, 0x0010_0200);
+    lo_spec.seed = seed.wrapping_mul(7);
+    lo_spec.outer_iters = 6;
+    vec![
+        SchedTask::new(synthetic_task(&hi_spec), hi_period, 1),
+        SchedTask::new(synthetic_task(&lo_spec), lo_period, 2),
+    ]
+}
+
+fn config(horizon: u64, ctx: u64) -> SchedConfig {
+    SchedConfig {
+        geometry: CacheGeometry::new(64, 2, 16).expect("valid geometry"),
+        model: TimingModel::default(),
+        ctx_switch: ctx,
+        horizon,
+        variant_policy: VariantPolicy::Worst,
+        cache_mode: CacheMode::Shared,
+        replacement: Default::default(),
+        l2: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Execution slices never overlap, never exceed the simulation end,
+    /// and the total busy time fits in the elapsed time.
+    #[test]
+    fn slices_are_a_valid_schedule(seed in 0u64..500,
+                                   hi_period in 3_000u64..20_000,
+                                   ctx in 0u64..400) {
+        let tasks = system(seed, hi_period, 200_000);
+        let report = simulate(&tasks, &config(400_000, ctx)).expect("simulates");
+        let mut sorted = report.slices.clone();
+        sorted.sort_by_key(|s| s.start);
+        let mut busy = 0u64;
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "slices overlap: {w:?}");
+        }
+        for s in &sorted {
+            prop_assert!(s.start < s.end);
+            prop_assert!(s.end <= report.end_time);
+            prop_assert!(s.task < tasks.len());
+            busy += s.end - s.start;
+        }
+        prop_assert!(busy <= report.end_time);
+    }
+
+    /// Job accounting: completions never exceed releases, misses never
+    /// exceed completions, and every preemption record is well formed.
+    #[test]
+    fn accounting_invariants(seed in 0u64..500, hi_period in 3_000u64..20_000) {
+        let tasks = system(seed, hi_period, 150_000);
+        let report = simulate(&tasks, &config(450_000, 100)).expect("simulates");
+        for t in &report.tasks {
+            prop_assert!(t.completed <= t.released);
+            prop_assert!(t.deadline_misses <= t.completed);
+            prop_assert!(t.mean_response <= t.max_response);
+        }
+        let total_lines = 64u64 * 2;
+        for p in &report.preemptions {
+            prop_assert!(p.preempted < tasks.len());
+            prop_assert!(p.preempting < tasks.len());
+            prop_assert!(
+                tasks[p.preempting].priority < tasks[p.preempted].priority,
+                "only higher priority tasks preempt"
+            );
+            prop_assert!(p.reloaded_lines <= p.evicted_lines);
+            prop_assert!(p.evicted_lines as u64 <= total_lines);
+            prop_assert!(p.time <= report.end_time);
+        }
+        // Preemption records match the per-task counters.
+        let recorded = report.preemptions.len() as u64;
+        let counted: u64 = report.tasks.iter().map(|t| t.preemptions).sum();
+        prop_assert!(recorded <= counted, "records are resumes of counted preemptions");
+    }
+
+    /// The simulation is deterministic.
+    #[test]
+    fn deterministic(seed in 0u64..200) {
+        let tasks = system(seed, 8_000, 120_000);
+        let a = simulate(&tasks, &config(240_000, 50)).expect("simulates");
+        let b = simulate(&tasks, &config(240_000, 50)).expect("simulates");
+        prop_assert_eq!(a.tasks, b.tasks);
+        prop_assert_eq!(a.slices, b.slices);
+        prop_assert_eq!(a.end_time, b.end_time);
+    }
+
+    /// Interference monotonicity: shortening the high task's period can
+    /// only lengthen (or keep) the low task's worst response.
+    #[test]
+    fn more_interference_never_helps(seed in 0u64..200) {
+        let relaxed = simulate(&system(seed, 40_000, 150_000), &config(450_000, 100))
+            .expect("simulates");
+        let pressed = simulate(&system(seed, 5_000, 150_000), &config(450_000, 100))
+            .expect("simulates");
+        prop_assert!(
+            pressed.tasks[1].max_response >= relaxed.tasks[1].max_response,
+            "pressed {} < relaxed {}",
+            pressed.tasks[1].max_response,
+            relaxed.tasks[1].max_response
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! IDCT — the 8×8 two-dimensional inverse DCT kernel of Experiment II
+//! (the paper extracts it from an MPEG-2 decoder).
+//!
+//! Fixed-point separable implementation: a row pass into a temporary
+//! block followed by a column pass, both driven by a 64-entry cosine
+//! table (scale 2^10, with the `c(u)` normalization folded in).
+
+use rtprogram::builder::ProgramBuilder;
+use rtprogram::isa::regs::*;
+use rtprogram::{InputVariant, Program};
+
+use crate::layout;
+
+/// Blocks transformed per activation.
+pub const BLOCKS: usize = 1;
+/// Words in the reconstructed-frame buffer the block is composed into.
+pub const FRAME_WORDS: usize = 512;
+/// Fixed-point shift of the cosine table.
+pub const COS_SHIFT: i32 = 10;
+
+/// The folded cosine table `K[u*8+x] = round(512 * c(u) * cos((2x+1)uπ/16))`
+/// where `c(0) = 1/√2` and `c(u) = 1` otherwise.
+pub fn cos_table() -> Vec<i32> {
+    let mut k = vec![0i32; 64];
+    for u in 0..8 {
+        let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+        for x in 0..8 {
+            let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+            k[u * 8 + x] = (512.0 * cu * angle.cos()).round() as i32;
+        }
+    }
+    k
+}
+
+/// Deterministic coefficient blocks: a strong DC term, a few low-frequency
+/// AC terms and a small texture.
+pub fn coeff_pattern(blocks: usize) -> Vec<i32> {
+    let mut c = vec![0i32; 64 * blocks];
+    for (b, chunk) in c.chunks_mut(64).enumerate() {
+        chunk[0] = 512 + 64 * b as i32;
+        chunk[1] = 100;
+        chunk[8] = -60;
+        chunk[9] = 30;
+        for (i, v) in chunk.iter_mut().enumerate().skip(10) {
+            *v = ((i * 7) % 5) as i32 - 2;
+        }
+    }
+    c
+}
+
+/// Sparse alternate coefficients for the second variant.
+pub fn coeff_sparse(blocks: usize) -> Vec<i32> {
+    let mut c = vec![0i32; 64 * blocks];
+    for chunk in c.chunks_mut(64) {
+        chunk[0] = 1024;
+        chunk[2] = -200;
+    }
+    c
+}
+
+/// Bit-exact Rust reference of the fixed-point 2-D IDCT.
+pub fn reference(coeffs: &[i32]) -> Vec<i32> {
+    let k = cos_table();
+    let mut out = vec![0i32; coeffs.len()];
+    for (blk, (cin, cout)) in coeffs.chunks(64).zip(out.chunks_mut(64)).enumerate() {
+        let _ = blk;
+        let mut tmp = [0i32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                let mut acc = 0i32;
+                for u in 0..8 {
+                    acc = acc.wrapping_add(cin[y * 8 + u].wrapping_mul(k[u * 8 + x]));
+                }
+                tmp[y * 8 + x] = acc >> COS_SHIFT;
+            }
+        }
+        for y in 0..8 {
+            for x in 0..8 {
+                let mut acc = 0i32;
+                for v in 0..8 {
+                    acc = acc.wrapping_add(tmp[v * 8 + x].wrapping_mul(k[v * 8 + y]));
+                }
+                cout[y * 8 + x] = acc >> COS_SHIFT;
+            }
+        }
+    }
+    out
+}
+
+/// Builds the IDCT task with the default [`BLOCKS`].
+pub fn idct() -> Program {
+    idct_with_blocks(BLOCKS)
+}
+
+/// Builds the IDCT task transforming `blocks` 8×8 blocks per activation.
+///
+/// Variants: `"dense"` (default pattern) and `"sparse"` (DC + one AC).
+///
+/// # Panics
+///
+/// Panics if `blocks == 0`.
+pub fn idct_with_blocks(blocks: usize) -> Program {
+    assert!(blocks > 0, "at least one block required");
+    let mut b = ProgramBuilder::new("idct", layout::IDCT_CODE, layout::IDCT_DATA);
+
+    let coeffs = b.data_words("coeffs", &coeff_pattern(blocks));
+    let cost = b.data_words("cost", &cos_table());
+    let tmp = b.data_space("tmp", 64);
+    let out = b.data_space("out", 64 * blocks);
+    let frame = b.data_space("frame", FRAME_WORDS);
+
+    b.variant(InputVariant::named("dense"));
+    let mut vs = InputVariant::named("sparse");
+    for (i, v) in coeff_sparse(blocks).iter().enumerate() {
+        vs = vs.with_write(coeffs + 4 * i as u64, *v);
+    }
+    b.variant(vs);
+
+    b.li(R15, 2); // word shift
+    b.li(R14, 3); // row shift (×8)
+    b.li_addr(R12, cost);
+    b.li_addr(R13, tmp);
+
+    b.counted_loop(blocks as u32, R2, |b| {
+        // R11 = &coeffs[64 * (block index)], R1 = &out[64 * (block index)]
+        b.addi(R5, R2, -1);
+        b.li(R6, 8); // 256 = 64 words * 4 bytes => shift by 8
+        b.shl(R5, R5, R6);
+        b.li_addr(R11, coeffs);
+        b.add(R11, R11, R5);
+        b.li_addr(R1, out);
+        b.add(R1, R1, R5);
+
+        // ---- row pass: tmp[y][x] = (Σ_u coeff[y][u] * K[u][x]) >> 10
+        b.counted_loop(8, R3, |b| {
+            b.counted_loop(8, R4, |b| {
+                // R6 = &coeff[y*8], stride 4; R7 = &K[x], stride 32.
+                b.addi(R6, R3, -1);
+                b.shl(R6, R6, R14);
+                b.shl(R6, R6, R15);
+                b.add(R6, R11, R6);
+                b.addi(R7, R4, -1);
+                b.shl(R7, R7, R15);
+                b.add(R7, R12, R7);
+                b.li(R10, 0);
+                b.counted_loop(8, R5, |b| {
+                    b.ld(R8, R6, 0);
+                    b.ld(R9, R7, 0);
+                    b.mul(R8, R8, R9);
+                    b.add(R10, R10, R8);
+                    b.addi(R6, R6, 4);
+                    b.addi(R7, R7, 32);
+                });
+                b.li(R8, COS_SHIFT);
+                b.sra(R10, R10, R8);
+                // tmp[y*8 + x]
+                b.addi(R6, R3, -1);
+                b.shl(R6, R6, R14);
+                b.addi(R7, R4, -1);
+                b.add(R6, R6, R7);
+                b.shl(R6, R6, R15);
+                b.add(R6, R13, R6);
+                b.st(R10, R6, 0);
+            });
+        });
+
+        // ---- column pass: out[y][x] = (Σ_v tmp[v][x] * K[v][y]) >> 10
+        b.counted_loop(8, R3, |b| {
+            b.counted_loop(8, R4, |b| {
+                // R6 = &tmp[x], stride 32; R7 = &K[y], stride 32.
+                b.addi(R6, R4, -1);
+                b.shl(R6, R6, R15);
+                b.add(R6, R13, R6);
+                b.addi(R7, R3, -1);
+                b.shl(R7, R7, R15);
+                b.add(R7, R12, R7);
+                b.li(R10, 0);
+                b.counted_loop(8, R5, |b| {
+                    b.ld(R8, R6, 0);
+                    b.ld(R9, R7, 0);
+                    b.mul(R8, R8, R9);
+                    b.add(R10, R10, R8);
+                    b.addi(R6, R6, 32);
+                    b.addi(R7, R7, 32);
+                });
+                b.li(R8, COS_SHIFT);
+                b.sra(R10, R10, R8);
+                b.addi(R6, R3, -1);
+                b.shl(R6, R6, R14);
+                b.addi(R7, R4, -1);
+                b.add(R6, R6, R7);
+                b.shl(R6, R6, R15);
+                b.add(R6, R1, R6);
+                b.st(R10, R6, 0);
+            });
+        });
+    });
+
+    // Compose into the frame buffer: clear it, then blit each block at
+    // its slot (models writing the decoded macroblock into the picture).
+    b.li_addr(R12, frame);
+    b.counted_loop(FRAME_WORDS as u32, R3, |b| {
+        b.st(R0, R12, 0);
+        b.addi(R12, R12, 4);
+    });
+    b.li_addr(R12, frame);
+    b.li_addr(R13, out);
+    b.counted_loop((64 * blocks).min(FRAME_WORDS) as u32, R3, |b| {
+        b.ld(R5, R13, 0);
+        b.st(R5, R12, 0);
+        b.addi(R12, R12, 4);
+        b.addi(R13, R13, 4);
+    });
+
+    b.build().expect("IDCT program is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtprogram::Simulator;
+
+    fn run(variant: usize, blocks: usize) -> Vec<i32> {
+        let p = idct_with_blocks(blocks);
+        let v = p.variants()[variant].clone();
+        let mut sim = Simulator::with_variant(&p, &v).unwrap();
+        sim.run_to_halt().unwrap();
+        let base = p.symbol("out").unwrap();
+        (0..(64 * blocks) as u64).map(|i| sim.memory().read(base + 4 * i).unwrap()).collect()
+    }
+
+    #[test]
+    fn dense_matches_reference() {
+        assert_eq!(run(0, 1), reference(&coeff_pattern(1)));
+    }
+
+    #[test]
+    fn sparse_matches_reference() {
+        assert_eq!(run(1, 1), reference(&coeff_sparse(1)));
+    }
+
+    #[test]
+    fn multi_block_matches_reference() {
+        assert_eq!(run(0, 3), reference(&coeff_pattern(3)));
+    }
+
+    #[test]
+    fn dc_only_block_is_flat() {
+        // A DC-only block must reconstruct to a constant plane.
+        let mut coeffs = vec![0i32; 64];
+        coeffs[0] = 1024;
+        let out = reference(&coeffs);
+        assert!(out.windows(2).all(|w| (w[0] - w[1]).abs() <= 1), "{out:?}");
+        assert!(out[0] > 0);
+    }
+
+    #[test]
+    fn float_model_agrees_within_rounding() {
+        // Cross-check the fixed-point pipeline against a float IDCT.
+        let coeffs = coeff_pattern(1);
+        let fixed = reference(&coeffs);
+        let mut float_out = vec![0f64; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                let mut acc = 0f64;
+                for v in 0..8 {
+                    for u in 0..8 {
+                        let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                        let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                        acc += cu / 2.0
+                            * cv / 2.0
+                            * f64::from(coeffs[v * 8 + u])
+                            * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0)
+                                .cos()
+                            * ((2.0 * y as f64 + 1.0) * v as f64 * std::f64::consts::PI / 16.0)
+                                .cos();
+                    }
+                }
+                float_out[y * 8 + x] = acc;
+            }
+        }
+        for (f, i) in float_out.iter().zip(&fixed) {
+            // Two >>10 truncations plus table rounding bound the error by
+            // roughly 5; allow a little slack.
+            assert!(
+                (f - f64::from(*i)).abs() < 8.0,
+                "fixed {i} vs float {f:.2}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        let _ = idct_with_blocks(0);
+    }
+}

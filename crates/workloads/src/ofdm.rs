@@ -1,0 +1,346 @@
+//! OFDM — the transmitter task of Experiment I (paper Example 1).
+//!
+//! Models an OFDM modulator: 16-QAM symbol mapping, an N-point inverse DFT
+//! with a twiddle table (fixed-point, scale 256), cyclic-prefix insertion
+//! and output-energy accumulation. It is the largest task of Experiment I
+//! and, having the lowest priority, the one whose WCRT the paper tracks.
+
+use rtprogram::builder::ProgramBuilder;
+use rtprogram::isa::regs::*;
+use rtprogram::{InputVariant, Program};
+
+use crate::layout;
+
+/// Default number of subcarriers.
+pub const POINTS: usize = 64;
+/// Words in the transmit ring buffer (past frames kept for retransmit).
+pub const RING_WORDS: usize = 768;
+/// Cyclic prefix length.
+pub const PREFIX: usize = 8;
+/// 16-QAM amplitude levels (scaled by 64).
+pub const QAM_LEVELS: [i32; 4] = [-192, -64, 64, 192];
+/// Fixed-point scale of the twiddle table (2^8).
+pub const TWIDDLE_SCALE: i32 = 256;
+
+/// Twiddle factors `e^{i 2π k / n}` scaled by [`TWIDDLE_SCALE`].
+pub fn twiddles(n: usize) -> (Vec<i32>, Vec<i32>) {
+    let re = (0..n)
+        .map(|k| {
+            let th = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            (th.cos() * f64::from(TWIDDLE_SCALE)).round() as i32
+        })
+        .collect();
+    let im = (0..n)
+        .map(|k| {
+            let th = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            (th.sin() * f64::from(TWIDDLE_SCALE)).round() as i32
+        })
+        .collect();
+    (re, im)
+}
+
+/// Default input frame: one 4-bit symbol per subcarrier.
+pub fn frame_a(n: usize) -> Vec<i32> {
+    (0..n).map(|i| ((i * 5 + 3) % 16) as i32).collect()
+}
+
+/// Alternate input frame for the second variant.
+pub fn frame_b(n: usize) -> Vec<i32> {
+    (0..n).map(|i| ((i * 11 + 7) % 16) as i32).collect()
+}
+
+/// Integer reference model of the whole transmitter (tests compare the
+/// simulated memory image against this bit-for-bit).
+pub fn reference(symbols: &[i32]) -> (Vec<i32>, Vec<i32>) {
+    let n = symbols.len();
+    let (tw_re, tw_im) = twiddles(n);
+    let map_re: Vec<i32> = symbols.iter().map(|s| QAM_LEVELS[(s & 3) as usize]).collect();
+    let map_im: Vec<i32> = symbols.iter().map(|s| QAM_LEVELS[((s >> 2) & 3) as usize]).collect();
+    let mut out_re = vec![0i32; PREFIX + n];
+    let mut out_im = vec![0i32; PREFIX + n];
+    for k in 0..n {
+        let (mut acc_re, mut acc_im) = (0i32, 0i32);
+        for (j, (re, im)) in map_re.iter().zip(&map_im).enumerate() {
+            let t = (k * j) & (n - 1);
+            acc_re = acc_re
+                .wrapping_add(re.wrapping_mul(tw_re[t]))
+                .wrapping_sub(im.wrapping_mul(tw_im[t]));
+            acc_im = acc_im
+                .wrapping_add(re.wrapping_mul(tw_im[t]))
+                .wrapping_add(im.wrapping_mul(tw_re[t]));
+        }
+        out_re[PREFIX + k] = acc_re >> 8;
+        out_im[PREFIX + k] = acc_im >> 8;
+    }
+    for i in 0..PREFIX {
+        out_re[i] = out_re[n + i];
+        out_im[i] = out_im[n + i];
+    }
+    (out_re, out_im)
+}
+
+/// Builds the OFDM transmitter with the default [`POINTS`].
+pub fn ofdm_transmitter() -> Program {
+    ofdm_transmitter_with_points(POINTS)
+}
+
+/// Builds the OFDM transmitter with `n` subcarriers (`n` must be a power
+/// of two so `k·j mod n` reduces to a mask).
+///
+/// Variants: `"frame_a"` and `"frame_b"`, two different symbol frames
+/// (structurally the same path; the task has a single feasible path).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `n < PREFIX`.
+pub fn ofdm_transmitter_with_points(n: usize) -> Program {
+    assert!(n.is_power_of_two() && n >= PREFIX, "points must be a power of two >= PREFIX");
+    assert!(2 * (PREFIX + n) <= RING_WORDS, "frame must fit in the transmit ring");
+    let mut b = ProgramBuilder::new("ofdm", layout::OFDM_CODE, layout::OFDM_DATA);
+
+    let syms = b.data_words("syms", &frame_a(n));
+    let levels = b.data_words("levels", &QAM_LEVELS);
+    let (tw_re_v, tw_im_v) = twiddles(n);
+    let tw_re = b.data_words("tw_re", &tw_re_v);
+    let tw_im = b.data_words("tw_im", &tw_im_v);
+    let map_re = b.data_space("map_re", n);
+    let map_im = b.data_space("map_im", n);
+    let out_re = b.data_space("out_re", PREFIX + n);
+    let out_im = b.data_space("out_im", PREFIX + n);
+    let energy = b.data_space("energy", 1);
+    let ring = b.data_space("ring", RING_WORDS);
+
+    b.variant(InputVariant::named("frame_a"));
+    let mut vb = InputVariant::named("frame_b");
+    for (i, v) in frame_b(n).iter().enumerate() {
+        vb = vb.with_write(syms + 4 * i as u64, *v);
+    }
+    b.variant(vb);
+
+    b.li(R15, 2); // word-shift constant, live throughout
+
+    // ---- 1. 16-QAM mapping ------------------------------------------------
+    b.li_addr(R10, syms);
+    b.li_addr(R11, levels);
+    b.li_addr(R12, map_re);
+    b.li_addr(R13, map_im);
+    b.li(R14, 3); // level mask
+    b.counted_loop(n as u32, R3, |b| {
+        b.addi(R5, R3, -1); // i
+        b.shl(R5, R5, R15); // 4*i
+        b.add(R6, R10, R5);
+        b.ld(R6, R6, 0); // s
+        b.and(R7, R6, R14); // s & 3
+        b.shl(R7, R7, R15);
+        b.add(R7, R11, R7);
+        b.ld(R7, R7, 0); // levels[s & 3]
+        b.add(R8, R12, R5);
+        b.st(R7, R8, 0);
+        b.sra(R7, R6, R15); // s >> 2
+        b.and(R7, R7, R14);
+        b.shl(R7, R7, R15);
+        b.add(R7, R11, R7);
+        b.ld(R7, R7, 0);
+        b.add(R8, R13, R5);
+        b.st(R7, R8, 0);
+    });
+
+    // ---- 2. inverse DFT -----------------------------------------------------
+    b.li_addr(R10, tw_re);
+    b.li_addr(R11, tw_im);
+    b.li(R14, (n - 1) as i32); // index mask
+    b.counted_loop(n as u32, R2, |b| {
+        b.li(R4, 0); // acc_re
+        b.li(R5, 0); // acc_im
+        b.counted_loop(n as u32, R3, |b| {
+            b.addi(R6, R2, -1); // k
+            b.addi(R7, R3, -1); // j
+            b.mul(R6, R6, R7);
+            b.and(R6, R6, R14); // t = (k*j) & (n-1)
+            b.shl(R6, R6, R15);
+            b.shl(R7, R7, R15); // 4*j
+            b.add(R8, R10, R6);
+            b.ld(R8, R8, 0); // wr
+            b.add(R9, R11, R6);
+            b.ld(R9, R9, 0); // wi
+            b.li_addr(R6, map_re);
+            b.add(R6, R6, R7);
+            b.ld(R6, R6, 0); // re
+            b.li_addr(R1, map_im);
+            b.add(R7, R1, R7);
+            b.ld(R7, R7, 0); // im
+            // acc_re += re*wr - im*wi
+            b.mul(R1, R6, R8);
+            b.add(R4, R4, R1);
+            b.mul(R1, R7, R9);
+            b.sub(R4, R4, R1);
+            // acc_im += re*wi + im*wr
+            b.mul(R1, R6, R9);
+            b.add(R5, R5, R1);
+            b.mul(R1, R7, R8);
+            b.add(R5, R5, R1);
+        });
+        // out[PREFIX + k] = acc >> 8
+        b.addi(R6, R2, -1);
+        b.addi(R6, R6, PREFIX as i32);
+        b.shl(R6, R6, R15);
+        b.li(R7, 8);
+        b.sra(R4, R4, R7);
+        b.sra(R5, R5, R7);
+        b.li_addr(R7, out_re);
+        b.add(R7, R7, R6);
+        b.st(R4, R7, 0);
+        b.li_addr(R7, out_im);
+        b.add(R7, R7, R6);
+        b.st(R5, R7, 0);
+    });
+
+    // ---- 3. cyclic prefix: out[0..PREFIX] = out[n .. n+PREFIX] -----------
+    b.li_addr(R10, out_re);
+    b.li_addr(R11, out_im);
+    b.counted_loop(PREFIX as u32, R3, |b| {
+        b.addi(R5, R3, -1);
+        b.shl(R5, R5, R15);
+        b.add(R6, R10, R5);
+        b.ld(R7, R6, 4 * n as i32);
+        b.st(R7, R6, 0);
+        b.add(R6, R11, R5);
+        b.ld(R7, R6, 4 * n as i32);
+        b.st(R7, R6, 0);
+    });
+
+    // ---- 3b. transmit ring: checksum the whole ring, then archive the
+    // fresh frame (re/im interleaved) at its head.
+    b.li_addr(R12, ring);
+    b.li(R4, 0);
+    b.counted_loop(RING_WORDS as u32, R3, |b| {
+        b.ld(R5, R12, 0);
+        b.add(R4, R4, R5);
+        b.addi(R12, R12, 4);
+    });
+    b.li_addr(R12, ring);
+    b.li_addr(R13, out_re);
+    b.li_addr(R14, out_im);
+    b.counted_loop((PREFIX + n) as u32, R3, |b| {
+        b.ld(R5, R13, 0);
+        b.st(R5, R12, 0);
+        b.ld(R5, R14, 0);
+        b.st(R5, R12, 4);
+        b.addi(R12, R12, 8);
+        b.addi(R13, R13, 4);
+        b.addi(R14, R14, 4);
+    });
+
+    // ---- 4. output energy --------------------------------------------------
+    b.li(R4, 0);
+    b.li(R14, 6);
+    b.counted_loop((PREFIX + n) as u32, R3, |b| {
+        b.addi(R5, R3, -1);
+        b.shl(R5, R5, R15);
+        b.add(R6, R10, R5);
+        b.ld(R6, R6, 0);
+        b.mul(R6, R6, R6);
+        b.add(R7, R11, R5);
+        b.ld(R7, R7, 0);
+        b.mul(R7, R7, R7);
+        b.add(R6, R6, R7);
+        b.sra(R6, R6, R14);
+        b.add(R4, R4, R6);
+    });
+    b.li_addr(R6, energy);
+    b.st(R4, R6, 0);
+
+    b.build().expect("OFDM program is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtprogram::Simulator;
+
+    fn run(variant: usize, n: usize) -> (Vec<i32>, Vec<i32>, i32) {
+        let p = ofdm_transmitter_with_points(n);
+        let v = p.variants()[variant].clone();
+        let mut sim = Simulator::with_variant(&p, &v).unwrap();
+        sim.run_to_halt().unwrap();
+        let re_base = p.symbol("out_re").unwrap();
+        let im_base = p.symbol("out_im").unwrap();
+        let len = (PREFIX + n) as u64;
+        let re = (0..len).map(|i| sim.memory().read(re_base + 4 * i).unwrap()).collect();
+        let im = (0..len).map(|i| sim.memory().read(im_base + 4 * i).unwrap()).collect();
+        let e = sim.memory().read(p.symbol("energy").unwrap()).unwrap();
+        (re, im, e)
+    }
+
+    #[test]
+    fn matches_reference_model_frame_a() {
+        let n = 16;
+        let (re, im, _) = run(0, n);
+        let (want_re, want_im) = reference(&frame_a(n));
+        assert_eq!(re, want_re);
+        assert_eq!(im, want_im);
+    }
+
+    #[test]
+    fn matches_reference_model_frame_b() {
+        let n = 16;
+        let (re, im, _) = run(1, n);
+        let (want_re, want_im) = reference(&frame_b(n));
+        assert_eq!(re, want_re);
+        assert_eq!(im, want_im);
+    }
+
+    #[test]
+    fn cyclic_prefix_mirrors_tail() {
+        let n = 16;
+        let (re, im, _) = run(0, n);
+        assert_eq!(&re[..PREFIX], &re[n..n + PREFIX]);
+        assert_eq!(&im[..PREFIX], &im[n..n + PREFIX]);
+    }
+
+    #[test]
+    fn energy_is_positive() {
+        let (_, _, e) = run(0, 16);
+        assert!(e > 0, "modulated frame must carry energy, got {e}");
+    }
+
+    #[test]
+    fn frames_produce_different_output() {
+        let (a_re, _, _) = run(0, 16);
+        let (b_re, _, _) = run(1, 16);
+        assert_ne!(a_re, b_re);
+    }
+
+    #[test]
+    fn default_size_is_biggest_exp1_task() {
+        let p = ofdm_transmitter();
+        let mut sim = Simulator::new(&p);
+        let t = sim.run_to_halt().unwrap();
+        assert!(t.instructions > 20_000, "got {}", t.instructions);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = ofdm_transmitter_with_points(24);
+    }
+
+    #[test]
+    fn dft_of_dc_symbols_concentrates_at_k0() {
+        // All-equal symbols => the IDFT has its peak at k = 0 (all twiddles
+        // align) and near-zero elsewhere.
+        let n = 16;
+        let p = ofdm_transmitter_with_points(n);
+        let mut v = InputVariant::named("dc");
+        let syms = p.symbol("syms").unwrap();
+        for i in 0..n as u64 {
+            v = v.with_write(syms + 4 * i, 5);
+        }
+        let mut sim = Simulator::with_variant(&p, &v).unwrap();
+        sim.run_to_halt().unwrap();
+        let re_base = p.symbol("out_re").unwrap();
+        let k0 = sim.memory().read(re_base + 4 * PREFIX as u64).unwrap();
+        let k3 = sim.memory().read(re_base + 4 * (PREFIX as u64 + 3)).unwrap();
+        assert!(k0.abs() > 10 * k3.abs().max(1), "k0={k0} k3={k3}");
+    }
+}

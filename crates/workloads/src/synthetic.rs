@@ -1,0 +1,243 @@
+//! Parameterized synthetic task programs.
+//!
+//! Property tests and ablation benches need many tasks with controllable
+//! cache footprints and path structure; this module generates them
+//! deterministically from a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtprogram::builder::ProgramBuilder;
+use rtprogram::isa::regs::*;
+use rtprogram::isa::Cond;
+use rtprogram::{InputVariant, Program};
+
+/// Specification of a synthetic task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Program name.
+    pub name: String,
+    /// Code base address.
+    pub code_base: u64,
+    /// Data base address.
+    pub data_base: u64,
+    /// Size of the scanned data buffer in words.
+    pub data_words: usize,
+    /// Outer loop iterations.
+    pub outer_iters: u32,
+    /// Inner loop iterations per outer iteration.
+    pub inner_iters: u32,
+    /// Stride between touched words.
+    pub stride_words: usize,
+    /// If `true`, an input-selected branch scans either the lower or the
+    /// upper half of the buffer (two feasible paths, two variants).
+    pub two_paths: bool,
+    /// Straight-line padding instructions inflating the code footprint.
+    pub padding_instrs: usize,
+    /// Seed for the buffer contents.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// A small default spec at the given bases.
+    pub fn new(name: impl Into<String>, code_base: u64, data_base: u64) -> Self {
+        SyntheticSpec {
+            name: name.into(),
+            code_base,
+            data_base,
+            data_words: 256,
+            outer_iters: 4,
+            inner_iters: 32,
+            stride_words: 2,
+            two_paths: true,
+            padding_instrs: 16,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The words one scan arm may touch (half the buffer when
+    /// `two_paths`).
+    fn scan_span(&self) -> usize {
+        if self.two_paths {
+            self.data_words / 2
+        } else {
+            self.data_words
+        }
+    }
+}
+
+/// Generates a synthetic task program from a spec.
+///
+/// The task scans its buffer with the configured stride inside a
+/// `outer × inner` loop nest, accumulating and writing back every touched
+/// word. With [`SyntheticSpec::two_paths`] the `"low"` and `"high"`
+/// variants select disjoint halves of the buffer — a task pair built from
+/// shifted `data_base`s then exercises every interesting CIIP overlap
+/// case.
+///
+/// # Panics
+///
+/// Panics if the scan would leave the buffer
+/// (`inner_iters * stride_words > scan span`) or the buffer is empty.
+pub fn synthetic_task(spec: &SyntheticSpec) -> Program {
+    assert!(spec.data_words > 0, "buffer must be non-empty");
+    assert!(
+        spec.inner_iters as usize * spec.stride_words <= spec.scan_span(),
+        "scan of {}x{} words leaves the {}-word span",
+        spec.inner_iters,
+        spec.stride_words,
+        spec.scan_span()
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = ProgramBuilder::new(spec.name.clone(), spec.code_base, spec.data_base);
+
+    let selector = b.data_words("selector", &[0]);
+    let buffer = b.data_words(
+        "buffer",
+        &(0..spec.data_words).map(|_| rng.random_range(-100..100)).collect::<Vec<i32>>(),
+    );
+    let result = b.data_space("result", 1);
+
+    if spec.two_paths {
+        b.variant(InputVariant::named("low").with_write(selector, 0));
+        b.variant(InputVariant::named("high").with_write(selector, 1));
+    }
+
+    let stride = (4 * spec.stride_words) as i32;
+    let scan = |b: &mut ProgramBuilder, base: u64| {
+        b.li(R4, 0); // acc
+        b.counted_loop(spec.outer_iters, R2, |b| {
+            b.li_addr(R1, base);
+            b.counted_loop(spec.inner_iters, R3, |b| {
+                b.ld(R5, R1, 0);
+                b.add(R4, R4, R5);
+                b.xor(R5, R5, R4);
+                b.st(R5, R1, 0);
+                b.addi(R1, R1, stride);
+            });
+        });
+        b.li_addr(R6, result);
+        b.st(R4, R6, 0);
+    };
+
+    if spec.two_paths {
+        let upper = buffer + 4 * (spec.data_words / 2) as u64;
+        b.li_addr(R7, selector);
+        b.ld(R7, R7, 0);
+        b.if_else(
+            Cond::Eq,
+            R7,
+            R0,
+            |b| scan(b, buffer),
+            |b| scan(b, upper),
+        );
+    } else {
+        scan(&mut b, buffer);
+    }
+
+    // Straight-line padding to inflate the instruction-cache footprint.
+    for i in 0..spec.padding_instrs {
+        match i % 3 {
+            0 => b.addi(R8, R8, 1),
+            1 => b.xor(R9, R9, R8),
+            _ => b.nop(),
+        }
+    }
+
+    b.build().expect("synthetic program is well formed")
+}
+
+/// Generates a family of `count` mutually overlapping synthetic tasks,
+/// highest priority first, with footprints shifted in cache-index space.
+pub fn synthetic_task_set(count: usize, seed: u64) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let mut spec = SyntheticSpec::new(
+                format!("syn{i}"),
+                0x0003_0000 + 0x4000 * i as u64,
+                0x0020_0000 + 0x4800 * i as u64, // 0x4800 % 0x2000 = 0x800 stagger
+            );
+            spec.data_words = 128 + 64 * i;
+            spec.outer_iters = rng.random_range(2..6);
+            spec.inner_iters = rng.random_range(8..32);
+            spec.stride_words = rng.random_range(1..3);
+            spec.seed = rng.random();
+            // Keep the scan inside the buffer.
+            let span = spec.data_words / 2;
+            while spec.inner_iters as usize * spec.stride_words > span {
+                spec.inner_iters /= 2;
+            }
+            synthetic_task(&spec)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtprogram::{AccessKind, Simulator};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn runs_and_writes_result() {
+        let spec = SyntheticSpec::new("s", 0x1000, 0x100000);
+        let p = synthetic_task(&spec);
+        let mut sim = Simulator::new(&p);
+        let t = sim.run_to_halt().unwrap();
+        assert!(t.instructions > 100);
+    }
+
+    #[test]
+    fn variants_touch_disjoint_buffer_halves() {
+        let spec = SyntheticSpec::new("s", 0x1000, 0x100000);
+        let p = synthetic_task(&spec);
+        let buffer = p.symbol("buffer").unwrap();
+        let mid = buffer + 4 * (spec.data_words / 2) as u64;
+        let data_addrs = |variant: usize| -> BTreeSet<u64> {
+            let v = p.variants()[variant].clone();
+            let mut sim = Simulator::with_variant(&p, &v).unwrap();
+            let t = sim.run_to_halt().unwrap();
+            t.accesses
+                .iter()
+                .filter(|a| a.kind != AccessKind::Fetch)
+                .filter(|a| a.addr >= buffer && a.addr < buffer + 4 * spec.data_words as u64)
+                .map(|a| a.addr)
+                .collect()
+        };
+        let low = data_addrs(0);
+        let high = data_addrs(1);
+        assert!(!low.is_empty() && !high.is_empty());
+        assert!(low.iter().all(|a| *a < mid));
+        assert!(high.iter().all(|a| *a >= mid));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = SyntheticSpec::new("s", 0x1000, 0x100000);
+        assert_eq!(synthetic_task(&spec), synthetic_task(&spec));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticSpec::new("s", 0x1000, 0x100000);
+        let mut b2 = a.clone();
+        b2.seed ^= 1;
+        assert_ne!(synthetic_task(&a), synthetic_task(&b2));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the")]
+    fn oversized_scan_rejected() {
+        let mut spec = SyntheticSpec::new("s", 0x1000, 0x100000);
+        spec.inner_iters = 10_000;
+        let _ = synthetic_task(&spec);
+    }
+
+    #[test]
+    fn task_set_members_all_run() {
+        for p in synthetic_task_set(4, 42) {
+            let mut sim = Simulator::new(&p);
+            sim.run_to_halt().unwrap();
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The benchmark workloads — multi-segment, multi-KB programs — must
+//! survive a disassemble/reassemble round trip and behave identically.
+
+use rtprogram::asm::{assemble, disassemble};
+use rtprogram::Simulator;
+
+#[test]
+fn all_workloads_round_trip_through_the_disassembler() {
+    let programs = vec![
+        rtworkloads::mobile_robot(),
+        rtworkloads::edge_detection_with_dim(10),
+        rtworkloads::ofdm_transmitter_with_points(16),
+        rtworkloads::idct(),
+        rtworkloads::adpcm_decoder(),
+        rtworkloads::adpcm_encoder(),
+        rtworkloads::context_switch(),
+    ];
+    for p in programs {
+        let listing = disassemble(&p);
+        let q = assemble(p.name(), &listing)
+            .unwrap_or_else(|e| panic!("{}: reassembly failed: {e}", p.name()));
+        assert_eq!(p.code(), q.code(), "{}", p.name());
+        assert_eq!(p.entry(), q.entry(), "{}", p.name());
+        assert_eq!(p.loop_bounds(), q.loop_bounds(), "{}", p.name());
+        let p_data: Vec<(u64, &[i32])> =
+            p.data_segments().iter().map(|s| (s.base, s.words.as_slice())).collect();
+        let q_data: Vec<(u64, &[i32])> =
+            q.data_segments().iter().map(|s| (s.base, s.words.as_slice())).collect();
+        assert_eq!(p_data, q_data, "{}", p.name());
+        // Identical traces (variants are lost in the listing, so compare
+        // the default run only).
+        let mut sp = Simulator::new(&p);
+        let tp = sp.run_to_halt().expect("original runs");
+        let mut sq = Simulator::new(&q);
+        let tq = sq.run_to_halt().expect("reassembled runs");
+        assert_eq!(tp.instructions, tq.instructions, "{}", p.name());
+        assert_eq!(tp.accesses, tq.accesses, "{}", p.name());
+    }
+}

@@ -1,0 +1,53 @@
+//! The paper's Experiment II scenario: an ADPCM voice coder and decoder
+//! plus an MPEG IDCT kernel, swept across cache-miss penalties to find
+//! where each CRPD approach stops being able to certify the system.
+//!
+//! ```text
+//! cargo run --release --example media_system
+//! ```
+
+use preempt_wcrt::analysis::{analyze_all, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams};
+use preempt_wcrt::cache::CacheGeometry;
+use preempt_wcrt::wcet::TimingModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geometry = CacheGeometry::paper_l1();
+
+    let programs = [
+        preempt_wcrt::workloads::idct(),
+        preempt_wcrt::workloads::adpcm_decoder(),
+        preempt_wcrt::workloads::adpcm_encoder(),
+    ];
+    // Deliberately tight periods: the system is near the schedulability
+    // cliff, so looser CRPD bounds tip tasks over the edge first.
+    let periods = [48_000u64, 110_000, 320_000];
+    let priorities = [2u32, 3, 4];
+
+    println!("schedulability verdict per approach as the miss penalty grows");
+    println!("(✓ = every task provably meets its deadline):\n");
+    println!("{:>6} {:>7} {:>7} {:>7} {:>7}", "Cmiss", "App.1", "App.2", "App.3", "App.4");
+    for cmiss in [10u64, 15, 20, 25, 30, 35, 40] {
+        let model = TimingModel::with_miss_penalty(cmiss);
+        let tasks: Vec<AnalyzedTask> = programs
+            .iter()
+            .zip(periods)
+            .zip(priorities)
+            .map(|((p, period), priority)| {
+                AnalyzedTask::analyze(p, TaskParams { period, priority }, geometry, model)
+            })
+            .collect::<Result<_, _>>()?;
+        let params = WcrtParams { miss_penalty: cmiss, ctx_switch: 400, max_iterations: 10_000 };
+        let mut row = format!("{cmiss:>6}");
+        for approach in CrpdApproach::ALL {
+            let matrix = CrpdMatrix::compute(approach, &tasks);
+            let ok = analyze_all(&tasks, &matrix, &params).iter().all(|r| r.schedulable);
+            row.push_str(&format!(" {:>7}", if ok { "✓" } else { "✗" }));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nA tighter CRPD bound certifies the same hardware at higher miss\n\
+         penalties — the practical payoff of the paper's combined analysis."
+    );
+    Ok(())
+}

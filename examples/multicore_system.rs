@@ -1,0 +1,114 @@
+//! Partitioned multicore (the paper's §IX future work, second item):
+//! assign tasks to cores with first-fit-decreasing, run the per-core
+//! CRPD/WCRT analysis, validate each core against its own co-simulation,
+//! and show how a shared L2 changes the bounds.
+//!
+//! ```text
+//! cargo run --release --example multicore_system
+//! ```
+
+use preempt_wcrt::analysis::{
+    first_fit_assignment, multicore_analyze, AnalyzedTask, SharedL2, TaskParams, WcrtParams,
+};
+use preempt_wcrt::cache::CacheGeometry;
+use preempt_wcrt::sched::{simulate, CacheMode, SchedConfig, SchedTask, VariantPolicy};
+use preempt_wcrt::wcet::{HierarchyTimingModel, TimingModel};
+use preempt_wcrt::workloads::kernels;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let l1 = CacheGeometry::new(64, 2, 16)?; // private 2 KiB L1 per core
+    let model = TimingModel::default();
+
+    let programs = vec![
+        kernels::fir_filter(0x0005_0000, 0x0030_0000, 8, 32),
+        kernels::histogram(0x0005_4000, 0x0030_0400, 256, 32),
+        kernels::crc32(0x0005_8000, 0x0030_0800, 96),
+        kernels::matrix_multiply(0x0005_c000, 0x0030_1000, 8),
+        kernels::insertion_sort(0x0006_0000, 0x0030_2000, 48),
+    ];
+    let periods = [30_000u64, 60_000, 90_000, 200_000, 400_000];
+    let tasks: Vec<AnalyzedTask> = programs
+        .iter()
+        .zip(periods)
+        .zip(1u32..)
+        .map(|((p, period), priority)| {
+            AnalyzedTask::analyze(p, TaskParams { period, priority }, l1, model)
+        })
+        .collect::<Result<_, _>>()?;
+
+    // 1. Place the five tasks on two cores. The capacity cap is tight so
+    // the placement actually spreads the load.
+    let assignment = first_fit_assignment(&tasks, 2, 0.17)?;
+    println!("first-fit-decreasing assignment (capacity 0.17 per core):");
+    for (core, members) in assignment.cores.iter().enumerate() {
+        let names: Vec<&str> = members.iter().map(|i| tasks[*i].name()).collect();
+        println!("  core {core}: {names:?}");
+    }
+
+    // 2. Per-core WCRT analysis (private L1s; no cross-core interference).
+    let params = WcrtParams { miss_penalty: 20, ctx_switch: 300, max_iterations: 10_000 };
+    let reports = multicore_analyze(&tasks, &programs, &assignment, None, &params)?;
+    println!("\nper-core WCRT (private L1s):");
+    for report in &reports {
+        for (task, wcet, result) in &report.tasks {
+            println!(
+                "  core {} {:>10}: C={wcet:>7}  {result}",
+                report.core,
+                tasks[*task].name()
+            );
+        }
+    }
+
+    // 3. Validate each core against an independent co-simulation.
+    for report in &reports {
+        let members = &assignment.cores[report.core];
+        if members.is_empty() {
+            continue;
+        }
+        let sched: Vec<SchedTask> = members
+            .iter()
+            .map(|i| SchedTask::new(programs[*i].clone(), periods[*i], tasks[*i].params().priority))
+            .collect();
+        let horizon = members.iter().map(|i| periods[*i]).max().unwrap_or(1) * 3;
+        let config = SchedConfig {
+            geometry: l1,
+            model,
+            ctx_switch: 300,
+            horizon,
+            variant_policy: VariantPolicy::Worst,
+            cache_mode: CacheMode::Shared, // shared within the core
+            replacement: Default::default(),
+            l2: None,
+        };
+        let sim = simulate(&sched, &config)?;
+        for (k, (task, _, result)) in report.tasks.iter().enumerate() {
+            assert!(
+                sim.tasks[k].max_response <= result.cycles + model.cpi + 2 * model.miss_penalty,
+                "core {} task {}: measured {} > bound {}",
+                report.core,
+                tasks[*task].name(),
+                sim.tasks[k].max_response,
+                result.cycles
+            );
+        }
+    }
+    println!("\nevery core's measured responses stay within its bounds ✓");
+
+    // 4. The same system behind a shared L2.
+    let shared = SharedL2 {
+        geometry: CacheGeometry::new(1024, 8, 16)?,
+        model: HierarchyTimingModel { cpi: 1, l2_penalty: 6, mem_penalty: 40 },
+    };
+    let with_l2 = multicore_analyze(&tasks, &programs, &assignment, Some(shared), &params)?;
+    println!("\nwith a shared 128 KiB L2 (cross-core interference bounded):");
+    for report in &with_l2 {
+        for (task, wcet, result) in &report.tasks {
+            println!(
+                "  core {} {:>10}: C={wcet:>7}  {result}",
+                report.core,
+                tasks[*task].name()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! `preempt-wcrt` — a complete reproduction of *"Timing Analysis for
+//! Preemptive Multi-tasking Real-Time Systems with Caches"* (Tan &
+//! Mooney, DATE 2004) as a Rust workspace.
+//!
+//! This umbrella crate re-exports the workspace's crates under one roof:
+//!
+//! * [`cache`] (`rtcache`) — set-associative cache model, simulator and
+//!   the Cache Index Induced Partition (CIIP) with the Eq. 2/3 conflict
+//!   bounds.
+//! * [`program`] (`rtprogram`) — the TRISC-16 ISA, assembler, structured
+//!   program builder, instruction-set simulator, CFGs and path
+//!   enumeration.
+//! * [`workloads`] (`rtworkloads`) — the paper's six benchmark tasks
+//!   re-implemented for TRISC, plus synthetic task generators.
+//! * [`wcet`] (`rtwcet`) — SYMTA-style WCET estimation.
+//! * [`analysis`] (`crpd`) — the paper's contribution: useful-block
+//!   (intra-task) analysis, inter-task CIIP eviction analysis, path
+//!   analysis of the preempting task, the four CRPD approaches, and the
+//!   Eq. 7 WCRT recurrence.
+//! * [`sched`] (`rtsched`) — the preemptive fixed-priority co-simulation
+//!   measuring actual response times.
+//!
+//! # Quick start
+//!
+//! ```
+//! use preempt_wcrt::analysis::{reload_lines, AnalyzedTask, CrpdApproach, TaskParams};
+//! use preempt_wcrt::cache::CacheGeometry;
+//! use preempt_wcrt::wcet::TimingModel;
+//!
+//! # fn main() -> Result<(), preempt_wcrt::analysis::AnalysisError> {
+//! let geometry = CacheGeometry::paper_l1();
+//! let model = TimingModel::default();
+//! // The preempted task (low priority) and the preempting task (high).
+//! let ofdm = AnalyzedTask::analyze(
+//!     &preempt_wcrt::workloads::ofdm_transmitter_with_points(16),
+//!     TaskParams { period: 4_000_000, priority: 4 },
+//!     geometry,
+//!     model,
+//! )?;
+//! let mr = AnalyzedTask::analyze(
+//!     &preempt_wcrt::workloads::mobile_robot(),
+//!     TaskParams { period: 350_000, priority: 2 },
+//!     geometry,
+//!     model,
+//! )?;
+//! // How many cache lines must OFDM reload after one MR preemption?
+//! let bound = reload_lines(CrpdApproach::Combined, &ofdm, &mr);
+//! assert!(bound <= reload_lines(CrpdApproach::AllPreemptingLines, &ofdm, &mr));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and the `repro` binary
+//! (`cargo run --release -p rtbench --bin repro -- all`) for the paper's
+//! tables and figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The CRPD/WCRT analysis (re-export of the `crpd` crate).
+pub use crpd as analysis;
+/// Cache modelling (re-export of `rtcache`).
+pub use rtcache as cache;
+/// Program substrate (re-export of `rtprogram`).
+pub use rtprogram as program;
+/// Scheduler co-simulation (re-export of `rtsched`).
+pub use rtsched as sched;
+/// WCET estimation (re-export of `rtwcet`).
+pub use rtwcet as wcet;
+/// Benchmark workloads (re-export of `rtworkloads`).
+pub use rtworkloads as workloads;

@@ -1,0 +1,139 @@
+//! The kernel library driven through the whole pipeline: WCET, CRPD
+//! bounds, WCRT and measured responses — including the stress cases the
+//! paper's analysis must stay sound on (data-dependent addressing in the
+//! histogram, data-dependent control flow in the sort).
+
+use preempt_wcrt::analysis::{
+    analyze_all, reload_lines, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams,
+};
+use preempt_wcrt::cache::CacheGeometry;
+use preempt_wcrt::sched::{simulate, CacheMode, SchedConfig, SchedTask, VariantPolicy};
+use preempt_wcrt::wcet::{estimate_wcet, structural_wcet_bound, TimingModel};
+use preempt_wcrt::workloads::kernels;
+
+const DATA_LO: u64 = 0x0030_0000;
+const DATA_HI: u64 = 0x0030_0400; // overlapping index range on small caches
+
+fn all_kernels() -> Vec<preempt_wcrt::program::Program> {
+    vec![
+        kernels::fir_filter(0x0005_0000, DATA_LO, 8, 32),
+        kernels::matrix_multiply(0x0005_4000, DATA_LO, 8),
+        kernels::crc32(0x0005_8000, DATA_LO, 64),
+        kernels::histogram(0x0005_c000, DATA_LO, 128, 16),
+        kernels::insertion_sort(0x0006_0000, DATA_LO, 32),
+    ]
+}
+
+#[test]
+fn kernels_have_sound_wcet_bounds() {
+    let g = CacheGeometry::new(64, 2, 16).unwrap();
+    let model = TimingModel::default();
+    for p in all_kernels() {
+        let est = estimate_wcet(&p, g, model).unwrap();
+        let bound = structural_wcet_bound(&p, model, 1).unwrap();
+        assert!(
+            bound >= est.cycles,
+            "{}: structural {} < simulated {}",
+            p.name(),
+            bound,
+            est.cycles
+        );
+    }
+}
+
+#[test]
+fn sort_wcet_comes_from_the_scrambled_path() {
+    let g = CacheGeometry::new(64, 2, 16).unwrap();
+    let p = kernels::insertion_sort(0x0006_0000, DATA_LO, 32);
+    let est = estimate_wcet(&p, g, TimingModel::default()).unwrap();
+    assert_eq!(est.worst_variant, "scrambled");
+}
+
+#[test]
+fn kernel_crpd_orderings_hold() {
+    let g = CacheGeometry::new(64, 2, 16).unwrap();
+    let model = TimingModel::default();
+    let hi = AnalyzedTask::analyze(
+        &kernels::fir_filter(0x0007_0000, DATA_HI, 4, 16),
+        TaskParams { period: 20_000, priority: 1 },
+        g,
+        model,
+    )
+    .unwrap();
+    for p in all_kernels() {
+        let lo = AnalyzedTask::analyze(
+            &p,
+            TaskParams { period: 10_000_000, priority: 2 },
+            g,
+            model,
+        )
+        .unwrap();
+        let a1 = reload_lines(CrpdApproach::AllPreemptingLines, &lo, &hi);
+        let a2 = reload_lines(CrpdApproach::InterTask, &lo, &hi);
+        let a3 = reload_lines(CrpdApproach::UsefulBlocks, &lo, &hi);
+        let a4 = reload_lines(CrpdApproach::Combined, &lo, &hi);
+        assert!(a4 <= a2 && a4 <= a3 && a2 <= a1, "{}: {a1}/{a2}/{a3}/{a4}", p.name());
+    }
+}
+
+#[test]
+fn kernel_system_art_within_bounds() {
+    let g = CacheGeometry::new(64, 2, 16).unwrap();
+    let model = TimingModel::default();
+    let programs = [
+        kernels::fir_filter(0x0007_0000, DATA_HI, 4, 16),
+        kernels::histogram(0x0005_c000, DATA_LO, 128, 16),
+        kernels::insertion_sort(0x0006_0000, DATA_LO + 0x1000, 32),
+    ];
+    // Periods sized from solo WCETs.
+    let wcets: Vec<u64> = programs
+        .iter()
+        .map(|p| estimate_wcet(p, g, model).unwrap().cycles)
+        .collect();
+    let periods = [wcets[0] * 6, wcets[1] * 10, wcets[2] * 30];
+    let tasks: Vec<AnalyzedTask> = programs
+        .iter()
+        .zip(periods)
+        .zip([1u32, 2, 3])
+        .map(|((p, period), priority)| {
+            AnalyzedTask::analyze(p, TaskParams { period, priority }, g, model).unwrap()
+        })
+        .collect();
+    let params = WcrtParams { miss_penalty: 20, ctx_switch: 200, max_iterations: 10_000 };
+    let matrix = CrpdMatrix::compute(CrpdApproach::Combined, &tasks);
+    let bounds = analyze_all(&tasks, &matrix, &params);
+    let config = SchedConfig {
+        geometry: g,
+        model,
+        ctx_switch: 200,
+        horizon: periods[2] * 3,
+        variant_policy: VariantPolicy::Worst,
+        cache_mode: CacheMode::Shared,
+        replacement: Default::default(),
+        l2: None,
+    };
+    let sched: Vec<SchedTask> = programs
+        .iter()
+        .zip(periods)
+        .zip([1u32, 2, 3])
+        .map(|((p, period), priority)| SchedTask::new(p.clone(), period, priority))
+        .collect();
+    let report = simulate(&sched, &config).unwrap();
+    let slack = model.cpi + 2 * model.miss_penalty;
+    for (i, r) in bounds.iter().enumerate() {
+        assert!(report.tasks[i].completed > 0);
+        if r.schedulable {
+            assert!(
+                report.tasks[i].max_response <= r.cycles + slack,
+                "{}: ART {} > bound {}",
+                report.tasks[i].name,
+                report.tasks[i].max_response,
+                r.cycles
+            );
+        }
+    }
+    assert!(
+        report.tasks.iter().skip(1).any(|t| t.preemptions > 0),
+        "the system must actually preempt for this test to mean anything"
+    );
+}

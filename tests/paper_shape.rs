@@ -1,0 +1,144 @@
+//! Integration tests asserting the *shape* of the paper's results on
+//! scaled-down experiments: the orderings among the four approaches
+//! (Table II), the WCRT orderings (Tables III/V) and the worked examples
+//! (Examples 2–4).
+
+use preempt_wcrt::analysis::{
+    analyze_all, reload_lines, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams,
+};
+use preempt_wcrt::cache::{CacheGeometry, Ciip};
+use preempt_wcrt::wcet::TimingModel;
+
+fn analyze(p: &preempt_wcrt::program::Program, period: u64, priority: u32) -> AnalyzedTask {
+    AnalyzedTask::analyze(
+        p,
+        TaskParams { period, priority },
+        CacheGeometry::paper_l1(),
+        TimingModel::default(),
+    )
+    .expect("workload analyzes")
+}
+
+/// A scaled-down Experiment I (small image and FFT keep debug-mode tests
+/// fast) in priority order MR, ED, OFDM.
+fn small_exp1() -> Vec<AnalyzedTask> {
+    vec![
+        analyze(&preempt_wcrt::workloads::mobile_robot(), 100_000, 2),
+        analyze(&preempt_wcrt::workloads::edge_detection_with_dim(12), 400_000, 3),
+        analyze(&preempt_wcrt::workloads::ofdm_transmitter_with_points(16), 2_000_000, 4),
+    ]
+}
+
+#[test]
+fn table2_shape_combined_is_tightest() {
+    let tasks = small_exp1();
+    // Every preemption pair of the experiment.
+    for (i, j) in [(2usize, 0usize), (2, 1), (1, 0)] {
+        let (lo, hi) = (&tasks[i], &tasks[j]);
+        let a1 = reload_lines(CrpdApproach::AllPreemptingLines, lo, hi);
+        let a2 = reload_lines(CrpdApproach::InterTask, lo, hi);
+        let a3 = reload_lines(CrpdApproach::UsefulBlocks, lo, hi);
+        let a4 = reload_lines(CrpdApproach::Combined, lo, hi);
+        assert!(a4 <= a2, "pair ({i},{j}): App4 {a4} > App2 {a2}");
+        assert!(a4 <= a3, "pair ({i},{j}): App4 {a4} > App3 {a3}");
+        assert!(a2 <= a1, "pair ({i},{j}): App2 {a2} > App1 {a1} (Eq.2 is bounded by the preemptor footprint)");
+        assert!(a1 > 0 && a4 > 0, "pair ({i},{j}): overlapping tasks must conflict");
+    }
+}
+
+#[test]
+fn wcrt_ordering_across_approaches() {
+    let tasks = small_exp1();
+    let params = WcrtParams { miss_penalty: 40, ctx_switch: 400, max_iterations: 10_000 };
+    let results: Vec<Vec<_>> = CrpdApproach::ALL
+        .iter()
+        .map(|a| analyze_all(&tasks, &CrpdMatrix::compute(*a, &tasks), &params))
+        .collect();
+    for t in 0..tasks.len() {
+        // All converged here, so monotonicity must hold exactly.
+        for r in &results {
+            assert!(r[t].schedulable, "small experiment must be schedulable");
+        }
+        assert!(results[3][t].cycles <= results[1][t].cycles);
+        assert!(results[3][t].cycles <= results[2][t].cycles);
+        assert!(results[3][t].cycles <= results[0][t].cycles);
+    }
+    // The highest-priority task is never preempted: its WCRT is its WCET
+    // under every approach.
+    for r in &results {
+        assert_eq!(r[0].cycles, tasks[0].wcet());
+    }
+}
+
+#[test]
+fn wcrt_grows_with_miss_penalty() {
+    let tasks = small_exp1();
+    let mut last = 0;
+    for cmiss in [10u64, 20, 30, 40] {
+        let params = WcrtParams { miss_penalty: cmiss, ctx_switch: 400, max_iterations: 10_000 };
+        let matrix = CrpdMatrix::compute(CrpdApproach::Combined, &tasks);
+        let r = analyze_all(&tasks, &matrix, &params);
+        assert!(r[2].cycles >= last, "OFDM WCRT must grow with Cmiss");
+        last = r[2].cycles;
+    }
+}
+
+#[test]
+fn paper_example2_cache_split() {
+    let g = CacheGeometry::example2();
+    assert_eq!(g.size_bytes(), 1024);
+    assert_eq!(g.index_of_addr(0x011).as_u32(), 1);
+    assert_eq!(g.block_of_addr(0x011).number(), 1);
+}
+
+#[test]
+fn paper_example4_bound_is_four() {
+    let g = CacheGeometry::example2();
+    let m1 = Ciip::from_addrs(g, [0x000u64, 0x100, 0x010, 0x110, 0x210]);
+    let m2 = Ciip::from_addrs(g, [0x200u64, 0x310, 0x410, 0x510]);
+    assert_eq!(m1.overlap_bound(&m2), 4);
+}
+
+#[test]
+fn section2_counterexample_disjoint_tasks() {
+    // §II: "if the cache lines used by the preempted task and the
+    // preempting task are completely disjoint, the cache reload cost is
+    // zero" — yet Lee's approach (App. 3) still charges the useful blocks.
+    use preempt_wcrt::workloads::synthetic::{synthetic_task, SyntheticSpec};
+    let g = CacheGeometry::paper_l1();
+    let model = TimingModel::default();
+    let mut lo_spec = SyntheticSpec::new("lo", 0x0001_0000, 0x0010_0000);
+    lo_spec.two_paths = false;
+    let mut hi_spec = SyntheticSpec::new("hi", 0x0001_1000, 0x0010_1000);
+    hi_spec.two_paths = false;
+    let lo = AnalyzedTask::analyze(
+        &synthetic_task(&lo_spec),
+        TaskParams { period: 1_000_000, priority: 3 },
+        g,
+        model,
+    )
+    .expect("analyzes");
+    let hi = AnalyzedTask::analyze(
+        &synthetic_task(&hi_spec),
+        TaskParams { period: 100_000, priority: 2 },
+        g,
+        model,
+    )
+    .expect("analyzes");
+    assert_eq!(reload_lines(CrpdApproach::Combined, &lo, &hi), 0);
+    assert_eq!(reload_lines(CrpdApproach::InterTask, &lo, &hi), 0);
+    assert!(reload_lines(CrpdApproach::UsefulBlocks, &lo, &hi) > 0);
+    assert!(reload_lines(CrpdApproach::AllPreemptingLines, &lo, &hi) > 0);
+}
+
+#[test]
+fn ed_paths_have_different_footprints() {
+    // Fig. 4 / Example 5: only one of the Sobel/Cauchy SFP-Prs executes
+    // per run, and they touch different memory.
+    let ed = analyze(&preempt_wcrt::workloads::edge_detection_with_dim(12), 400_000, 3);
+    let paths = ed.paths();
+    assert_eq!(paths.len(), 2);
+    let sobel = &paths[0].blocks;
+    let cauchy = &paths[1].blocks;
+    assert!(cauchy.block_count() > sobel.block_count(), "cauchy reads extra tables");
+}

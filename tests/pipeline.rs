@@ -1,0 +1,159 @@
+//! End-to-end pipeline tests: assembly text → program → trace → analysis
+//! → scheduling, exercising the public API the way a downstream user
+//! would.
+
+use preempt_wcrt::analysis::{
+    analyze_all, reload_lines, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams,
+};
+use preempt_wcrt::cache::CacheGeometry;
+use preempt_wcrt::program::asm::assemble;
+use preempt_wcrt::program::Simulator;
+use preempt_wcrt::sched::{simulate, CacheMode, SchedConfig, SchedTask, VariantPolicy};
+use preempt_wcrt::wcet::{estimate_wcet, structural_wcet_bound, TimingModel};
+
+/// A memset-style task written in assembly.
+const WRITER: &str = r#"
+    .text 0x40000
+    .data 0x160000
+buf: .space 128
+    .text
+start:
+    li   r1, buf
+    li   r2, 128
+loop:
+    st   r2, 0(r1)
+    addi r1, r1, 4
+    addi r2, r2, -1
+    bne  r2, r0, loop
+    .bound loop, 128
+    halt
+"#;
+
+/// A checksum task over the same index range (different tag).
+const READER: &str = r#"
+    .text 0x42000
+    .data 0x162000
+src: .word 5, 4, 3, 2, 1
+acc: .space 1
+    .text
+start:
+    li   r1, src
+    li   r2, 0
+    li   r3, 5
+loop:
+    ld   r4, 0(r1)
+    add  r2, r2, r4
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bne  r3, r0, loop
+    .bound loop, 5
+    li   r5, acc
+    st   r2, 0(r5)
+    ; second pass re-reads the words (creates useful blocks)
+    li   r1, src
+    li   r3, 5
+loop2:
+    ld   r4, 0(r1)
+    xor  r2, r2, r4
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bne  r3, r0, loop2
+    .bound loop2, 5
+    st   r2, 0(r5)
+    halt
+"#;
+
+#[test]
+fn assemble_analyze_schedule_round_trip() {
+    let geometry = CacheGeometry::new(64, 2, 16).unwrap();
+    let model = TimingModel::default();
+
+    let writer = assemble("writer", WRITER).expect("assembles");
+    let reader = assemble("reader", READER).expect("assembles");
+
+    // Functional check through the simulator.
+    let mut sim = Simulator::new(&reader);
+    sim.run_to_halt().expect("runs");
+    assert_eq!(sim.memory().read(reader.symbol("acc").unwrap()).unwrap(), 15 ^ 5 ^ 4 ^ 3 ^ 2 ^ 1);
+
+    // WCET estimates are consistent.
+    let w = estimate_wcet(&writer, geometry, model).expect("estimates");
+    assert_eq!(w.instructions, 2 + 128 * 4 + 1); // li, li, 128x(st,addi,addi,bne), halt
+    let bound = structural_wcet_bound(&writer, model, 1).expect("bounds");
+    assert!(bound >= w.cycles);
+
+    // Cross-task CRPD: both tasks' data lands in overlapping sets (bases
+    // 0x160000 vs 0x162000 differ by exactly two index periods of the
+    // 1 KiB cache => fully aliased).
+    let lo = AnalyzedTask::analyze(
+        &writer,
+        TaskParams { period: 100_000, priority: 2 },
+        geometry,
+        model,
+    )
+    .expect("analyzes");
+    let hi = AnalyzedTask::analyze(
+        &reader,
+        TaskParams { period: 10_000, priority: 1 },
+        geometry,
+        model,
+    )
+    .expect("analyzes");
+    let a4 = reload_lines(CrpdApproach::Combined, &lo, &hi);
+    let a1 = reload_lines(CrpdApproach::AllPreemptingLines, &lo, &hi);
+    assert!(a4 <= a1);
+
+    // WCRT and a matching simulation.
+    let tasks = vec![hi, lo];
+    let matrix = CrpdMatrix::compute(CrpdApproach::Combined, &tasks);
+    let params = WcrtParams { miss_penalty: 20, ctx_switch: 100, max_iterations: 1000 };
+    let results = analyze_all(&tasks, &matrix, &params);
+    assert!(results.iter().all(|r| r.schedulable));
+
+    let config = SchedConfig {
+        geometry,
+        model,
+        ctx_switch: 100,
+        horizon: 200_000,
+        variant_policy: VariantPolicy::Worst,
+        cache_mode: CacheMode::Shared,
+        replacement: Default::default(),
+        l2: None,
+    };
+    let report = simulate(
+        &[
+            SchedTask::new(reader.clone(), 10_000, 1),
+            SchedTask::new(writer.clone(), 100_000, 2),
+        ],
+        &config,
+    )
+    .expect("simulates");
+    let slack = model.cpi + 2 * model.miss_penalty;
+    for (i, tr) in report.tasks.iter().enumerate() {
+        assert!(tr.completed > 0);
+        assert!(tr.max_response <= results[i].cycles + slack, "{}", tr.name);
+    }
+}
+
+#[test]
+fn umbrella_reexports_are_consistent() {
+    // The umbrella crate's modules are the workspace crates.
+    let g = preempt_wcrt::cache::CacheGeometry::paper_l1();
+    assert_eq!(g, rtcache::CacheGeometry::paper_l1());
+    let p = preempt_wcrt::workloads::mobile_robot();
+    assert_eq!(p.name(), "mr");
+}
+
+#[test]
+fn experiment_builders_return_priority_ordered_sets() {
+    let e1 = preempt_wcrt::workloads::experiment1();
+    assert_eq!(
+        e1.iter().map(|p| p.name()).collect::<Vec<_>>(),
+        vec!["mr", "ed", "ofdm"]
+    );
+    let e2 = preempt_wcrt::workloads::experiment2();
+    assert_eq!(
+        e2.iter().map(|p| p.name()).collect::<Vec<_>>(),
+        vec!["idct", "adpcmd", "adpcmc"]
+    );
+}

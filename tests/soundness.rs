@@ -1,0 +1,232 @@
+//! Ground-truth soundness checks: WCRT estimates must dominate measured
+//! actual response times, per-preemption reload bounds must dominate
+//! measured reloads, and the dataflow useful-block formulation must
+//! dominate the exact one.
+
+use preempt_wcrt::analysis::{
+    analyze_all, dataflow_useful, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams,
+};
+use preempt_wcrt::cache::CacheGeometry;
+use preempt_wcrt::sched::{simulate, CacheMode, SchedConfig, SchedTask, VariantPolicy};
+use preempt_wcrt::wcet::TimingModel;
+use preempt_wcrt::workloads::synthetic::{synthetic_task, SyntheticSpec};
+
+/// Builds a three-task synthetic system with heavy index overlap (data
+/// bases staggered within one index period) and tight periods.
+fn synthetic_system(seed: u64) -> Vec<(preempt_wcrt::program::Program, u64, u32)> {
+    let mut programs = Vec::new();
+    for i in 0..3usize {
+        let mut spec = SyntheticSpec::new(
+            format!("syn{i}"),
+            0x0001_0000 + 0x0400 * i as u64,
+            0x0010_0000 + 0x0300 * i as u64,
+        );
+        spec.seed = seed.wrapping_add(i as u64);
+        spec.data_words = 192 + 64 * i;
+        spec.outer_iters = 3 + i as u32;
+        spec.inner_iters = 24;
+        spec.stride_words = 1;
+        programs.push(synthetic_task(&spec));
+    }
+    // Probe solo WCETs to size the periods (hp shortest).
+    let g = CacheGeometry::new(64, 2, 16).unwrap();
+    let model = TimingModel::default();
+    programs
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let wcet =
+                preempt_wcrt::wcet::estimate_wcet(&p, g, model).expect("analyzes").cycles;
+            // Periods 4x/8x/16x the WCET: plenty of preemption, still
+            // schedulable.
+            let period = wcet * (4 << i);
+            (p, period, 2 + i as u32)
+        })
+        .collect()
+}
+
+/// The central guarantee: for every approach, on every geometry tried, no
+/// measured response exceeds a converged WCRT estimate (plus the
+/// one-instruction blocking slack: releases take effect at instruction
+/// boundaries, so a releasing task can wait out one in-flight instruction
+/// — at most `cpi + 2·Cmiss` cycles — which Eq. 6/7, like the paper,
+/// does not model).
+#[test]
+fn art_never_exceeds_converged_wcrt() {
+    for (geom_sets, geom_ways) in [(64u32, 2u32), (128, 4), (512, 4)] {
+        let geometry = CacheGeometry::new(geom_sets, geom_ways, 16).unwrap();
+        let model = TimingModel::default();
+        for seed in [1u64, 42, 2026] {
+            let system = synthetic_system(seed);
+            let tasks: Vec<AnalyzedTask> = system
+                .iter()
+                .map(|(p, period, prio)| {
+                    AnalyzedTask::analyze(
+                        p,
+                        TaskParams { period: *period, priority: *prio },
+                        geometry,
+                        model,
+                    )
+                    .expect("analyzes")
+                })
+                .collect();
+            let sched: Vec<SchedTask> = system
+                .iter()
+                .map(|(p, period, prio)| SchedTask::new(p.clone(), *period, *prio))
+                .collect();
+            let config = SchedConfig {
+                geometry,
+                model,
+                ctx_switch: 300,
+                horizon: system.last().unwrap().1 * 3,
+                variant_policy: VariantPolicy::Worst,
+                cache_mode: CacheMode::Shared,
+                replacement: Default::default(),
+        l2: None,
+            };
+            let report = simulate(&sched, &config).expect("simulates");
+            let params =
+                WcrtParams { miss_penalty: 20, ctx_switch: 300, max_iterations: 10_000 };
+            for approach in CrpdApproach::ALL {
+                let matrix = CrpdMatrix::compute(approach, &tasks);
+                let results = analyze_all(&tasks, &matrix, &params);
+                let blocking_slack = model.cpi + 2 * model.miss_penalty;
+                for (i, r) in results.iter().enumerate() {
+                    if r.schedulable {
+                        assert!(
+                            report.tasks[i].max_response <= r.cycles + blocking_slack,
+                            "seed {seed}, {geom_sets}x{geom_ways}, {}: \
+                             ART {} > {approach} WCRT {} (+slack {blocking_slack})",
+                            report.tasks[i].name,
+                            report.tasks[i].max_response,
+                            r.cycles
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-preemption reload measurements must respect the Eq. 4 bound when a
+/// single preemptor is involved (two-task systems avoid nesting).
+#[test]
+fn measured_reloads_respect_combined_bound() {
+    let geometry = CacheGeometry::new(64, 2, 16).unwrap();
+    let model = TimingModel::default();
+    for seed in [7u64, 99, 12345] {
+        let system = synthetic_system(seed);
+        // Two tasks only: the high and the low, so every preemption is
+        // un-nested and pairwise attribution is exact.
+        let (hi_p, _, _) = &system[0];
+        let (lo_p, lo_period, _) = &system[2];
+        let hi_period = system[0].1 / 2; // press harder
+        let hi = AnalyzedTask::analyze(
+            hi_p,
+            TaskParams { period: hi_period, priority: 1 },
+            geometry,
+            model,
+        )
+        .expect("analyzes");
+        let lo = AnalyzedTask::analyze(
+            lo_p,
+            TaskParams { period: *lo_period, priority: 2 },
+            geometry,
+            model,
+        )
+        .expect("analyzes");
+        let bound = preempt_wcrt::analysis::reload_lines(CrpdApproach::Combined, &lo, &hi);
+        let config = SchedConfig {
+            geometry,
+            model,
+            ctx_switch: 0,
+            horizon: lo_period * 3,
+            variant_policy: VariantPolicy::Worst,
+            cache_mode: CacheMode::Shared,
+            replacement: Default::default(),
+        l2: None,
+        };
+        let report = simulate(
+            &[
+                SchedTask::new(hi_p.clone(), hi_period, 1),
+                SchedTask::new(lo_p.clone(), *lo_period, 2),
+            ],
+            &config,
+        )
+        .expect("simulates");
+        assert!(
+            report.tasks[1].preemptions > 0,
+            "seed {seed}: the test needs real preemptions"
+        );
+        for p in &report.preemptions {
+            assert!(
+                p.reloaded_lines <= bound,
+                "seed {seed}: measured reload {} > combined bound {bound}",
+                p.reloaded_lines
+            );
+        }
+    }
+}
+
+/// Lee's RMB/LMB dataflow over-approximates the exact useful blocks *at
+/// basic-block entry points* (the only execution points it evaluates).
+/// The exact sweep also sees mid-block points, so the comparison is made
+/// per node entry: every exact-useful block at a node entry must be in
+/// the dataflow's useful set for that node.
+#[test]
+fn dataflow_contains_exact_useful_at_node_entries() {
+    use preempt_wcrt::analysis::UsefulTrace;
+    use preempt_wcrt::program::cfg::Cfg;
+    use preempt_wcrt::program::AccessKind;
+
+    let geometry = CacheGeometry::new(128, 2, 16).unwrap();
+    let mut programs = vec![
+        preempt_wcrt::workloads::mobile_robot(),
+        preempt_wcrt::workloads::context_switch(),
+    ];
+    for seed in [3u64, 17, 404] {
+        let mut spec = SyntheticSpec::new("s", 0x0001_0000, 0x0010_0000);
+        spec.seed = seed;
+        programs.push(synthetic_task(&spec));
+    }
+    for p in programs {
+        let cfg = Cfg::from_program(&p);
+        let df = dataflow_useful(&p, geometry).expect("analyzes");
+        for variant in p.variants() {
+            let trace =
+                preempt_wcrt::program::sim::trace_variant(&p, variant).expect("runs");
+            let exact = UsefulTrace::from_trace(&trace, geometry);
+            // Positions in the trace where a basic block is entered.
+            let entries: Vec<(usize, preempt_wcrt::program::BlockId)> = trace
+                .accesses
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.kind == AccessKind::Fetch)
+                .filter_map(|(pos, a)| {
+                    let b = cfg.block_containing(a.pc)?;
+                    (cfg.block(b).start == a.pc).then_some((pos, b))
+                })
+                .collect();
+            // Sample up to 200 entries spread over the trace.
+            let step = (entries.len() / 200).max(1);
+            for (pos, node) in entries.into_iter().step_by(step) {
+                let exact_set = exact.useful_at(pos);
+                let df_set = df
+                    .points
+                    .iter()
+                    .find(|(b, _)| *b == node)
+                    .map(|(_, c)| c)
+                    .unwrap_or_else(|| panic!("{}: node {node} missing", p.name()));
+                for block in exact_set.blocks() {
+                    assert!(
+                        df_set.contains(block),
+                        "{} variant {}: exact useful block {block} at {node} \
+                         entry (pos {pos}) missing from dataflow set",
+                        p.name(),
+                        variant.name
+                    );
+                }
+            }
+        }
+    }
+}
