@@ -72,11 +72,9 @@ fn bench_approaches_and_wcrt(c: &mut Criterion) {
     let ed = analyzed(&rtworkloads::edge_detection_with_dim(12), 3);
     let mut group = c.benchmark_group("reload_lines");
     for approach in CrpdApproach::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(approach.label()),
-            &approach,
-            |b, a| b.iter(|| reload_lines(*a, black_box(&ed), black_box(&mr))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(approach.label()), &approach, |b, a| {
+            b.iter(|| reload_lines(*a, black_box(&ed), black_box(&mr)))
+        });
     }
     group.finish();
 

@@ -18,19 +18,15 @@ fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_sim");
     group.throughput(Throughput::Elements(accesses.len() as u64));
     for policy in ReplacementPolicy::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy),
-            &policy,
-            |b, policy| {
-                b.iter(|| {
-                    let mut cache = CacheSim::with_policy(g, *policy);
-                    for a in &accesses {
-                        black_box(cache.access_block(*a));
-                    }
-                    cache.stats()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, policy| {
+            b.iter(|| {
+                let mut cache = CacheSim::with_policy(g, *policy);
+                for a in &accesses {
+                    black_box(cache.access_block(*a));
+                }
+                cache.stats()
+            })
+        });
     }
     group.finish();
 }

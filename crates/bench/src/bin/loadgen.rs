@@ -1,0 +1,193 @@
+//! Load generator for the `rtserver` analysis daemon.
+//!
+//! ```text
+//! # Against a running server:
+//! trisc serve --port 7227 &
+//! cargo run --release -p rtbench --bin loadgen -- --addr 127.0.0.1:7227
+//!
+//! # Self-contained (spawns an in-process server on an ephemeral port):
+//! cargo run --release -p rtbench --bin loadgen -- --connections 8 --requests 200
+//! ```
+//!
+//! Opens `--connections` concurrent client connections, each sending
+//! `--requests` pipelined `wcrt` requests for the same two-task system,
+//! then prints client-side throughput and latency percentiles next to
+//! the server's own `metrics` snapshot. Because every request carries
+//! the same spec, steady-state traffic should be served almost entirely
+//! from the artifact cache — the hit/miss line is the point of the tool.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rtcli::ServeOptions;
+use rtserver::json::Json;
+use rtserver::Server;
+
+const SPEC: &str = "cache 64 2 16\ncmiss 20\nccs 50\ntask hi hi.s 5000 1\ntask lo lo.s 50000 2\n";
+const TASK_HI: &str = ".data 0x100000\nbuf: .word 1,2,3,4\n.text 0x1000\nstart: li r1, buf\nli r3, 4\nloop: ld r2, 0(r1)\naddi r1, r1, 4\naddi r3, r3, -1\nbne r3, r0, loop\n.bound loop, 4\nhalt\n";
+const TASK_LO: &str = ".data 0x100400\nbuf: .word 7,8\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\nld r4, 4(r1)\nadd r2, r2, r4\nhalt\n";
+
+struct Options {
+    addr: Option<String>,
+    connections: usize,
+    requests: usize,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options { addr: None, connections: 4, requests: 100 };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--connections" => {
+                opts.connections =
+                    value("--connections")?.parse().map_err(|e| format!("--connections: {e}"))?;
+            }
+            "--requests" => {
+                opts.requests =
+                    value("--requests")?.parse().map_err(|e| format!("--requests: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if opts.connections == 0 || opts.requests == 0 {
+        return Err("--connections and --requests must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+fn wcrt_request(id: u64) -> String {
+    Json::obj([
+        ("id", Json::from(id)),
+        ("cmd", Json::from("wcrt")),
+        ("spec", Json::from(SPEC)),
+        ("sources", Json::obj([("hi.s", Json::from(TASK_HI)), ("lo.s", Json::from(TASK_LO))])),
+    ])
+    .encode()
+}
+
+/// One client connection: sends `requests` wcrt requests back-to-back and
+/// returns per-request latencies in microseconds.
+fn client(addr: &str, requests: usize) -> Result<Vec<u64>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(requests);
+    for id in 0..requests {
+        let started = Instant::now();
+        writeln!(writer, "{}", wcrt_request(id as u64)).map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let reply = Json::parse(line.trim_end()).map_err(|e| e.to_string())?;
+        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("request {id} failed: {line}"));
+        }
+        latencies.push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    Ok(latencies)
+}
+
+fn one_shot(addr: &str, line: &str) -> Result<Json, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{line}").and_then(|()| writer.flush()).map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply).map_err(|e| e.to_string())?;
+    Json::parse(reply.trim_end()).map_err(|e| e.to_string())
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_options()?;
+
+    // Without --addr, run a server inside this process on an ephemeral
+    // port so the tool works out of the box.
+    let (addr, local) = match &opts.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let serve = ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 4 };
+            let handle = Server::spawn(&serve).map_err(|e| format!("spawn server: {e}"))?;
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    println!(
+        "loadgen: {} connections x {} wcrt requests against {addr}{}",
+        opts.connections,
+        opts.requests,
+        if local.is_some() { " (in-process server)" } else { "" },
+    );
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..opts.connections)
+        .map(|_| {
+            let addr = addr.clone();
+            let requests = opts.requests;
+            std::thread::spawn(move || client(&addr, requests))
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for worker in workers {
+        latencies.extend(worker.join().map_err(|_| "client thread panicked")??);
+    }
+    let elapsed = started.elapsed();
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    println!(
+        "client side: {total} ok in {:.2?} ({:.0} req/s), latency p50 {} us / p95 {} us / p99 {} us",
+        elapsed,
+        total as f64 / elapsed.as_secs_f64(),
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+
+    let reply = one_shot(&addr, r#"{"cmd":"metrics"}"#)?;
+    let metrics = reply.get("metrics").ok_or("metrics reply missing payload")?;
+    let cache = metrics.get("artifact_cache").ok_or("metrics missing artifact_cache")?;
+    let field = |json: &Json, key: &str| json.get(key).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "server side: artifact cache {} hits / {} misses / {} entries, uptime {} s",
+        field(cache, "hits"),
+        field(cache, "misses"),
+        field(cache, "entries"),
+        field(metrics, "uptime_secs"),
+    );
+    if let Some(wcrt) = metrics.get("endpoints").and_then(|e| e.get("wcrt")) {
+        println!(
+            "server side: wcrt {} requests ({} errors), p50 <= {} us / p95 <= {} us / p99 <= {} us",
+            field(wcrt, "requests"),
+            field(wcrt, "errors"),
+            field(wcrt, "p50_us"),
+            field(wcrt, "p95_us"),
+            field(wcrt, "p99_us"),
+        );
+    }
+
+    if let Some(handle) = local {
+        one_shot(&addr, r#"{"cmd":"shutdown"}"#)?;
+        handle.join().map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            eprintln!("usage: loadgen [--addr HOST:PORT] [--connections N] [--requests M]");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -23,8 +23,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
     let known = [
-        "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig3",
-        "fig4", "fig5", "ablation", "extension", "all",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "ablation",
+        "extension",
+        "all",
     ];
     if !known.contains(&what) {
         eprintln!("usage: repro [{}]", known.join("|"));
@@ -35,8 +47,7 @@ fn main() {
     println!("# Tan & Mooney (DATE 2004) reproduction — {geometry}\n");
 
     // Experiments are built lazily; several targets share them.
-    let needs_exp1 = run_all
-        || ["table1", "table2", "table3", "table4", "fig1"].contains(&what);
+    let needs_exp1 = run_all || ["table1", "table2", "table3", "table4", "fig1"].contains(&what);
     let needs_exp2 = run_all || ["table1", "table2", "table5", "table6"].contains(&what);
     let exp1 = needs_exp1.then(|| Experiment::build(&experiment1_spec(), geometry));
     let exp2 = needs_exp2.then(|| Experiment::build(&experiment2_spec(), geometry));
@@ -44,10 +55,8 @@ fn main() {
     if run_all || what == "table1" {
         println!("{}", tables::table1(exp1.as_ref().unwrap()));
         println!("{}", tables::table1(exp2.as_ref().unwrap()));
-        let ccs = exp1
-            .as_ref()
-            .unwrap()
-            .ctx_switch_cost(TimingModel::with_miss_penalty(REFERENCE_CMISS));
+        let ccs =
+            exp1.as_ref().unwrap().ctx_switch_cost(TimingModel::with_miss_penalty(REFERENCE_CMISS));
         println!("Context switch WCET (Ccs, Cmiss={REFERENCE_CMISS}): {ccs} cycles (paper: 1049 on ARM9)\n");
     }
     if run_all || what == "table2" {
@@ -134,10 +143,7 @@ fn extension() {
             max_iterations: 10_000,
         };
         let d = two_level_preemption_delay(&tasks[2], &tasks[1], &params);
-        println!(
-            "    with {:>7} B L2: {d}",
-            params.l2_geometry.size_bytes()
-        );
+        println!("    with {:>7} B L2: {d}", params.l2_geometry.size_bytes());
     }
     let params = TwoLevelParams {
         l2_geometry: CacheGeometry::new(2048, 4, 16).expect("valid geometry"),
@@ -154,12 +160,7 @@ fn extension() {
     );
     println!("  WCRT (cycles): single-level vs two-level (128-set L1 + 128 KiB L2)");
     for (i, t) in tasks.iter().enumerate() {
-        println!(
-            "    {:>6}: {:>8} -> {:>8}",
-            t.name(),
-            single_all[i].cycles,
-            two[i].cycles
-        );
+        println!("    {:>6}: {:>8} -> {:>8}", t.name(), single_all[i].cycles, two[i].cycles);
     }
     println!();
 }
@@ -190,19 +191,13 @@ fn fig1(e: &Experiment) {
             variant_policy: VariantPolicy::Worst,
             cache_mode: mode,
             replacement: Default::default(),
-        l2: None,
+            l2: None,
         };
         let report = simulate(&tasks, &config).expect("experiment simulates");
         println!("\n{label}");
-        print!(
-            "{}",
-            render_timeline(&report.slices, &names, &e.periods, horizon, 96)
-        );
+        print!("{}", render_timeline(&report.slices, &names, &e.periods, horizon, 96));
         let lo = report.tasks.last().unwrap();
-        println!(
-            "R({}) = {} cycles, {} preemptions",
-            lo.name, lo.max_response, lo.preemptions
-        );
+        println!("R({}) = {} cycles, {} preemptions", lo.name, lo.max_response, lo.preemptions);
     }
     // The 32 KiB L1 absorbs all three footprints, so (A) and (B) barely
     // differ (the paper's measured deltas are similarly small). Repeat on
@@ -210,9 +205,7 @@ fn fig1(e: &Experiment) {
     println!("\nSame comparison on a 2 KiB 2-way cache (contended):");
     let small = CacheGeometry::new(64, 2, 16).expect("valid geometry");
     let e_small = Experiment::build(&experiment1_spec(), small);
-    for (label, mode) in
-        [("(A) private", CacheMode::Private), ("(B) shared", CacheMode::Shared)]
-    {
+    for (label, mode) in [("(A) private", CacheMode::Private), ("(B) shared", CacheMode::Shared)] {
         let tasks: Vec<SchedTask> = e_small
             .programs
             .iter()
@@ -228,7 +221,7 @@ fn fig1(e: &Experiment) {
             variant_policy: VariantPolicy::Worst,
             cache_mode: mode,
             replacement: Default::default(),
-        l2: None,
+            l2: None,
         };
         let report = simulate(&tasks, &config).expect("experiment simulates");
         let lo = report.tasks.last().unwrap();
@@ -281,10 +274,7 @@ fn fig3() {
             println!("    {idx}: {{{}}}", blocks.join(", "));
         }
     }
-    println!(
-        "  S(M1, M2) = Σ_r min(|m1_r|, |m2_r|, L) = {} (paper: 4)",
-        m1.overlap_bound(&m2)
-    );
+    println!("  S(M1, M2) = Σ_r min(|m1_r|, |m2_r|, L) = {} (paper: 4)", m1.overlap_bound(&m2));
     println!();
 }
 
@@ -365,11 +355,9 @@ fn fig5() {
 fn ablation(geometry: CacheGeometry) {
     println!("Ablation A: exact trace-based useful blocks vs RMB/LMB dataflow (App. 3 count)");
     let model = TimingModel::with_miss_penalty(REFERENCE_CMISS);
-    for program in [
-        rtworkloads::mobile_robot(),
-        rtworkloads::edge_detection_with_dim(12),
-        rtworkloads::idct(),
-    ] {
+    for program in
+        [rtworkloads::mobile_robot(), rtworkloads::edge_detection_with_dim(12), rtworkloads::idct()]
+    {
         let task = crpd::AnalyzedTask::analyze(
             &program,
             crpd::TaskParams { period: 1, priority: 1 },
@@ -508,12 +496,14 @@ fn ablation(geometry: CacheGeometry) {
             .collect();
         let ways = even_way_partition(geometry, e.programs.len()).expect("4 ways, 3 tasks");
         let ccs = e.ctx_switch_cost(model);
-        let parted = partitioned_analyze_all(
-            &e.programs, &params, geometry, model, &ways, ccs, 10_000,
-        )
-        .expect("analyzes");
+        let parted =
+            partitioned_analyze_all(&e.programs, &params, geometry, model, &ways, ccs, 10_000)
+                .expect("analyzes");
         let shared = e.wcrt(CrpdApproach::Combined, REFERENCE_CMISS);
-        println!("  {:>6} {:>5} {:>20} {:>20}", "task", "ways", "partitioned WCRT", "shared+App.4 WCRT");
+        println!(
+            "  {:>6} {:>5} {:>20} {:>20}",
+            "task", "ways", "partitioned WCRT", "shared+App.4 WCRT"
+        );
         for (i, pt) in parted.iter().enumerate() {
             println!(
                 "  {:>6} {:>5} {:>20} {:>20}",
@@ -523,7 +513,9 @@ fn ablation(geometry: CacheGeometry) {
     }
 
     println!("\nAblation C: cache geometry sweep (App. 2 vs App. 4, OFDM preempted by ED)");
-    for (sets, ways) in [(128u32, 4u32), (256, 4), (512, 1), (512, 2), (512, 4), (512, 8), (1024, 4)] {
+    for (sets, ways) in
+        [(128u32, 4u32), (256, 4), (512, 1), (512, 2), (512, 4), (512, 8), (1024, 4)]
+    {
         let g = CacheGeometry::new(sets, ways, 16).expect("valid geometry");
         let ofdm = crpd::AnalyzedTask::analyze(
             &rtworkloads::ofdm_transmitter(),

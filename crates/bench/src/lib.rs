@@ -147,8 +147,7 @@ impl Experiment {
             let wcet = estimate_wcet(&t.program, geometry, period_model)
                 .expect("workload programs analyze cleanly")
                 .cycles;
-            let period =
-                (wcet as f64 * t.paper_period_us / t.paper_wcet_us).round() as u64;
+            let period = (wcet as f64 * t.paper_period_us / t.paper_wcet_us).round() as u64;
             programs.push(t.program.clone());
             periods.push(period);
             priorities.push(t.priority);
@@ -211,7 +210,7 @@ impl Experiment {
             variant_policy: VariantPolicy::Worst,
             cache_mode: CacheMode::Shared,
             replacement: Default::default(),
-        l2: None,
+            l2: None,
         };
         let report = simulate(&sched_tasks, &config).expect("experiment simulates cleanly");
         report.tasks.iter().map(|t| t.max_response).collect()

@@ -16,12 +16,7 @@ pub fn render(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = format!("{title}\n");
     let line = |cells: &[String], widths: &[usize]| -> String {
-        cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
     };
     let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     out.push_str(&line(&headers, &widths));
@@ -82,11 +77,7 @@ pub fn table2(e: &Experiment) -> String {
     let rows: Vec<Vec<String>> = preemption_pairs(e)
         .into_iter()
         .map(|(i, j)| {
-            let mut row = vec![format!(
-                "{} by {}",
-                e.reference[i].name(),
-                e.reference[j].name()
-            )];
+            let mut row = vec![format!("{} by {}", e.reference[i].name(), e.reference[j].name())];
             row.extend(matrices.iter().map(|m| m.reload(i, j).to_string()));
             row
         })
@@ -220,8 +211,7 @@ pub fn table_improvements(e: &Experiment, cmp: &WcrtComparison) -> String {
     let mut rows = Vec::new();
     for other in 0..3 {
         for t in (0..cmp.tasks.len()).rev() {
-            let mut row =
-                vec![format!("App.4 vs App.{}", other + 1), cmp.tasks[t].clone()];
+            let mut row = vec![format!("App.4 vs App.{}", other + 1), cmp.tasks[t].clone()];
             for c in 0..cmp.cmiss.len() {
                 let est = cmp.estimates[c][t];
                 row.push(format!("{:.0}%", improvement_percent(est[other], est[3])));

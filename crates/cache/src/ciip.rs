@@ -106,9 +106,7 @@ impl Ciip {
 
     /// `true` if `block` is in the partition.
     pub fn contains(&self, block: MemoryBlock) -> bool {
-        self.parts
-            .get(&self.geometry.index_of_block(block))
-            .is_some_and(|s| s.contains(&block))
+        self.parts.get(&self.geometry.index_of_block(block)).is_some_and(|s| s.contains(&block))
     }
 
     /// The number of cache lines the blocks can occupy at once:
@@ -140,11 +138,7 @@ impl Ciip {
         // Iterate the smaller map for efficiency; the bound is symmetric.
         let (small, large) =
             if self.parts.len() <= other.parts.len() { (self, other) } else { (other, self) };
-        small
-            .parts
-            .iter()
-            .map(|(idx, s)| s.len().min(large.subset_len(*idx)).min(ways))
-            .sum()
+        small.parts.iter().map(|(idx, s)| s.len().min(large.subset_len(*idx)).min(ways)).sum()
     }
 
     /// Per-set occupancy histogram: `histogram[k]` counts the cache sets

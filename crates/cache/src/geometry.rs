@@ -303,23 +303,11 @@ mod tests {
 
     #[test]
     fn rejects_bad_geometry() {
-        assert_eq!(
-            CacheGeometry::new(3, 4, 16).unwrap_err(),
-            GeometryError::SetsNotPowerOfTwo(3)
-        );
-        assert_eq!(
-            CacheGeometry::new(0, 4, 16).unwrap_err(),
-            GeometryError::SetsNotPowerOfTwo(0)
-        );
+        assert_eq!(CacheGeometry::new(3, 4, 16).unwrap_err(), GeometryError::SetsNotPowerOfTwo(3));
+        assert_eq!(CacheGeometry::new(0, 4, 16).unwrap_err(), GeometryError::SetsNotPowerOfTwo(0));
         assert_eq!(CacheGeometry::new(16, 0, 16).unwrap_err(), GeometryError::ZeroWays);
-        assert_eq!(
-            CacheGeometry::new(16, 4, 12).unwrap_err(),
-            GeometryError::BadLineBytes(12)
-        );
-        assert_eq!(
-            CacheGeometry::new(16, 4, 2).unwrap_err(),
-            GeometryError::BadLineBytes(2)
-        );
+        assert_eq!(CacheGeometry::new(16, 4, 12).unwrap_err(), GeometryError::BadLineBytes(12));
+        assert_eq!(CacheGeometry::new(16, 4, 2).unwrap_err(), GeometryError::BadLineBytes(2));
     }
 
     #[test]

@@ -222,10 +222,7 @@ mod tests {
     fn rejects_mismatched_lines_and_small_l2() {
         let a = CacheGeometry::new(2, 1, 16).unwrap();
         let b = CacheGeometry::new(8, 2, 32).unwrap();
-        assert!(matches!(
-            CacheHierarchy::new(a, b),
-            Err(HierarchyError::LineSizeMismatch { .. })
-        ));
+        assert!(matches!(CacheHierarchy::new(a, b), Err(HierarchyError::LineSizeMismatch { .. })));
         let tiny = CacheGeometry::new(1, 1, 16).unwrap();
         assert!(matches!(CacheHierarchy::new(a, tiny), Err(HierarchyError::L2SmallerThanL1)));
     }

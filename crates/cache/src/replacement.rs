@@ -25,11 +25,8 @@ pub enum ReplacementPolicy {
 
 impl ReplacementPolicy {
     /// All supported policies, for sweeps.
-    pub const ALL: [ReplacementPolicy; 3] = [
-        ReplacementPolicy::Lru,
-        ReplacementPolicy::Fifo,
-        ReplacementPolicy::PseudoLru,
-    ];
+    pub const ALL: [ReplacementPolicy; 3] =
+        [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::PseudoLru];
 }
 
 impl fmt::Display for ReplacementPolicy {

@@ -246,13 +246,21 @@ impl CacheSim {
             Some(w) => w,
             None => match policy {
                 ReplacementPolicy::Lru => {
-                    let (w, _) =
-                        set.last_used.iter().enumerate().min_by_key(|(_, t)| **t).expect("ways >= 1");
+                    let (w, _) = set
+                        .last_used
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, t)| **t)
+                        .expect("ways >= 1");
                     w
                 }
                 ReplacementPolicy::Fifo => {
-                    let (w, _) =
-                        set.filled_at.iter().enumerate().min_by_key(|(_, t)| **t).expect("ways >= 1");
+                    let (w, _) = set
+                        .filled_at
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, t)| **t)
+                        .expect("ways >= 1");
                     w
                 }
                 ReplacementPolicy::PseudoLru => set.plru_victim(),
@@ -303,11 +311,7 @@ impl CacheSim {
     pub fn snapshot(&self) -> CacheSnapshot {
         CacheSnapshot {
             geometry: self.geometry,
-            sets: self
-                .sets
-                .iter()
-                .map(|s| s.lines.iter().flatten().copied().collect())
-                .collect(),
+            sets: self.sets.iter().map(|s| s.lines.iter().flatten().copied().collect()).collect(),
         }
     }
 }

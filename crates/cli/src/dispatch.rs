@@ -3,20 +3,53 @@
 
 use std::path::Path;
 
-use crate::options::{CacheOptions, CliError};
+use crate::options::{CacheOptions, CliError, ServeOptions};
 use crate::spec::SystemSpec;
 use crate::{cmd_asm, cmd_crpd, cmd_disasm, cmd_footprint, cmd_run, cmd_sim, cmd_wcet, cmd_wcrt};
 
 /// The usage line printed on bad invocations and `--help`.
-pub const USAGE: &str = "trisc <asm|disasm|run|wcet|footprint|crpd|wcrt|sim> ... (see --help)";
+pub const USAGE: &str =
+    "trisc <asm|disasm|run|wcet|footprint|crpd|wcrt|sim|serve> ... (see --help)";
+
+/// A fully parsed `trisc` invocation.
+///
+/// Most subcommands run to completion inside [`parse`] and yield their
+/// output text; `serve` cannot (the daemon lives in the `rtserver` crate,
+/// which depends on this one), so it is returned as data for the binary
+/// to act on.
+#[derive(Debug)]
+pub enum Invocation {
+    /// A one-shot command that already ran; print this and exit.
+    Output(String),
+    /// `trisc serve`: start the analysis daemon with these options.
+    Serve(ServeOptions),
+}
+
+/// Parses one `trisc` invocation (`args` excludes the program name),
+/// running one-shot commands eagerly.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for bad usage or any underlying failure.
+pub fn parse(mut args: Vec<String>) -> Result<Invocation, CliError> {
+    if args.first().map(String::as_str) == Some("serve") {
+        args.remove(0);
+        let mut opts = ServeOptions::default();
+        opts.parse_from(&mut args)?;
+        if let Some(extra) = args.first() {
+            return Err(CliError::Usage(format!(
+                "unexpected argument `{extra}`; trisc serve [--host HOST] [--port PORT] [--threads N]"
+            )));
+        }
+        return Ok(Invocation::Serve(opts));
+    }
+    dispatch(args).map(Invocation::Output)
+}
 
 fn read(path: &str) -> Result<(String, String), CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
-    let name = Path::new(path)
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("program")
-        .to_string();
+    let name =
+        Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or("program").to_string();
     Ok((name, text))
 }
 
@@ -111,6 +144,9 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
             };
             cmd_sim(&SystemSpec::load(Path::new(file))?, horizon)
         }
+        "serve" => {
+            Err(CliError::Usage("serve is long-running; use `parse` and the rtserver crate".into()))
+        }
         other => Err(CliError::Usage(format!("unknown command `{other}`; {USAGE}"))),
     }
 }
@@ -148,9 +184,8 @@ mod tests {
     #[test]
     fn wcet_respects_cache_flags() {
         let f = temp_file("w.s", "start: li r1, 7\nhalt\n");
-        let out =
-            dispatch(argv(&["wcet", f.to_str().unwrap(), "--cmiss", "40", "--sets", "64"]))
-                .unwrap();
+        let out = dispatch(argv(&["wcet", f.to_str().unwrap(), "--cmiss", "40", "--sets", "64"]))
+            .unwrap();
         assert!(out.contains("Cmiss=40"), "{out}");
         assert!(out.contains("64 sets"), "{out}");
     }
@@ -171,6 +206,30 @@ mod tests {
         assert_eq!(take_flag_value(&mut args, "--variant").unwrap(), None);
         let mut dangling = argv(&["--horizon"]);
         assert!(matches!(take_flag_value(&mut dangling, "--horizon"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_runs_one_shot_commands() {
+        let f = temp_file("p.s", "start: li r1, 7\nhalt\n");
+        match parse(argv(&["asm", f.to_str().unwrap()])).unwrap() {
+            Invocation::Output(out) => assert!(out.contains("program `p`")),
+            other => panic!("expected Output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_recognizes_serve() {
+        match parse(argv(&["serve", "--port", "0", "--threads", "2"])).unwrap() {
+            Invocation::Serve(opts) => {
+                assert_eq!(opts.port, 0);
+                assert_eq!(opts.threads, 2);
+                assert_eq!(opts.host, "127.0.0.1");
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        assert!(matches!(parse(argv(&["serve", "leftover"])), Err(CliError::Usage(_))));
+        // `dispatch` itself points serve users at the daemon crate.
+        assert!(matches!(dispatch(argv(&["serve"])), Err(CliError::Usage(_))));
     }
 
     #[test]

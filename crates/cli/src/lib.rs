@@ -3,8 +3,9 @@
 //!
 //! Every subcommand is a plain function returning the text it would
 //! print, so the whole surface is unit-testable without spawning
-//! processes. The thin binary in `src/bin/trisc.rs` does argument
-//! splitting and I/O.
+//! processes. The thin `trisc` binary ships with the `rtserver` crate
+//! (which layers the `serve` daemon on top of this library) and only
+//! touches stdio and the exit code.
 //!
 //! ```text
 //! trisc asm    task.s                      # assemble + summary
@@ -14,7 +15,11 @@
 //! trisc crpd   low.s high.s [cache opts]   # the four reload bounds
 //! trisc wcrt   system.spec                 # WCRT per approach
 //! trisc sim    system.spec [--horizon N]   # co-simulation + timeline
+//! trisc serve  [--host H] [--port P] [--threads N]  # analysis daemon
 //! ```
+//!
+//! (`serve` itself is implemented by the `rtserver` crate, which also
+//! ships the `trisc` binary; everything else lives here.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,17 +28,20 @@ pub mod dispatch;
 pub mod options;
 pub mod spec;
 
+use std::borrow::Borrow;
 use std::fmt::Write as _;
 
-use crpd::{analyze_all, reload_lines, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams};
+use crpd::{
+    analyze_all, reload_lines, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams,
+};
 use rtprogram::asm::{assemble, disassemble};
 use rtprogram::isa::Reg;
 use rtprogram::{Program, Simulator};
 use rtsched::{render_timeline, simulate, CacheMode, SchedConfig, SchedTask, VariantPolicy};
 use rtwcet::{estimate_wcet, structural_wcet_bound};
 
-pub use dispatch::{dispatch, USAGE};
-pub use options::{CacheOptions, CliError};
+pub use dispatch::{dispatch, parse, Invocation, USAGE};
+pub use options::{CacheOptions, CliError, ServeOptions};
 pub use spec::SystemSpec;
 
 /// `trisc asm`: assemble and summarize a program.
@@ -45,13 +53,8 @@ pub fn cmd_asm(name: &str, source: &str) -> Result<String, CliError> {
     let p = assemble(name, source).map_err(|e| CliError::Asm(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(out, "{p}");
-    let _ = writeln!(
-        out,
-        "code: [{:#x}, {:#x}), entry {:#x}",
-        p.code_base(),
-        p.code_end(),
-        p.entry()
-    );
+    let _ =
+        writeln!(out, "code: [{:#x}, {:#x}), entry {:#x}", p.code_base(), p.code_end(), p.entry());
     for seg in p.data_segments() {
         let _ = writeln!(
             out,
@@ -163,6 +166,20 @@ pub fn cmd_crpd(
     };
     let preempted = analyze(low.0, low.1, 2)?;
     let preempting = analyze(high.0, high.1, 1)?;
+    Ok(cmd_crpd_with(&preempted, &preempting, opts))
+}
+
+/// The rendering half of [`cmd_crpd`], over already-analyzed tasks: used
+/// by the analysis server, which reuses memoized [`AnalyzedTask`]
+/// artifacts instead of re-analyzing per request. Both entry points emit
+/// byte-identical reports for the same inputs.
+pub fn cmd_crpd_with(
+    preempted: &AnalyzedTask,
+    preempting: &AnalyzedTask,
+    opts: &CacheOptions,
+) -> String {
+    let geometry = preempted.geometry();
+    let model = opts.model();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -174,12 +191,12 @@ pub fn cmd_crpd(
         let _ = writeln!(
             out,
             "  {approach}: {:>5} lines ({} cycles at Cmiss={})",
-            reload_lines(approach, &preempted, &preempting),
-            reload_lines(approach, &preempted, &preempting) as u64 * model.miss_penalty,
+            reload_lines(approach, preempted, preempting),
+            reload_lines(approach, preempted, preempting) as u64 * model.miss_penalty,
             model.miss_penalty
         );
     }
-    Ok(out)
+    out
 }
 
 /// `trisc footprint`: cache-footprint report for a program — per-path
@@ -244,9 +261,25 @@ pub fn cmd_footprint(name: &str, source: &str, opts: &CacheOptions) -> Result<St
 ///
 /// Returns [`CliError`] on spec, assembly or analysis failure.
 pub fn cmd_wcrt(spec: &SystemSpec) -> Result<String, CliError> {
+    let tasks = spec.analyzed_tasks()?;
+    cmd_wcrt_with(spec, &tasks)
+}
+
+/// The rendering half of [`cmd_wcrt`], over already-analyzed tasks
+/// (`&[AnalyzedTask]`, `&[Arc<AnalyzedTask>]`, …): used by the analysis
+/// server, which reuses memoized artifacts instead of re-analyzing per
+/// request. Both entry points emit byte-identical reports for the same
+/// inputs.
+///
+/// # Errors
+///
+/// Returns [`CliError::Options`] for an invalid cache geometry.
+pub fn cmd_wcrt_with<T: Borrow<AnalyzedTask>>(
+    spec: &SystemSpec,
+    tasks: &[T],
+) -> Result<String, CliError> {
     let geometry = spec.cache.geometry()?;
     let model = spec.cache.model();
-    let tasks = spec.analyzed_tasks()?;
     let params = WcrtParams {
         miss_penalty: model.miss_penalty,
         ctx_switch: spec.ctx_switch,
@@ -261,9 +294,9 @@ pub fn cmd_wcrt(spec: &SystemSpec) -> Result<String, CliError> {
     );
     let per_approach: Vec<Vec<crpd::WcrtResult>> = CrpdApproach::ALL
         .iter()
-        .map(|a| analyze_all(&tasks, &CrpdMatrix::compute(*a, &tasks), &params))
+        .map(|a| analyze_all(tasks, &CrpdMatrix::compute(*a, tasks), &params))
         .collect();
-    for (i, t) in tasks.iter().enumerate() {
+    for (i, t) in tasks.iter().map(Borrow::borrow).enumerate() {
         let cell = |a: usize| {
             let r = per_approach[a][i];
             if r.schedulable {
@@ -294,15 +327,31 @@ pub fn cmd_wcrt(spec: &SystemSpec) -> Result<String, CliError> {
 ///
 /// Returns [`CliError`] on spec or simulation failure.
 pub fn cmd_sim(spec: &SystemSpec, horizon: Option<u64>) -> Result<String, CliError> {
-    let geometry = spec.cache.geometry()?;
     let programs = spec.programs()?;
+    cmd_sim_with(spec, &programs, horizon)
+}
+
+/// The simulation half of [`cmd_sim`], over already-assembled programs
+/// (one per spec task, in spec order): used by the analysis server, whose
+/// task sources arrive inline over the wire. Both entry points emit
+/// byte-identical reports for the same inputs.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on an invalid geometry or simulation failure.
+pub fn cmd_sim_with(
+    spec: &SystemSpec,
+    programs: &[Program],
+    horizon: Option<u64>,
+) -> Result<String, CliError> {
+    let geometry = spec.cache.geometry()?;
     let sched_tasks: Vec<SchedTask> = programs
         .iter()
         .zip(&spec.tasks)
         .map(|(p, t)| SchedTask::new(p.clone(), t.period, t.priority))
         .collect();
-    let horizon = horizon
-        .unwrap_or_else(|| spec.tasks.iter().map(|t| t.period).max().unwrap_or(1) * 2);
+    let horizon =
+        horizon.unwrap_or_else(|| spec.tasks.iter().map(|t| t.period).max().unwrap_or(1) * 2);
     let config = SchedConfig {
         geometry,
         model: spec.cache.model(),
@@ -339,7 +388,8 @@ pub(crate) fn assemble_named(name: &str, source: &str) -> Result<Program, CliErr
 mod tests {
     use super::*;
 
-    const COUNT: &str = "start: li r1, 5\nloop: addi r1, r1, -1\nbne r1, r0, loop\n.bound loop, 5\nhalt\n";
+    const COUNT: &str =
+        "start: li r1, 5\nloop: addi r1, r1, -1\nbne r1, r0, loop\n.bound loop, 5\nhalt\n";
 
     #[test]
     fn asm_summarizes() {
@@ -399,7 +449,8 @@ mod tests {
         // programs instead.
         let _ = low;
         let a = ".data 0x100000\nbuf: .word 1,2,3,4\n.text 0x1000\nstart: li r1, buf\nld r2, 0(r1)\nld r2, 4(r1)\nld r2, 0(r1)\nhalt\n";
-        let b = ".data 0x100040\nbuf: .word 9\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\nhalt\n";
+        let b =
+            ".data 0x100040\nbuf: .word 9\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\nhalt\n";
         let out = cmd_crpd(("low", a), ("high", b), &CacheOptions::default()).unwrap();
         for label in ["App. 1", "App. 2", "App. 3", "App. 4"] {
             assert!(out.contains(label), "{out}");

@@ -79,6 +79,69 @@ impl CacheOptions {
     }
 }
 
+/// Options of the `trisc serve` subcommand (`--host`, `--port`,
+/// `--threads`). The daemon itself lives in the `rtserver` crate; parsing
+/// stays here with the other CLI surface so it is testable alongside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Interface to bind.
+    pub host: String,
+    /// TCP port to bind; `0` asks the OS for an ephemeral port.
+    pub port: u16,
+    /// Worker threads executing analysis requests.
+    pub threads: usize,
+}
+
+impl Default for ServeOptions {
+    /// Loopback on port 7227 with one worker per available core
+    /// (capped at 8; analysis requests are CPU-bound).
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+        ServeOptions { host: "127.0.0.1".to_string(), port: 7227, threads }
+    }
+}
+
+impl ServeOptions {
+    /// Consumes recognized `--flag value` pairs from an argument list,
+    /// leaving the rest untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Options`] for malformed values or a flag
+    /// missing its value.
+    pub fn parse_from(&mut self, args: &mut Vec<String>) -> Result<(), CliError> {
+        let mut remaining = Vec::with_capacity(args.len());
+        let mut it = args.drain(..);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--host" | "--port" | "--threads" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| CliError::Options(format!("{arg} needs a value")))?;
+                    match arg.as_str() {
+                        "--host" => self.host = value,
+                        "--port" => {
+                            self.port = value.parse().map_err(|_| {
+                                CliError::Options(format!("bad value for --port: {value}"))
+                            })?;
+                        }
+                        _ => {
+                            self.threads =
+                                value.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                                    CliError::Options(format!("bad value for --threads: {value}"))
+                                })?;
+                        }
+                    }
+                }
+                _ => remaining.push(arg),
+            }
+        }
+        drop(it);
+        *args = remaining;
+        Ok(())
+    }
+}
+
 /// Errors surfaced to the command-line user.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CliError {
@@ -134,8 +197,10 @@ mod tests {
     #[test]
     fn parses_and_removes_flags() {
         let mut o = CacheOptions::default();
-        let mut args: Vec<String> =
-            ["file.s", "--ways", "2", "--cmiss", "40", "--keep"].iter().map(|s| s.to_string()).collect();
+        let mut args: Vec<String> = ["file.s", "--ways", "2", "--cmiss", "40", "--keep"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         o.parse_from(&mut args).unwrap();
         assert_eq!(o.ways, 2);
         assert_eq!(o.cmiss, 40);
@@ -155,6 +220,22 @@ mod tests {
     fn invalid_geometry_is_an_options_error() {
         let o = CacheOptions { sets: 3, ways: 4, line: 16, cmiss: 20 };
         assert!(matches!(o.geometry(), Err(CliError::Options(_))));
+    }
+
+    #[test]
+    fn serve_options_parse_and_validate() {
+        let mut o = ServeOptions::default();
+        assert!(o.threads > 0);
+        let mut args: Vec<String> =
+            ["--port", "0", "--threads", "3", "spare"].iter().map(|s| s.to_string()).collect();
+        o.parse_from(&mut args).unwrap();
+        assert_eq!(o.port, 0);
+        assert_eq!(o.threads, 3);
+        assert_eq!(args, vec!["spare".to_string()]);
+        let mut bad: Vec<String> = ["--threads", "0"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(ServeOptions::default().parse_from(&mut bad), Err(CliError::Options(_))));
+        let mut bad: Vec<String> = vec!["--port".to_string(), "high".to_string()];
+        assert!(matches!(ServeOptions::default().parse_from(&mut bad), Err(CliError::Options(_))));
     }
 
     #[test]

@@ -53,11 +53,8 @@ impl SystemSpec {
     /// Returns [`CliError::Spec`] with the offending line for malformed
     /// input.
     pub fn parse(text: &str, base_dir: &Path) -> Result<SystemSpec, CliError> {
-        let mut spec = SystemSpec {
-            cache: CacheOptions::default(),
-            ctx_switch: 0,
-            tasks: Vec::new(),
-        };
+        let mut spec =
+            SystemSpec { cache: CacheOptions::default(), ctx_switch: 0, tasks: Vec::new() };
         for (lineno, raw) in text.lines().enumerate() {
             let line = lineno + 1;
             let content = raw.split('#').next().unwrap_or("").trim();
@@ -105,7 +102,10 @@ impl SystemSpec {
             }
         }
         if spec.tasks.is_empty() {
-            return Err(CliError::Spec("no `task` lines".into()));
+            return Err(CliError::Spec(
+                "spec declares no tasks; at least one `task NAME FILE PERIOD PRIORITY` line is required"
+                    .into(),
+            ));
         }
         Ok(spec)
     }
@@ -128,14 +128,25 @@ impl SystemSpec {
     ///
     /// Returns [`CliError::Io`] or [`CliError::Asm`].
     pub fn programs(&self) -> Result<Vec<Program>, CliError> {
-        self.tasks
-            .iter()
-            .map(|t| {
-                let source = std::fs::read_to_string(&t.source)
-                    .map_err(|e| CliError::Io(format!("{}: {e}", t.source.display())))?;
-                crate::assemble_named(&t.name, &source)
-            })
-            .collect()
+        self.programs_with(&mut |t| {
+            std::fs::read_to_string(&t.source)
+                .map_err(|e| CliError::Io(format!("{}: {e}", t.source.display())))
+        })
+    }
+
+    /// Assembles every task's program, resolving each task's source text
+    /// through `read_source`. The analysis server uses this to serve specs
+    /// whose sources arrive inline over the wire instead of on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `read_source` errors and returns [`CliError::Asm`] on
+    /// assembly failure.
+    pub fn programs_with(
+        &self,
+        read_source: &mut dyn FnMut(&SpecTask) -> Result<String, CliError>,
+    ) -> Result<Vec<Program>, CliError> {
+        self.tasks.iter().map(|t| crate::assemble_named(&t.name, &read_source(t)?)).collect()
     }
 
     /// Assembles and analyzes every task.
@@ -189,8 +200,7 @@ task b b.s 100000 2
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let s = SystemSpec::parse("# only\n\ntask a a.s 1 1 # trailing\n", Path::new("."))
-            .unwrap();
+        let s = SystemSpec::parse("# only\n\ntask a a.s 1 1 # trailing\n", Path::new(".")).unwrap();
         assert_eq!(s.tasks.len(), 1);
     }
 
@@ -207,6 +217,37 @@ task b b.s 100000 2
             let err = SystemSpec::parse(bad, Path::new(".")).unwrap_err();
             assert!(matches!(err, CliError::Spec(_)), "{bad}");
         }
+    }
+
+    #[test]
+    fn empty_task_set_is_rejected() {
+        // A task system with zero tasks has no meaningful WCRT question;
+        // reject it at parse time with a message naming the fix.
+        for text in ["", "# comments only\n", "cache 64 2 16\ncmiss 20\nccs 100\n"] {
+            let err = SystemSpec::parse(text, Path::new(".")).unwrap_err();
+            let CliError::Spec(msg) = &err else {
+                panic!("expected CliError::Spec for {text:?}, got {err:?}");
+            };
+            assert!(msg.contains("no tasks"), "{msg}");
+            assert!(msg.contains("task NAME FILE PERIOD PRIORITY"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn programs_with_resolves_inline_sources() {
+        let spec = SystemSpec::parse("task a a.s 1000 1\n", Path::new("")).unwrap();
+        assert_eq!(spec.tasks[0].source, Path::new("a.s"));
+        let mut programs = spec
+            .programs_with(&mut |t| {
+                assert_eq!(t.source, Path::new("a.s"));
+                Ok("start: li r1, 7\nhalt\n".to_string())
+            })
+            .unwrap();
+        assert_eq!(programs.len(), 1);
+        assert_eq!(programs.remove(0).name(), "a");
+        // Errors from the resolver propagate unchanged.
+        let err = spec.programs_with(&mut |_| Err(CliError::Io("nope".into()))).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
     }
 
     #[test]

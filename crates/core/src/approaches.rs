@@ -1,6 +1,7 @@
 //! The four CRPD estimation approaches compared in the paper's
 //! experiments (§VIII) and the per-task-pair reload matrix.
 
+use std::borrow::Borrow;
 use std::fmt;
 
 use crate::task::AnalyzedTask;
@@ -119,12 +120,18 @@ impl CrpdMatrix {
     /// Computes the matrix for `tasks` (any order); only pairs where
     /// `tasks[j]` has higher priority than `tasks[i]` get a non-zero
     /// bound.
-    pub fn compute(approach: CrpdApproach, tasks: &[AnalyzedTask]) -> Self {
+    ///
+    /// Accepts any slice of task-like values (`&[AnalyzedTask]`,
+    /// `&[Arc<AnalyzedTask>]`, …) so callers that share analysis artifacts
+    /// across threads need not clone them.
+    pub fn compute<T: Borrow<AnalyzedTask>>(approach: CrpdApproach, tasks: &[T]) -> Self {
         let lines = tasks
             .iter()
+            .map(Borrow::borrow)
             .map(|ti| {
                 tasks
                     .iter()
+                    .map(Borrow::borrow)
                     .map(|tj| {
                         if tj.params().priority < ti.params().priority {
                             reload_lines(approach, ti, tj)

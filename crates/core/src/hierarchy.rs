@@ -99,11 +99,8 @@ pub fn two_level_analyze_all(
         let est: Result<_, WcetError> =
             estimate_wcet_hierarchy(program, task.geometry(), params.l2_geometry, params.model);
         wcets.push(
-            est.map_err(|source| AnalysisError::Wcet {
-                task: task.name().to_string(),
-                source,
-            })?
-            .cycles,
+            est.map_err(|source| AnalysisError::Wcet { task: task.name().to_string(), source })?
+                .cycles,
         );
     }
     let periods: Vec<u64> = tasks.iter().map(|t| t.params().period).collect();
@@ -181,10 +178,8 @@ mod tests {
 
     #[test]
     fn two_level_wcrt_beats_memory_only_analysis() {
-        let programs =
-            vec![rtworkloads::mobile_robot(), rtworkloads::edge_detection_with_dim(10)];
-        let tasks =
-            vec![analyze(&programs[0], 200_000, 2), analyze(&programs[1], 2_000_000, 3)];
+        let programs = vec![rtworkloads::mobile_robot(), rtworkloads::edge_detection_with_dim(10)];
+        let tasks = vec![analyze(&programs[0], 200_000, 2), analyze(&programs[1], 2_000_000, 3)];
         let two = two_level_analyze_all(&tasks, &programs, &params()).unwrap();
         // Single-level analysis at the memory penalty.
         let matrix = CrpdMatrix::compute(CrpdApproach::Combined, &tasks);

@@ -22,7 +22,7 @@
 //!   entries. It over-approximates the exact sweep and is kept for
 //!   fidelity to \[21\] and for tightness ablations.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rtcache::{CacheGeometry, CacheSim, Ciip, MemoryBlock, SetIndex};
 use rtprogram::cfg::{BlockId, Cfg};
@@ -83,8 +83,12 @@ impl UsefulTrace {
     /// describe `useful(position)` (the state just before that access
     /// executes).
     fn sweep(&self, mut visit: impl FnMut(usize, SetIndex, usize, usize)) {
-        let mut status: HashMap<MemoryBlock, bool> = HashMap::new();
-        let mut counts: HashMap<SetIndex, usize> = HashMap::new();
+        // BTreeMaps, not HashMaps: everything observable about the sweep
+        // must be a pure function of the trace so that repeated analyses of
+        // one program produce byte-identical artifacts (the server memoizes
+        // and compares them across requests).
+        let mut status: BTreeMap<MemoryBlock, bool> = BTreeMap::new();
+        let mut counts: BTreeMap<SetIndex, usize> = BTreeMap::new();
         for (pos, (block, hit)) in self.accesses.iter().enumerate().rev() {
             let set = self.geometry.index_of_block(*block);
             let was = status.insert(*block, *hit).unwrap_or(false);
@@ -150,8 +154,10 @@ impl UsefulTrace {
     /// Panics if `pos >= self.len()`.
     pub fn useful_at(&self, pos: usize) -> Ciip {
         assert!(pos < self.accesses.len(), "execution point out of range");
-        // Replay the backward sweep down to `pos` and collect the set.
-        let mut status: HashMap<MemoryBlock, bool> = HashMap::new();
+        // Replay the backward sweep down to `pos` and collect the set. The
+        // ordered map keeps the Ciip input order — and hence every
+        // downstream artifact — independent of hasher state.
+        let mut status: BTreeMap<MemoryBlock, bool> = BTreeMap::new();
         for (block, hit) in self.accesses.iter().skip(pos).rev() {
             status.insert(*block, *hit);
         }
@@ -280,9 +286,8 @@ pub fn dataflow_useful(
     let cfg = Cfg::from_program(program);
     let mut profiles: Vec<NodeSequences> = vec![NodeSequences::default(); cfg.len()];
     for variant in program.variants() {
-        let trace = rtprogram::sim::trace_variant(program, variant).map_err(|source| {
-            AnalysisError::Exec { task: program.name().to_string(), source }
-        })?;
+        let trace = rtprogram::sim::trace_variant(program, variant)
+            .map_err(|source| AnalysisError::Exec { task: program.name().to_string(), source })?;
         for exec in cfg.attribute(&trace) {
             let seq: Vec<MemoryBlock> =
                 exec.accesses.iter().map(|a| geometry.block_of_addr(a.addr)).collect();
@@ -512,6 +517,32 @@ mod tests {
         let trace = rtprogram::sim::trace_variant(&p, &p.variants()[0]).unwrap();
         let exact = UsefulTrace::from_trace(&trace, g);
         assert!(df.max_line_bound() >= exact.max_line_bound().0);
+    }
+
+    #[test]
+    fn repeated_analysis_is_deterministic() {
+        // Two independent analyses of the same workload must agree on
+        // every artifact down to the Debug rendering: the server-side memo
+        // store treats analyses as content-addressed values, so any
+        // hasher-order leak here would surface as spurious cache
+        // divergence.
+        let p = rtworkloads::mobile_robot();
+        let g = CacheGeometry::paper_l1();
+        let variants = p.variants();
+        let trace = rtprogram::sim::trace_variant(&p, &variants[0]).unwrap();
+        let a = UsefulTrace::from_trace(&trace, g);
+        let b = UsefulTrace::from_trace(&trace, g);
+        assert_eq!(a, b);
+        assert_eq!(a.max_line_bound(), b.max_line_bound());
+        assert_eq!(format!("{:?}", a.mumbs()), format!("{:?}", b.mumbs()));
+        let pos = a.max_line_bound().1;
+        assert_eq!(
+            a.useful_at(pos).blocks().collect::<Vec<_>>(),
+            b.useful_at(pos).blocks().collect::<Vec<_>>(),
+        );
+        let da = dataflow_useful(&p, g).unwrap();
+        let db = dataflow_useful(&p, g).unwrap();
+        assert_eq!(format!("{:?}", da.points), format!("{:?}", db.points));
     }
 
     #[test]

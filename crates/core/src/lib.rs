@@ -66,10 +66,10 @@ use std::fmt;
 
 pub use approaches::{reload_lines, CrpdApproach, CrpdMatrix};
 pub use hierarchy::{two_level_analyze_all, two_level_preemption_delay, TwoLevelParams};
+pub use intra::{dataflow_useful, DataflowUseful, UsefulTrace};
 pub use multicore::{first_fit_assignment, multicore_analyze, CoreAssignment, SharedL2};
 pub use partition::{even_way_partition, partitioned_analyze_all, PartitionedTask};
 pub use schedutil::{hyperperiod, liu_layland_bound, rate_monotonic_priorities, total_utilization};
-pub use intra::{dataflow_useful, DataflowUseful, UsefulTrace};
 pub use task::{AnalyzedTask, TaskParams};
 pub use wcrt::{analyze_all, response_time, response_time_generic, WcrtParams, WcrtResult};
 

@@ -187,38 +187,21 @@ pub fn multicore_analyze(
     // the cross-core L2 interference inflation.
     let mut wcets: Vec<u64> = tasks.iter().map(AnalyzedTask::wcet).collect();
     if let Some(l2) = shared_l2 {
-        assert_eq!(
-            programs.len(),
-            tasks.len(),
-            "shared-L2 analysis needs one program per task"
-        );
-        let l2_footprints: Vec<Ciip> = tasks
-            .iter()
-            .map(|t| Ciip::from_blocks(l2.geometry, t.all_blocks().blocks()))
-            .collect();
+        assert_eq!(programs.len(), tasks.len(), "shared-L2 analysis needs one program per task");
+        let l2_footprints: Vec<Ciip> =
+            tasks.iter().map(|t| Ciip::from_blocks(l2.geometry, t.all_blocks().blocks())).collect();
         for (i, task) in tasks.iter().enumerate() {
-            let est = estimate_wcet_hierarchy(
-                &programs[i],
-                task.geometry(),
-                l2.geometry,
-                l2.model,
-            )
-            .map_err(|source| {
-                AnalysisError::Wcet { task: task.name().to_string(), source }
-            })?;
-            let worst = est
-                .per_variant
-                .iter()
-                .max_by_key(|v| v.cycles)
-                .expect("at least one variant");
+            let est = estimate_wcet_hierarchy(&programs[i], task.geometry(), l2.geometry, l2.model)
+                .map_err(|source| AnalysisError::Wcet { task: task.name().to_string(), source })?;
+            let worst =
+                est.per_variant.iter().max_by_key(|v| v.cycles).expect("at least one variant");
             let my_core = assignment.core_of(i);
             let foreign_overlap: u64 = (0..tasks.len())
                 .filter(|j| *j != i && assignment.core_of(*j) != my_core)
                 .map(|j| l2_footprints[i].overlap_bound(&l2_footprints[j]) as u64)
                 .sum();
             let degradable = worst.l2_hits.min(foreign_overlap);
-            wcets[i] =
-                est.cycles + degradable * (l2.model.mem_penalty - l2.model.l2_penalty);
+            wcets[i] = est.cycles + degradable * (l2.model.mem_penalty - l2.model.l2_penalty);
         }
     }
 
@@ -269,8 +252,13 @@ mod tests {
     }
 
     fn analyze(p: &rtprogram::Program, period: u64, prio: u32) -> AnalyzedTask {
-        AnalyzedTask::analyze(p, TaskParams { period, priority: prio }, l1(), TimingModel::default())
-            .unwrap()
+        AnalyzedTask::analyze(
+            p,
+            TaskParams { period, priority: prio },
+            l1(),
+            TimingModel::default(),
+        )
+        .unwrap()
     }
 
     fn four_tasks() -> (Vec<rtprogram::Program>, Vec<AnalyzedTask>) {
@@ -316,8 +304,7 @@ mod tests {
         let (programs, tasks) = four_tasks();
         let assignment = CoreAssignment { cores: vec![vec![0, 2], vec![1, 3]] };
         let params = WcrtParams { miss_penalty: 20, ctx_switch: 200, max_iterations: 10_000 };
-        let reports =
-            multicore_analyze(&tasks, &programs, &assignment, None, &params).unwrap();
+        let reports = multicore_analyze(&tasks, &programs, &assignment, None, &params).unwrap();
         assert_eq!(reports.len(), 2);
         // Core 0 = tasks {0, 2}: identical to a single-processor analysis
         // of just those two tasks.
@@ -337,8 +324,7 @@ mod tests {
             geometry: CacheGeometry::new(1024, 8, 16).unwrap(),
             model: HierarchyTimingModel { cpi: 1, l2_penalty: 6, mem_penalty: 40 },
         };
-        let without =
-            multicore_analyze(&tasks, &programs, &assignment, None, &params).unwrap();
+        let without = multicore_analyze(&tasks, &programs, &assignment, None, &params).unwrap();
         let with =
             multicore_analyze(&tasks, &programs, &assignment, Some(shared), &params).unwrap();
         for (a, b) in without.iter().zip(&with) {
@@ -352,10 +338,8 @@ mod tests {
         }
         // Inflation really applies: with a *tiny* shared L2 the cross-core
         // overlap is large, so WCETs must not shrink when the L2 shrinks.
-        let tiny = SharedL2 {
-            geometry: CacheGeometry::new(64, 2, 16).unwrap(),
-            model: shared.model,
-        };
+        let tiny =
+            SharedL2 { geometry: CacheGeometry::new(64, 2, 16).unwrap(), model: shared.model };
         let with_tiny =
             multicore_analyze(&tasks, &programs, &assignment, Some(tiny), &params).unwrap();
         for (big, small) in with.iter().zip(&with_tiny) {
@@ -370,9 +354,9 @@ mod tests {
         let (programs, tasks) = four_tasks();
         let params = WcrtParams::default();
         for cores in [
-            vec![vec![0usize, 1], vec![2]],          // missing 3
-            vec![vec![0, 1, 2, 3], vec![3]],         // duplicate 3
-            vec![vec![0, 1, 2, 9]],                  // out of range
+            vec![vec![0usize, 1], vec![2]],  // missing 3
+            vec![vec![0, 1, 2, 3], vec![3]], // duplicate 3
+            vec![vec![0, 1, 2, 9]],          // out of range
         ] {
             let a = CoreAssignment { cores };
             assert!(matches!(

@@ -57,7 +57,10 @@ impl From<GeometryError> for PartitionError {
 ///
 /// Returns [`PartitionError::TooManyTasks`] if there are fewer ways than
 /// tasks.
-pub fn even_way_partition(geometry: CacheGeometry, tasks: usize) -> Result<Vec<u32>, PartitionError> {
+pub fn even_way_partition(
+    geometry: CacheGeometry,
+    tasks: usize,
+) -> Result<Vec<u32>, PartitionError> {
     if tasks == 0 {
         return Ok(Vec::new());
     }
@@ -111,9 +114,8 @@ pub fn partitioned_analyze_all(
         assert!(*w > 0, "every task needs at least one way");
         let private = CacheGeometry::new(geometry.sets(), *w, geometry.line_bytes())
             .expect("sets and line size come from a valid geometry");
-        let est = estimate_wcet(program, private, model).map_err(|source| {
-            AnalysisError::Wcet { task: program.name().to_string(), source }
-        })?;
+        let est = estimate_wcet(program, private, model)
+            .map_err(|source| AnalysisError::Wcet { task: program.name().to_string(), source })?;
         wcets.push(est.cycles);
     }
     let periods: Vec<u64> = params.iter().map(|p| p.period).collect();
@@ -160,17 +162,15 @@ mod tests {
     fn partitioning_inflates_wcet_but_zeroes_crpd() {
         let geometry = CacheGeometry::new(64, 4, 16).unwrap();
         let model = TimingModel::default();
-        let programs =
-            vec![rtworkloads::mobile_robot(), rtworkloads::edge_detection_with_dim(10)];
+        let programs = vec![rtworkloads::mobile_robot(), rtworkloads::edge_detection_with_dim(10)];
         let params = vec![
             TaskParams { period: 300_000, priority: 2 },
             TaskParams { period: 3_000_000, priority: 3 },
         ];
         let ways = even_way_partition(geometry, 2).unwrap();
-        let parted = partitioned_analyze_all(
-            &programs, &params, geometry, model, &ways, 300, 10_000,
-        )
-        .unwrap();
+        let parted =
+            partitioned_analyze_all(&programs, &params, geometry, model, &ways, 300, 10_000)
+                .unwrap();
         // Shared-cache WCETs for comparison.
         for (p, pt) in programs.iter().zip(&parted) {
             let shared = estimate_wcet(p, geometry, model).unwrap().cycles;

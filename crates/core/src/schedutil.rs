@@ -102,13 +102,8 @@ mod tests {
         let g = CacheGeometry::paper_l1();
         let model = TimingModel::default();
         let p = rtworkloads::mobile_robot();
-        let t = AnalyzedTask::analyze(
-            &p,
-            TaskParams { period: 100_000, priority: 1 },
-            g,
-            model,
-        )
-        .unwrap();
+        let t = AnalyzedTask::analyze(&p, TaskParams { period: 100_000, priority: 1 }, g, model)
+            .unwrap();
         let u = total_utilization(&[t.clone(), t.clone()]);
         let single = t.wcet() as f64 / 100_000.0;
         assert!((u - 2.0 * single).abs() < 1e-12);

@@ -12,7 +12,7 @@ use crate::AnalysisError;
 /// Scheduling parameters of a task (paper Table I). Smaller `priority`
 /// values denote **higher** priority (MR, priority 2, preempts OFDM,
 /// priority 4).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TaskParams {
     /// Task period in cycles; the deadline equals the period (§III-A).
     pub period: u64,
@@ -151,6 +151,15 @@ impl fmt::Display for AnalyzedTask {
         )
     }
 }
+
+// The analysis server shares `Arc<AnalyzedTask>` across worker threads;
+// keep the artifact thread-safe by construction.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AnalyzedTask>();
+    assert_send_sync::<AnalyzedPath>();
+    assert_send_sync::<TaskParams>();
+};
 
 #[cfg(test)]
 mod tests {

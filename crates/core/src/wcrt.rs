@@ -1,5 +1,6 @@
 //! Worst Case Response Time analysis (paper §VII, Eq. 6/7).
 
+use std::borrow::Borrow;
 use std::fmt;
 
 use crate::approaches::CrpdMatrix;
@@ -63,19 +64,22 @@ fn preemption_cost(matrix: &CrpdMatrix, i: usize, j: usize, params: &WcrtParams)
 /// deadline (= period). Setting every matrix cell to zero and
 /// `ctx_switch = 0` recovers the classic cache-oblivious Eq. 6.
 ///
+/// Like [`CrpdMatrix::compute`], `tasks` may be any slice of task-like
+/// values (`&[AnalyzedTask]`, `&[Arc<AnalyzedTask>]`, …).
+///
 /// # Panics
 ///
 /// Panics if `i` is out of range or two tasks share a priority level
 /// (fixed-priority analysis requires a total order).
-pub fn response_time(
-    tasks: &[AnalyzedTask],
+pub fn response_time<T: Borrow<AnalyzedTask>>(
+    tasks: &[T],
     matrix: &CrpdMatrix,
     i: usize,
     params: &WcrtParams,
 ) -> WcrtResult {
-    let wcets: Vec<u64> = tasks.iter().map(AnalyzedTask::wcet).collect();
-    let periods: Vec<u64> = tasks.iter().map(|t| t.params().period).collect();
-    let priorities: Vec<u32> = tasks.iter().map(|t| t.params().priority).collect();
+    let wcets: Vec<u64> = tasks.iter().map(|t| t.borrow().wcet()).collect();
+    let periods: Vec<u64> = tasks.iter().map(|t| t.borrow().params().period).collect();
+    let priorities: Vec<u32> = tasks.iter().map(|t| t.borrow().params().priority).collect();
     response_time_generic(
         &wcets,
         &periods,
@@ -107,23 +111,17 @@ pub fn response_time_generic(
 ) -> WcrtResult {
     assert_eq!(wcets.len(), periods.len());
     assert_eq!(wcets.len(), priorities.len());
-    let hp: Vec<usize> =
-        (0..wcets.len()).filter(|j| priorities[*j] < priorities[i]).collect();
+    let hp: Vec<usize> = (0..wcets.len()).filter(|j| priorities[*j] < priorities[i]).collect();
     for j in 0..wcets.len() {
-        assert!(
-            j == i || priorities[j] != priorities[i],
-            "duplicate priorities are not supported"
-        );
+        assert!(j == i || priorities[j] != priorities[i], "duplicate priorities are not supported");
     }
     let deadline = periods[i];
     let mut r = wcets[i];
     let mut iterations = 0;
     loop {
         iterations += 1;
-        let interference: u64 = hp
-            .iter()
-            .map(|&j| r.div_ceil(periods[j]) * (wcets[j] + cpre(i, j)))
-            .sum();
+        let interference: u64 =
+            hp.iter().map(|&j| r.div_ceil(periods[j]) * (wcets[j] + cpre(i, j))).sum();
         let next = wcets[i] + interference;
         if next == r {
             return WcrtResult { cycles: r, schedulable: r <= deadline, iterations };
@@ -137,7 +135,11 @@ pub fn response_time_generic(
 
 /// Response times for every task (the highest-priority task's WCRT is its
 /// WCET — it is never preempted).
-pub fn analyze_all(tasks: &[AnalyzedTask], matrix: &CrpdMatrix, params: &WcrtParams) -> Vec<WcrtResult> {
+pub fn analyze_all<T: Borrow<AnalyzedTask>>(
+    tasks: &[T],
+    matrix: &CrpdMatrix,
+    params: &WcrtParams,
+) -> Vec<WcrtResult> {
     (0..tasks.len()).map(|i| response_time(tasks, matrix, i, params)).collect()
 }
 
@@ -264,7 +266,8 @@ mod tests {
         let m = CrpdMatrix::compute(CrpdApproach::AllPreemptingLines, &tasks);
         let mut last = 0;
         for penalty in [10, 20, 30, 40] {
-            let params = WcrtParams { miss_penalty: penalty, ctx_switch: 100, max_iterations: 1000 };
+            let params =
+                WcrtParams { miss_penalty: penalty, ctx_switch: 100, max_iterations: 1000 };
             let r = response_time(&tasks, &m, 1, &params);
             assert!(r.cycles >= last, "WCRT must grow with Cmiss");
             last = r.cycles;

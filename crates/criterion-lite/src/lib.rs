@@ -1,0 +1,258 @@
+//! Offline drop-in replacement for the subset of the [`criterion` 0.5 API]
+//! this workspace's benches use.
+//!
+//! The build container has no registry access, so depending on the real
+//! `criterion` crate would make even `cargo build --offline` fail at
+//! dependency resolution. This crate is aliased to the `criterion` name in
+//! the workspace manifest. It measures with [`std::time::Instant`] and a
+//! doubling calibration loop (no statistics, no plots, no CLI filtering) —
+//! enough to run the benches and print per-iteration wall time plus
+//! throughput, while keeping them compiling against the upstream call
+//! syntax.
+//!
+//! [`criterion` 0.5 API]: https://docs.rs/criterion/0.5
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum measurement window per benchmark. Short compared to upstream's
+/// defaults on purpose: these benches are smoke-level, not statistical.
+const TARGET_WINDOW: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver (API mirror of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput setting
+/// (API mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how many elements/bytes one iteration processes, so results
+    /// also report a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one_with_throughput(&label, f, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one_with_throughput(&label, |b| f(b, input), self.throughput);
+        self
+    }
+
+    /// Ends the group. (Upstream consumes `self` here too.)
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement handle (API mirror of `criterion::Bencher`).
+pub struct Bencher {
+    /// Mean wall time of one iteration of the most recent `iter` call.
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, doubling the iteration count until the measurement
+    /// window is long enough to trust, then records the mean per-iteration
+    /// time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: one untimed call so lazy initialisation and cold caches
+        // don't land in the measured window.
+        black_box(routine());
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_WINDOW || iters >= 1 << 20 {
+                self.per_iter = elapsed / u32::try_from(iters).unwrap_or(u32::MAX);
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+}
+
+/// Units for rate reporting (API mirror of `criterion::Throughput`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// One iteration processes this many logical elements.
+    Elements(u64),
+    /// One iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier inside a group (API mirror of
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Conversion into a benchmark label; lets group methods accept both
+/// `&str` and [`BenchmarkId`], like upstream.
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+fn run_one<F>(label: &str, f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    run_one_with_throughput(label, f, None);
+}
+
+fn run_one_with_throughput<F>(label: &str, mut f: F, throughput: Option<Throughput>)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { per_iter: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.per_iter;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            let rate = n as f64 / per_iter.as_secs_f64();
+            println!("{label:<40} {per_iter:>12.2?}/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            let rate = n as f64 / per_iter.as_secs_f64();
+            println!("{label:<40} {per_iter:>12.2?}/iter  {rate:>14.0} B/s");
+        }
+        _ => println!("{label:<40} {per_iter:>12.2?}/iter"),
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function
+/// (API mirror of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups
+/// (API mirror of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(128));
+        group.bench_with_input(BenchmarkId::new("id", 128), &128u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("param"), &8u64, |b, n| {
+            b.iter(|| (0..*n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    mod as_macro_target {
+        use super::*;
+
+        fn tiny(c: &mut Criterion) {
+            c.bench_function("macro/tiny", |b| b.iter(|| 1u64 + 1));
+        }
+
+        criterion_group!(benches, tiny);
+
+        #[test]
+        fn group_macro_runs() {
+            benches();
+        }
+    }
+}

@@ -167,7 +167,6 @@ pub fn disassemble(program: &Program) -> String {
     out
 }
 
-
 #[derive(Debug, Default)]
 struct Assembler {
     text_base: Option<u64>,
@@ -323,11 +322,8 @@ impl Assembler {
     fn instruction(&mut self, line: usize, text: &str) -> Result<(), AsmError> {
         self.section = Some(Section::Text);
         let (mnemonic, args) = split_mnemonic(text);
-        let ops: Vec<&str> = if args.is_empty() {
-            Vec::new()
-        } else {
-            args.split(',').map(str::trim).collect()
-        };
+        let ops: Vec<&str> =
+            if args.is_empty() { Vec::new() } else { args.split(',').map(str::trim).collect() };
         let bad = |msg: &str| AsmError { line, kind: AsmErrorKind::BadOperands(msg.into()) };
         let alu = |op: AluOp, ops: &[&str]| -> Result<PendingInstr, AsmError> {
             let [rd, rs1, rs2] = ops else {
@@ -368,11 +364,10 @@ impl Assembler {
                 PendingInstr::Ready(Instr::Addi {
                     rd: parse_reg(rd).map_err(|k| AsmError { line, kind: k })?,
                     rs1: parse_reg(rs1).map_err(|k| AsmError { line, kind: k })?,
-                    imm: parse_literal(imm)
-                        .ok_or_else(|| AsmError {
-                            line,
-                            kind: AsmErrorKind::BadImmediate((*imm).into()),
-                        })? as i32,
+                    imm: parse_literal(imm).ok_or_else(|| AsmError {
+                        line,
+                        kind: AsmErrorKind::BadImmediate((*imm).into()),
+                    })? as i32,
                 })
             }
             "li" => {
@@ -486,11 +481,7 @@ impl Assembler {
             .into_iter()
             .enumerate()
             .filter(|(_, (_, words))| !words.is_empty())
-            .map(|(i, (base, words))| DataSegment {
-                name: format!("{name}.data{i}"),
-                base,
-                words,
-            })
+            .map(|(i, (base, words))| DataSegment { name: format!("{name}.data{i}"), base, words })
             .collect();
         Program::new(name, text_base, code, data, entry, symbols, loop_bounds, vec![])
             .map_err(|e| AsmError { line: last_line, kind: AsmErrorKind::Program(e) })

@@ -389,13 +389,7 @@ mod tests {
             let out = b.data_space("out", 1);
             b.li(R1, input);
             b.li(R2, 5);
-            b.if_else(
-                Cond::Lt,
-                R1,
-                R2,
-                |b| b.li(R3, 100),
-                |b| b.li(R3, 200),
-            );
+            b.if_else(Cond::Lt, R1, R2, |b| b.li(R3, 100), |b| b.li(R3, 200));
             b.li_addr(R4, out);
             b.st(R3, R4, 0);
             let p = b.build().unwrap();

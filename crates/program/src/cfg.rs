@@ -295,11 +295,8 @@ mod tests {
 
     #[test]
     fn loop_back_edge() {
-        let p = assemble(
-            "t",
-            "start: li r1, 3\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt\n",
-        )
-        .unwrap();
+        let p = assemble("t", "start: li r1, 3\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt\n")
+            .unwrap();
         let cfg = Cfg::from_program(&p);
         assert_eq!(cfg.len(), 3); // [li], [loop body], [halt]
         let body = cfg.block_containing(p.symbol("loop").unwrap()).unwrap();
@@ -308,11 +305,8 @@ mod tests {
 
     #[test]
     fn attribution_counts_loop_iterations() {
-        let p = assemble(
-            "t",
-            "start: li r1, 4\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt\n",
-        )
-        .unwrap();
+        let p = assemble("t", "start: li r1, 4\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt\n")
+            .unwrap();
         let cfg = Cfg::from_program(&p);
         let mut sim = Simulator::new(&p);
         let trace = sim.run_to_halt().unwrap();
@@ -339,11 +333,8 @@ mod tests {
         let mut sim = Simulator::new(&p);
         let trace = sim.run_to_halt().unwrap();
         let execs = cfg.attribute(&trace);
-        let stores: usize = execs
-            .iter()
-            .flat_map(|e| &e.accesses)
-            .filter(|a| a.kind == AccessKind::Store)
-            .count();
+        let stores: usize =
+            execs.iter().flat_map(|e| &e.accesses).filter(|a| a.kind == AccessKind::Store).count();
         assert_eq!(stores, 4);
     }
 
@@ -358,11 +349,7 @@ mod tests {
 
     #[test]
     fn jal_creates_edge_jr_terminates() {
-        let p = assemble(
-            "t",
-            ".text 0x1000\nstart: jal r15, f\n halt\nf: nop\n jr r15\n",
-        )
-        .unwrap();
+        let p = assemble("t", ".text 0x1000\nstart: jal r15, f\n halt\nf: nop\n jr r15\n").unwrap();
         let cfg = Cfg::from_program(&p);
         let f = cfg.block_containing(p.symbol("f").unwrap()).unwrap();
         let entry = cfg.block(cfg.entry());

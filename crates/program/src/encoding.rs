@@ -178,7 +178,9 @@ pub fn encode_program(program: &Program) -> Vec<u32> {
             }
             Instr::Li { rd, imm } => {
                 if (IMM22_MIN..=IMM22_MAX).contains(&imm) {
-                    words.push((OP_LI << 26) | (u32::from(rd.number()) << 22) | (imm as u32 & 0x3FFFFF));
+                    words.push(
+                        (OP_LI << 26) | (u32::from(rd.number()) << 22) | (imm as u32 & 0x3FFFFF),
+                    );
                 } else {
                     let hi = (imm as u32) >> 16;
                     let lo = imm as u32 & 0xFFFF;
@@ -361,24 +363,15 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(matches!(
-            decode_program(&[0xFFFF_FFFF], 0),
-            Err(DecodeError::BadOpcode { .. })
-        ));
+        assert!(matches!(decode_program(&[0xFFFF_FFFF], 0), Err(DecodeError::BadOpcode { .. })));
         // A branch pointing outside the image.
         let word = pack(OP_BEQ, 0, 0, 0x3FFFF); // rel = -1 from index 0
         assert!(matches!(decode_program(&[word], 0), Err(DecodeError::BadTarget { index: 0 })));
         // LIHI with no partner.
         let lihi = (OP_LIHI << 26) | 0x12;
-        assert!(matches!(
-            decode_program(&[lihi], 0),
-            Err(DecodeError::DanglingLihi { index: 0 })
-        ));
+        assert!(matches!(decode_program(&[lihi], 0), Err(DecodeError::DanglingLihi { index: 0 })));
         let lilo_alone = OP_LILO << 26;
-        assert!(matches!(
-            decode_program(&[lilo_alone], 0),
-            Err(DecodeError::BadOpcode { .. })
-        ));
+        assert!(matches!(decode_program(&[lilo_alone], 0), Err(DecodeError::BadOpcode { .. })));
     }
 
     #[test]

@@ -180,10 +180,8 @@ pub fn natural_loops(cfg: &Cfg, program: &Program) -> Result<Vec<NaturalLoop>, P
     }
     // Reducibility check: every cycle must be covered by a natural loop.
     // Remove all back edges and verify the residual graph is acyclic.
-    let back_edges: BTreeSet<(BlockId, BlockId)> = loops
-        .iter()
-        .flat_map(|l| l.tails.iter().map(move |t| (*t, l.header)))
-        .collect();
+    let back_edges: BTreeSet<(BlockId, BlockId)> =
+        loops.iter().flat_map(|l| l.tails.iter().map(move |t| (*t, l.header))).collect();
     if residual_has_cycle(cfg, &back_edges) {
         return Err(PathEnumError::Irreducible);
     }
@@ -245,10 +243,8 @@ pub fn enumerate_paths(
     limit: usize,
 ) -> Result<Vec<Vec<BlockId>>, PathEnumError> {
     let loops = natural_loops(cfg, program)?;
-    let back_edges: BTreeSet<(BlockId, BlockId)> = loops
-        .iter()
-        .flat_map(|l| l.tails.iter().map(move |t| (*t, l.header)))
-        .collect();
+    let back_edges: BTreeSet<(BlockId, BlockId)> =
+        loops.iter().flat_map(|l| l.tails.iter().map(move |t| (*t, l.header))).collect();
     let mut paths = Vec::new();
     let mut current = vec![cfg.entry()];
     dfs_paths(cfg, &back_edges, &mut current, &mut paths, limit)?;
@@ -263,13 +259,8 @@ fn dfs_paths(
     limit: usize,
 ) -> Result<(), PathEnumError> {
     let b = *current.last().expect("path is non-empty");
-    let succs: Vec<BlockId> = cfg
-        .block(b)
-        .succs
-        .iter()
-        .copied()
-        .filter(|s| !back_edges.contains(&(b, *s)))
-        .collect();
+    let succs: Vec<BlockId> =
+        cfg.block(b).succs.iter().copied().filter(|s| !back_edges.contains(&(b, *s))).collect();
     if succs.is_empty() {
         if paths.len() >= limit {
             return Err(PathEnumError::TooManyPaths { limit });
@@ -295,11 +286,8 @@ mod tests {
 
     #[test]
     fn dominators_of_diamond() {
-        let p = assemble(
-            "t",
-            "start: beq r1, r0, b\n nop\n beq r0, r0, j\nb: nop\nj: halt\n",
-        )
-        .unwrap();
+        let p =
+            assemble("t", "start: beq r1, r0, b\n nop\n beq r0, r0, j\nb: nop\nj: halt\n").unwrap();
         let cfg = Cfg::from_program(&p);
         let idom = immediate_dominators(&cfg);
         let entry = cfg.entry();
@@ -347,13 +335,7 @@ mod tests {
         let sel = b.data_space("sel", 1);
         b.li_addr(R1, sel);
         b.ld(R2, R1, 0);
-        b.if_else(
-            Cond::Eq,
-            R2,
-            R0,
-            |b| b.counted_loop(3, R3, |b| b.nop()),
-            |b| b.nop(),
-        );
+        b.if_else(Cond::Eq, R2, R0, |b| b.counted_loop(3, R3, |b| b.nop()), |b| b.nop());
         let p = b.build().unwrap();
         let cfg = Cfg::from_program(&p);
         let paths = enumerate_paths(&cfg, &p, 100).unwrap();
@@ -402,11 +384,8 @@ mod tests {
 
     #[test]
     fn default_bound_applies_when_unannotated() {
-        let p = assemble(
-            "t",
-            "start: li r1, 6\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt\n",
-        )
-        .unwrap();
+        let p = assemble("t", "start: li r1, 6\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt\n")
+            .unwrap();
         let cfg = Cfg::from_program(&p);
         let loops = natural_loops(&cfg, &p).unwrap();
         assert_eq!(loops[0].bound, None);

@@ -394,8 +394,7 @@ mod tests {
         let mut sim = Simulator::new(&p);
         let trace = sim.run_to_halt().unwrap();
         assert_eq!(sim.memory().read(0x8004).unwrap(), 42);
-        let loads: Vec<_> =
-            trace.accesses.iter().filter(|a| a.kind == AccessKind::Load).collect();
+        let loads: Vec<_> = trace.accesses.iter().filter(|a| a.kind == AccessKind::Load).collect();
         let stores: Vec<_> =
             trace.accesses.iter().filter(|a| a.kind == AccessKind::Store).collect();
         assert_eq!(loads.len(), 1);

@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 use rtprogram::asm::{assemble, disassemble};
-use rtprogram::encoding::{decode_program, encode_program};
 use rtprogram::builder::ProgramBuilder;
 use rtprogram::cfg::Cfg;
+use rtprogram::encoding::{decode_program, encode_program};
 use rtprogram::isa::regs::*;
 use rtprogram::isa::Cond;
 use rtprogram::paths::{enumerate_paths, immediate_dominators, natural_loops};
@@ -25,13 +25,11 @@ enum Stmt {
 }
 
 fn arb_stmts(depth: u32) -> impl Strategy<Value = Vec<Stmt>> {
-    let leaf = prop_oneof![
-        (0u8..8).prop_map(Stmt::Arith),
-        (0u8..16).prop_map(Stmt::LoadStore),
-    ];
+    let leaf = prop_oneof![(0u8..8).prop_map(Stmt::Arith), (0u8..16).prop_map(Stmt::LoadStore),];
     let stmt = leaf.prop_recursive(depth, 24, 4, |inner| {
         prop_oneof![
-            ((1u8..5), prop::collection::vec(inner.clone(), 1..4)).prop_map(|(n, b)| Stmt::Loop(n, b)),
+            ((1u8..5), prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(n, b)| Stmt::Loop(n, b)),
             prop::collection::vec(inner.clone(), 1..3).prop_map(Stmt::If),
             (prop::collection::vec(inner.clone(), 1..3), prop::collection::vec(inner, 1..3))
                 .prop_map(|(t, e)| Stmt::IfElse(t, e)),
@@ -67,13 +65,7 @@ fn emit(b: &mut ProgramBuilder, stmts: &[Stmt], buf: u64, depth: u8) {
                 b.if_then(Cond::Ge, R6, R0, |b| emit(b, body, buf, depth));
             }
             Stmt::IfElse(t, e) => {
-                b.if_else(
-                    Cond::Lt,
-                    R6,
-                    R0,
-                    |b| emit(b, t, buf, depth),
-                    |b| emit(b, e, buf, depth),
-                );
+                b.if_else(Cond::Lt, R6, R0, |b| emit(b, t, buf, depth), |b| emit(b, e, buf, depth));
             }
         }
     }

@@ -1,0 +1,216 @@
+//! Offline drop-in replacement for the subset of the [`rand` 0.9 API] this
+//! workspace uses.
+//!
+//! The build container has no registry access, so depending on the real
+//! `rand` crate would make even `cargo build --offline` fail at dependency
+//! resolution. This crate is aliased to the `rand` name in the workspace
+//! manifest and provides [`rngs::StdRng`], [`SeedableRng`] and [`Rng`]
+//! with identical call syntax. The generator is SplitMix64 — not the real
+//! crate's ChaCha12 — so *sequences differ* from upstream `rand`, but all
+//! in-repo consumers only require determinism for a fixed seed, which
+//! SplitMix64 provides.
+//!
+//! [`rand` 0.9 API]: https://docs.rs/rand/0.9
+//!
+//! ```
+//! // Consumers write `use rand::...` thanks to the manifest alias; inside
+//! // this crate's own doctests the real package name is visible instead.
+//! use rand_lite::rngs::StdRng;
+//! use rand_lite::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let a: i32 = rng.random_range(-100..100);
+//! assert!((-100..100).contains(&a));
+//! let b: u64 = rng.random();
+//! let mut again = StdRng::seed_from_u64(7);
+//! assert_eq!(again.random_range(-100..100), a);
+//! assert_eq!(again.random::<u64>(), b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators (API mirror of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be produced uniformly by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one value from a 64-bit entropy source.
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+/// Ranges that [`Rng::random_range`] can sample from uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value in the range from a 64-bit entropy source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+/// The user-facing generator methods (API mirror of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(&mut || self.next_u64())
+    }
+
+    /// A uniform value over `T`'s full domain.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(&mut || self.next_u64())
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// The workspace's standard generator: SplitMix64 (Steele et al.,
+    /// "Fast splittable pseudorandom number generators", OOPSLA 2014).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        /// Advances the state and returns the next 64 output bits.
+        pub fn next_output(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_output()
+    }
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+                next() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+/// Uniform draw in `[0, span)` by modulo reduction (the slight bias for
+/// huge spans is irrelevant for test-data generation).
+fn below(next: &mut dyn FnMut() -> u64, span: u64) -> u64 {
+    assert!(span > 0, "cannot sample an empty range");
+    next() % span
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + i128::from(below(next, span))) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample an empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return next() as $t;
+                }
+                (start as i128 + i128::from(below(next, span + 1))) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i32 = rng.random_range(-100..100);
+            assert!((-100..100).contains(&v));
+            let w: u32 = rng.random_range(2..6);
+            assert!((2..6).contains(&w));
+            let x: usize = rng.random_range(1..=3);
+            assert!((1..=3).contains(&x));
+        }
+    }
+
+    #[test]
+    fn full_domain_draws() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen_high_bit = false;
+        for _ in 0..64 {
+            let v: u64 = rng.random();
+            seen_high_bit |= v >> 63 == 1;
+        }
+        assert!(seen_high_bit, "full u64 domain must be reachable");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _: u32 = rng.random_range(5..5);
+    }
+}

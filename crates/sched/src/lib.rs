@@ -56,7 +56,9 @@ pub use timeline::render_timeline;
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
-use rtcache::{CacheGeometry, CacheHierarchy, CacheSim, LevelOutcome, MemoryBlock, ReplacementPolicy};
+use rtcache::{
+    CacheGeometry, CacheHierarchy, CacheSim, LevelOutcome, MemoryBlock, ReplacementPolicy,
+};
 use rtprogram::sim::{trace_variant, AccessKind, MemoryAccess};
 use rtprogram::{ExecError, Program};
 use rtwcet::TimingModel;
@@ -262,13 +264,14 @@ enum MemorySystem {
 impl MemorySystem {
     fn build(config: &SchedConfig) -> Result<Self, SimError> {
         match config.l2 {
-            None => Ok(MemorySystem::Single(CacheSim::with_policy(
-                config.geometry,
-                config.replacement,
-            ))),
-            Some(l2) => CacheHierarchy::with_policy(config.geometry, l2.geometry, config.replacement)
-                .map(MemorySystem::Two)
-                .map_err(SimError::Hierarchy),
+            None => {
+                Ok(MemorySystem::Single(CacheSim::with_policy(config.geometry, config.replacement)))
+            }
+            Some(l2) => {
+                CacheHierarchy::with_policy(config.geometry, l2.geometry, config.replacement)
+                    .map(MemorySystem::Two)
+                    .map_err(SimError::Hierarchy)
+            }
         }
     }
 
@@ -285,9 +288,7 @@ impl MemorySystem {
             }
             MemorySystem::Two(h) => match h.access_block(block) {
                 LevelOutcome::L1Hit => (0, false),
-                LevelOutcome::L2Hit => {
-                    (config.l2.expect("two-level config present").penalty, true)
-                }
+                LevelOutcome::L2Hit => (config.l2.expect("two-level config present").penalty, true),
                 LevelOutcome::MemMiss => (config.model.miss_penalty, true),
             },
         }
@@ -429,10 +430,9 @@ pub fn simulate(tasks: &[SchedTask], config: &SchedConfig) -> Result<SimReport, 
     // Shared mode uses caches[0] for everyone; private mode one per task.
     let mut caches: Vec<MemorySystem> = match config.cache_mode {
         CacheMode::Shared => vec![MemorySystem::build(config)?],
-        CacheMode::Private => tasks
-            .iter()
-            .map(|_| MemorySystem::build(config))
-            .collect::<Result<_, _>>()?,
+        CacheMode::Private => {
+            tasks.iter().map(|_| MemorySystem::build(config)).collect::<Result<_, _>>()?
+        }
     };
     let cache_of = |task: usize| match config.cache_mode {
         CacheMode::Shared => 0,
@@ -476,11 +476,8 @@ pub fn simulate(tasks: &[SchedTask], config: &SchedConfig) -> Result<SimReport, 
         // Pick the highest-priority task with a pending job.
         let Some(&next) = prio_order.iter().find(|i| !runtimes[**i].queue.is_empty()) else {
             // Idle: jump to the next release inside the horizon, or stop.
-            let upcoming = runtimes
-                .iter()
-                .map(|rt| rt.next_release)
-                .filter(|r| *r < config.horizon)
-                .min();
+            let upcoming =
+                runtimes.iter().map(|rt| rt.next_release).filter(|r| *r < config.horizon).min();
             match upcoming {
                 Some(t) if t > time => {
                     if let Some(cur) = current.take() {
@@ -500,11 +497,8 @@ pub fn simulate(tasks: &[SchedTask], config: &SchedConfig) -> Result<SimReport, 
                 close_slice(&mut slices, cur, slice_start, time);
                 // Switching away from an unfinished job = a preemption of
                 // `cur` by `next` (cur still has a job at queue front).
-                let started_variant = runtimes[cur]
-                    .queue
-                    .front()
-                    .filter(|job| job.started)
-                    .map(|job| job.variant);
+                let started_variant =
+                    runtimes[cur].queue.front().filter(|job| job.started).map(|job| job.variant);
                 if let Some(variant) = started_variant {
                     let cache = &caches[cache_of(cur)];
                     let resident: BTreeSet<MemoryBlock> = runtimes[cur].footprints[variant]
@@ -685,11 +679,7 @@ mod tests {
     #[test]
     fn response_grows_with_interference() {
         let lo = busy("lo", 0x1000, 0x100000, 500, 8);
-        let solo = simulate(
-            &[SchedTask::new(lo.clone(), 10_000_000, 2)],
-            &config(1, 0),
-        )
-        .unwrap();
+        let solo = simulate(&[SchedTask::new(lo.clone(), 10_000_000, 2)], &config(1, 0)).unwrap();
         let hi = busy("hi", 0x8000, 0x110000, 5, 2);
         let both = simulate(
             &[SchedTask::new(hi, 3_000, 1), SchedTask::new(lo, 10_000_000, 2)],
@@ -832,10 +822,7 @@ mod tests {
         let mut cfg = config(1, 0);
         cfg.geometry = CacheGeometry::new(32, 2, 16).unwrap();
         let flat = simulate(&[SchedTask::new(big.clone(), 10_000_000, 1)], &cfg).unwrap();
-        cfg.l2 = Some(L2Config {
-            geometry: CacheGeometry::new(512, 4, 16).unwrap(),
-            penalty: 2,
-        });
+        cfg.l2 = Some(L2Config { geometry: CacheGeometry::new(512, 4, 16).unwrap(), penalty: 2 });
         let layered = simulate(&[SchedTask::new(big, 10_000_000, 1)], &cfg).unwrap();
         assert!(
             layered.tasks[0].max_response < flat.tasks[0].max_response,

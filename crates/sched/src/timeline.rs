@@ -102,6 +102,8 @@ mod tests {
     fn clamps_past_horizon() {
         let slices = vec![ExecSlice { task: 0, start: 90, end: 500 }];
         let s = render_timeline(&slices, &["t"], &[1000], 100, 10);
-        assert!(s.lines().next().unwrap().ends_with('▌') || s.lines().next().unwrap().ends_with('█'));
+        assert!(
+            s.lines().next().unwrap().ends_with('▌') || s.lines().next().unwrap().ends_with('█')
+        );
     }
 }

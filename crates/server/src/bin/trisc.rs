@@ -1,0 +1,24 @@
+//! The `trisc` binary: one-shot analysis commands plus `trisc serve`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match rtcli::parse(std::env::args().skip(1).collect()) {
+        Ok(rtcli::Invocation::Output(output)) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Ok(rtcli::Invocation::Serve(opts)) => match rtserver::run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(error) => {
+                eprintln!("trisc serve: {error}");
+                ExitCode::from(2)
+            }
+        },
+        Err(error) => {
+            eprintln!("trisc: {error}");
+            eprintln!("{}", rtcli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

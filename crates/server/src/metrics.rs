@@ -1,0 +1,185 @@
+//! Built-in observability: per-endpoint request counters, error counters
+//! and log₂-bucketed latency histograms, snapshotted by the `metrics`
+//! request.
+//!
+//! Latencies land in buckets `[2^i, 2^(i+1))` microseconds, so reported
+//! percentiles are upper bounds with at most 2× resolution — plenty to
+//! tell a 50 µs cache hit from a 50 ms cold analysis, at a fixed 512-byte
+//! footprint per endpoint and O(1) recording cost.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::store::ArtifactStore;
+
+/// Number of log₂ buckets: covers up to 2^40 µs (~13 days) per request.
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram.
+#[derive(Debug, Clone)]
+struct Histogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` µs (0 µs lands in
+    /// bucket 0 too).
+    buckets: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; BUCKETS], total: 0 }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, micros: u64) {
+        let index = (63 - u64::leading_zeros(micros.max(1)) as usize).min(BUCKETS - 1);
+        self.buckets[index] += 1;
+        self.total += 1;
+    }
+
+    /// The upper bound (in µs) of the bucket holding the `q`-quantile
+    /// sample, or 0 with no samples. `q` in `[0, 1]`.
+    fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        // ceil(q * total) with a floor of 1: the rank of the quantile
+        // sample in ascending order.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return (1u64 << (i + 1)) - 1;
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct EndpointStats {
+    requests: u64,
+    errors: u64,
+    latency: Histogram,
+}
+
+/// Server-wide metrics. One instance lives in the shared server state;
+/// workers record one sample per handled request.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    endpoints: Mutex<BTreeMap<&'static str, EndpointStats>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics { started: Instant::now(), endpoints: Mutex::new(BTreeMap::new()) }
+    }
+}
+
+impl Metrics {
+    /// Records one handled request for `endpoint`.
+    pub fn record(&self, endpoint: &'static str, ok: bool, elapsed: Duration) {
+        let mut endpoints = self.endpoints.lock().expect("metrics lock");
+        let stats = endpoints.entry(endpoint).or_default();
+        stats.requests += 1;
+        if !ok {
+            stats.errors += 1;
+        }
+        stats.latency.record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Snapshots everything — uptime, per-endpoint counters and latency
+    /// percentiles, and the artifact-cache counters — as the `metrics`
+    /// response payload.
+    pub fn snapshot(&self, store: &ArtifactStore) -> Json {
+        let endpoints = self.endpoints.lock().expect("metrics lock");
+        let per_endpoint = endpoints
+            .iter()
+            .map(|(name, stats)| {
+                let json = Json::obj([
+                    ("requests", Json::from(stats.requests)),
+                    ("errors", Json::from(stats.errors)),
+                    ("p50_us", Json::from(stats.latency.quantile_upper_bound(0.50))),
+                    ("p95_us", Json::from(stats.latency.quantile_upper_bound(0.95))),
+                    ("p99_us", Json::from(stats.latency.quantile_upper_bound(0.99))),
+                ]);
+                ((*name).to_string(), json)
+            })
+            .collect();
+        Json::obj([
+            ("uptime_secs", Json::from(self.uptime_secs())),
+            ("endpoints", Json::Obj(per_endpoint)),
+            (
+                "artifact_cache",
+                Json::obj([
+                    ("hits", Json::from(store.hits())),
+                    ("misses", Json::from(store.misses())),
+                    ("entries", Json::from(store.len() as u64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for micros in [0, 1, 2, 3, 4, 1000, 1_000_000] {
+            h.record(micros);
+        }
+        assert_eq!(h.total, 7);
+        assert_eq!(h.buckets[0], 2, "0 and 1 µs share bucket 0");
+        assert_eq!(h.buckets[1], 2, "2 and 3 µs");
+        assert_eq!(h.buckets[2], 1, "4 µs");
+        assert_eq!(h.buckets[9], 1, "1000 µs in [512, 1024)");
+        assert_eq!(h.buckets[19], 1, "1 s in [2^19, 2^20) µs");
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds_and_monotone() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile_upper_bound(0.5), 0, "empty histogram");
+        for _ in 0..98 {
+            h.record(10); // bucket 3: [8, 16)
+        }
+        h.record(100_000); // bucket 16
+        h.record(100_000);
+        let p50 = h.quantile_upper_bound(0.50);
+        let p95 = h.quantile_upper_bound(0.95);
+        let p99 = h.quantile_upper_bound(0.99);
+        assert_eq!(p50, 15, "the p50 sample is a 10 µs one");
+        assert_eq!(p95, 15);
+        assert!(p99 >= 100_000, "p99 must reach the slow tail, got {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let metrics = Metrics::default();
+        let store = ArtifactStore::default();
+        metrics.record("wcrt", true, Duration::from_micros(300));
+        metrics.record("wcrt", false, Duration::from_micros(700));
+        metrics.record("ping", true, Duration::from_micros(2));
+        let snap = metrics.snapshot(&store);
+        let wcrt = snap.get("endpoints").unwrap().get("wcrt").unwrap();
+        assert_eq!(wcrt.get("requests").unwrap().as_u64(), Some(2));
+        assert_eq!(wcrt.get("errors").unwrap().as_u64(), Some(1));
+        assert!(wcrt.get("p99_us").unwrap().as_u64().unwrap() >= 700);
+        let cache = snap.get("artifact_cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(0));
+        assert!(snap.get("uptime_secs").unwrap().as_u64().is_some());
+    }
+}

@@ -1,0 +1,123 @@
+//! A fixed-size worker thread pool over an [`mpsc`] channel.
+//!
+//! Analysis requests are CPU-bound, so the pool is sized once at startup
+//! (`trisc serve --threads N`) instead of spawning per connection.
+//! Workers pull jobs from a shared receiver; dropping the pool closes the
+//! channel, lets every queued and in-flight job finish, and joins the
+//! threads — which is exactly the drain the server's graceful shutdown
+//! needs.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool. Dropping it drains queued jobs and joins all workers.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a worker pool needs at least one thread");
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("rtserver-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while dequeueing, not while
+                        // running the job, or the pool would serialize.
+                        let job = receiver.lock().expect("pool lock").recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // channel closed: drain done
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool { sender: Some(sender), workers }
+    }
+
+    /// Queues `job`; some idle worker will run it.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(sender) = &self.sender {
+            // Send can only fail when every worker has exited, which only
+            // happens after drain(); jobs submitted that late are dropped.
+            let _ = sender.send(Box::new(job));
+        }
+    }
+
+    /// Closes the queue, waits for every queued and in-flight job, and
+    /// joins the workers.
+    pub fn drain(&mut self) {
+        self.sender.take(); // closing the channel stops `recv` loops
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_concurrently() {
+        let pool = WorkerPool::new(4);
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let running = Arc::clone(&running);
+            let peak = Arc::clone(&peak);
+            pool.execute(move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(30));
+                running.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drains
+        assert!(peak.load(Ordering::SeqCst) > 1, "jobs never overlapped");
+    }
+
+    #[test]
+    fn drop_waits_for_queued_jobs() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(2);
+        for _ in 0..16 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 16, "drain must not drop queued jobs");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_is_a_bug() {
+        let _ = WorkerPool::new(0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The wire protocol: one JSON object per line, in both directions.
+//!
+//! ## Requests
+//!
+//! ```text
+//! {"id": 1, "cmd": "wcrt", "spec": "cache 512 4 16\ntask a a.s 1000 1\n",
+//!  "sources": {"a.s": "start: li r1, 7\nhalt\n"}}
+//! ```
+//!
+//! | `cmd`      | payload                                   | reply payload       |
+//! |------------|-------------------------------------------|---------------------|
+//! | `ping`     | —                                         | `"output": "pong"`  |
+//! | `wcet`     | `spec` (+ optional `sources`)             | `trisc wcet` text per task |
+//! | `crpd`     | `spec` with exactly two tasks             | `trisc crpd` text   |
+//! | `wcrt`     | `spec`                                    | `trisc wcrt` text   |
+//! | `sim`      | `spec` (+ optional `horizon` in cycles)   | `trisc sim` text    |
+//! | `metrics`  | —                                         | `"metrics": {...}`  |
+//! | `shutdown` | —                                         | ack, then drain     |
+//!
+//! The `spec` payload is exactly the [`SystemSpec`] text format the
+//! one-shot CLI reads from disk (`trisc wcrt system.spec`); `sources`
+//! optionally maps a task's `FILE` field to inline assembly text so a
+//! request can be self-contained. Files not found in `sources` are read
+//! from the server's filesystem as a fallback.
+//!
+//! ## Responses
+//!
+//! Success: `{"id": 1, "ok": true, "output": "..."}` (plus `"metrics"`
+//! for the metrics command). Failure: `{"id": 1, "ok": false, "error":
+//! "..."}`. The `id` is echoed verbatim when the request carried one, so
+//! clients may pipeline requests over one connection.
+//!
+//! [`SystemSpec`]: rtcli::SystemSpec
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// One parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Echoed back in the response if present.
+    pub id: Option<u64>,
+    /// What to do.
+    pub cmd: Command,
+}
+
+/// The request payload per command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Liveness probe.
+    Ping,
+    /// Observability snapshot.
+    Metrics,
+    /// Stop accepting connections, drain in-flight work, exit.
+    Shutdown,
+    /// Per-task WCET reports for every task of the spec.
+    Wcet(SpecPayload),
+    /// The four reload bounds for a two-task spec (first = preempted,
+    /// second = preempting).
+    Crpd(SpecPayload),
+    /// The WCRT table for the spec's task system.
+    Wcrt(SpecPayload),
+    /// Scheduler co-simulation of the spec's task system.
+    Sim {
+        /// The task system.
+        payload: SpecPayload,
+        /// Simulation horizon in cycles (default: the CLI's).
+        horizon: Option<u64>,
+    },
+}
+
+impl Command {
+    /// The metrics label for this command.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Command::Ping => "ping",
+            Command::Metrics => "metrics",
+            Command::Shutdown => "shutdown",
+            Command::Wcet(_) => "wcet",
+            Command::Crpd(_) => "crpd",
+            Command::Wcrt(_) => "wcrt",
+            Command::Sim { .. } => "sim",
+        }
+    }
+}
+
+/// A system spec travelling over the wire, with optional inline sources.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpecPayload {
+    /// [`rtcli::SystemSpec`] text.
+    pub spec: String,
+    /// `FILE` field → assembly text. Tasks whose file is absent here fall
+    /// back to the server's filesystem.
+    pub sources: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, a missing or
+    /// unknown `cmd`, or payload fields of the wrong type.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line).map_err(|e| e.to_string())?;
+        let id = match doc.get("id") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or("`id` must be a non-negative integer")?),
+        };
+        let cmd_name = doc.get("cmd").and_then(Json::as_str).ok_or("missing string field `cmd`")?;
+        let cmd = match cmd_name {
+            "ping" => Command::Ping,
+            "metrics" => Command::Metrics,
+            "shutdown" => Command::Shutdown,
+            "wcet" => Command::Wcet(spec_payload(&doc)?),
+            "crpd" => Command::Crpd(spec_payload(&doc)?),
+            "wcrt" => Command::Wcrt(spec_payload(&doc)?),
+            "sim" => {
+                let horizon = match doc.get("horizon") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or("`horizon` must be a non-negative integer")?),
+                };
+                Command::Sim { payload: spec_payload(&doc)?, horizon }
+            }
+            other => {
+                return Err(format!(
+                    "unknown cmd `{other}` (expected ping|wcet|crpd|wcrt|sim|metrics|shutdown)"
+                ))
+            }
+        };
+        Ok(Request { id, cmd })
+    }
+}
+
+fn spec_payload(doc: &Json) -> Result<SpecPayload, String> {
+    let spec =
+        doc.get("spec").and_then(Json::as_str).ok_or("missing string field `spec`")?.to_string();
+    let mut sources = BTreeMap::new();
+    match doc.get("sources") {
+        None | Some(Json::Null) => {}
+        Some(Json::Obj(map)) => {
+            for (file, text) in map {
+                let text =
+                    text.as_str().ok_or_else(|| format!("source `{file}` must be a string"))?;
+                sources.insert(file.clone(), text.to_string());
+            }
+        }
+        Some(_) => return Err("`sources` must be an object of strings".to_string()),
+    }
+    Ok(SpecPayload { spec, sources })
+}
+
+fn id_json(id: Option<u64>) -> Json {
+    id.map_or(Json::Null, Json::from)
+}
+
+/// Encodes a success response carrying output text.
+pub fn ok_response(id: Option<u64>, output: &str) -> String {
+    Json::obj([("id", id_json(id)), ("ok", Json::Bool(true)), ("output", Json::from(output))])
+        .encode()
+}
+
+/// Encodes a success response carrying a structured payload under `key`.
+pub fn ok_response_with(id: Option<u64>, key: &str, value: Json) -> String {
+    Json::obj([("id", id_json(id)), ("ok", Json::Bool(true)), (key, value)]).encode()
+}
+
+/// Encodes a failure response.
+pub fn err_response(id: Option<u64>, error: &str) -> String {
+    Json::obj([("id", id_json(id)), ("ok", Json::Bool(false)), ("error", Json::from(error))])
+        .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_command() {
+        let r = Request::parse(r#"{"id":3,"cmd":"ping"}"#).unwrap();
+        assert_eq!(r.id, Some(3));
+        assert_eq!(r.cmd, Command::Ping);
+        assert_eq!(r.cmd.endpoint(), "ping");
+
+        let r = Request::parse(
+            r#"{"cmd":"wcrt","spec":"task a a.s 1 1\n","sources":{"a.s":"halt\n"}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, None);
+        let Command::Wcrt(p) = r.cmd else { panic!("expected wcrt") };
+        assert_eq!(p.spec, "task a a.s 1 1\n");
+        assert_eq!(p.sources.get("a.s").map(String::as_str), Some("halt\n"));
+
+        let r = Request::parse(r#"{"cmd":"sim","spec":"s","horizon":4096}"#).unwrap();
+        let Command::Sim { horizon, .. } = r.cmd else { panic!("expected sim") };
+        assert_eq!(horizon, Some(4096));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, needle) in [
+            ("{", "invalid json"),
+            (r#"{"cmd":"frobnicate"}"#, "unknown cmd"),
+            (r#"{"id":"x","cmd":"ping"}"#, "`id`"),
+            (r#"{"cmd":"wcrt"}"#, "`spec`"),
+            (r#"{"cmd":"wcrt","spec":"s","sources":[1]}"#, "`sources`"),
+            (r#"{"cmd":"wcrt","spec":"s","sources":{"a.s":7}}"#, "a.s"),
+            (r#"{"cmd":"sim","spec":"s","horizon":-1}"#, "`horizon`"),
+            (r#"{"spec":"s"}"#, "`cmd`"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let ok = ok_response(Some(1), "two\nlines\n");
+        assert!(!ok.contains('\n'));
+        let doc = Json::parse(&ok).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("output").unwrap().as_str(), Some("two\nlines\n"));
+
+        let err = err_response(None, "boom");
+        let doc = Json::parse(&err).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("id"), Some(&Json::Null));
+    }
+}

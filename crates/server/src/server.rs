@@ -1,0 +1,426 @@
+//! The TCP daemon: accept loop, request execution and graceful shutdown.
+//!
+//! Connections are the unit of dispatch: each accepted socket becomes one
+//! job on the fixed [`WorkerPool`], whose worker serves that client's
+//! requests back-to-back until it disconnects. Requests on *different*
+//! connections therefore execute concurrently (up to the pool size),
+//! while each client observes its own requests in order — which is what
+//! a pipelined newline-delimited protocol needs.
+//!
+//! Shutdown protocol: a `shutdown` request is acknowledged on its own
+//! connection, then the shutdown flag is raised and the server pokes its
+//! own listener with an empty connection to unblock `accept`. The accept
+//! loop exits, the pool drains (every queued connection and in-flight
+//! request still completes), and `serve` returns.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crpd::{AnalyzedTask, TaskParams};
+use rtcli::spec::SpecTask;
+use rtcli::{
+    cmd_crpd_with, cmd_sim_with, cmd_wcet, cmd_wcrt_with, CliError, ServeOptions, SystemSpec,
+};
+
+use crate::metrics::Metrics;
+use crate::pool::WorkerPool;
+use crate::proto::{err_response, ok_response, ok_response_with, Command, Request, SpecPayload};
+use crate::store::ArtifactStore;
+
+/// State shared by every worker: the artifact cache, the metrics
+/// registry and the shutdown flag.
+#[derive(Debug, Default)]
+pub struct ServerState {
+    /// Memoized analysis artifacts.
+    pub store: ArtifactStore,
+    /// Request counters and latency histograms.
+    pub metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn begin_shutdown(&self, listener_addr: SocketAddr) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; the probe connection is dropped there.
+        let _ = TcpStream::connect(listener_addr);
+    }
+}
+
+/// A bound, not-yet-serving analysis server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    pool: WorkerPool,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (bad host, port in use, …).
+    pub fn bind(opts: &ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind((opts.host.as_str(), opts.port))?;
+        Ok(Server {
+            listener,
+            pool: WorkerPool::new(opts.threads),
+            state: Arc::new(ServerState::default()),
+        })
+    }
+
+    /// The bound address (resolves `--port 0` to the actual port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error for a dead socket.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains in-flight
+    /// work and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for a dead listener socket; per-connection
+    /// failures are contained to their connection.
+    pub fn serve(mut self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&self.state);
+            self.pool.execute(move || handle_connection(stream, &state, addr));
+        }
+        self.pool.drain();
+        Ok(())
+    }
+
+    /// Binds and serves on a background thread; returns a handle with the
+    /// resolved address. Used by tests and embedding callers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn spawn(opts: &ServeOptions) -> io::Result<ServerHandle> {
+        let server = Server::bind(opts)?;
+        let addr = server.local_addr()?;
+        let thread = std::thread::Builder::new()
+            .name("rtserver-accept".to_string())
+            .spawn(move || server.serve())?;
+        Ok(ServerHandle { addr, thread })
+    }
+}
+
+/// A running background server (see [`Server::spawn`]).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The resolved listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to finish (i.e. for a `shutdown` request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serve error, or reports a panicked server thread.
+    pub fn join(self) -> io::Result<()> {
+        self.thread.join().map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+/// Binds, prints the listening address, and serves until shutdown. The
+/// `trisc serve` entry point.
+///
+/// # Errors
+///
+/// Returns bind/listener errors.
+pub fn run(opts: &ServeOptions) -> io::Result<()> {
+    let server = Server::bind(opts)?;
+    println!("rtserver listening on {} ({} worker threads)", server.local_addr()?, opts.threads);
+    server.serve()
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState, listener_addr: SocketAddr) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_request(state, &line);
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+        if shutdown {
+            state.begin_shutdown(listener_addr);
+            break;
+        }
+    }
+}
+
+/// Executes one request line; returns the response line and whether this
+/// request asked the server to shut down.
+fn handle_request(state: &ServerState, line: &str) -> (String, bool) {
+    let started = Instant::now();
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => {
+            state.metrics.record("invalid", false, started.elapsed());
+            return (err_response(None, &message), false);
+        }
+    };
+    let endpoint = request.cmd.endpoint();
+    let id = request.id;
+    let (response, ok, shutdown) = match &request.cmd {
+        Command::Ping => (ok_response(id, "pong"), true, false),
+        Command::Metrics => {
+            (ok_response_with(id, "metrics", state.metrics.snapshot(&state.store)), true, false)
+        }
+        Command::Shutdown => (ok_response(id, "draining in-flight work, then exiting"), true, true),
+        Command::Wcet(payload) => finish(id, run_wcet(payload)),
+        Command::Crpd(payload) => finish(id, run_crpd(state, payload)),
+        Command::Wcrt(payload) => finish(id, run_wcrt(state, payload)),
+        Command::Sim { payload, horizon } => finish(id, run_sim(payload, *horizon)),
+    };
+    state.metrics.record(endpoint, ok, started.elapsed());
+    (response, shutdown)
+}
+
+fn finish(id: Option<u64>, result: Result<String, CliError>) -> (String, bool, bool) {
+    match result {
+        Ok(output) => (ok_response(id, &output), true, false),
+        Err(error) => (err_response(id, &error.to_string()), false, false),
+    }
+}
+
+/// Parses the payload's spec with an empty base dir, leaving task `FILE`
+/// fields as the literal keys the `sources` map uses.
+fn parse_spec(payload: &SpecPayload) -> Result<SystemSpec, CliError> {
+    SystemSpec::parse(&payload.spec, Path::new(""))
+}
+
+/// A task's source text: the inline `sources` entry if present, else the
+/// server's filesystem.
+fn resolve_source(payload: &SpecPayload, task: &SpecTask) -> Result<String, CliError> {
+    let key = task.source.to_string_lossy();
+    if let Some(text) = payload.sources.get(key.as_ref()) {
+        return Ok(text.clone());
+    }
+    std::fs::read_to_string(&task.source)
+        .map_err(|e| CliError::Io(format!("{}: {e}", task.source.display())))
+}
+
+fn run_wcet(payload: &SpecPayload) -> Result<String, CliError> {
+    let spec = parse_spec(payload)?;
+    let mut out = String::new();
+    for task in &spec.tasks {
+        out.push_str(&cmd_wcet(&task.name, &resolve_source(payload, task)?, &spec.cache)?);
+    }
+    Ok(out)
+}
+
+fn run_crpd(state: &ServerState, payload: &SpecPayload) -> Result<String, CliError> {
+    let spec = parse_spec(payload)?;
+    let [preempted_task, preempting_task] = spec.tasks.as_slice() else {
+        return Err(CliError::Spec(
+            "crpd needs exactly two task lines: the preempted task, then the preempting task"
+                .into(),
+        ));
+    };
+    let geometry = spec.cache.geometry()?;
+    let model = spec.cache.model();
+    // Mirror the one-shot CLI exactly (`cmd_crpd`): pair analysis uses
+    // pseudo-parameters — unbounded period, priorities 2 (preempted) and
+    // 1 (preempting) — so the server's report is byte-identical.
+    let memoized = |task: &SpecTask, priority: u32| -> Result<Arc<AnalyzedTask>, CliError> {
+        state.store.analyzed(
+            &task.name,
+            &resolve_source(payload, task)?,
+            TaskParams { period: u64::MAX, priority },
+            geometry,
+            model,
+        )
+    };
+    let preempted = memoized(preempted_task, 2)?;
+    let preempting = memoized(preempting_task, 1)?;
+    Ok(cmd_crpd_with(&preempted, &preempting, &spec.cache))
+}
+
+fn run_wcrt(state: &ServerState, payload: &SpecPayload) -> Result<String, CliError> {
+    let spec = parse_spec(payload)?;
+    let geometry = spec.cache.geometry()?;
+    let model = spec.cache.model();
+    let tasks: Vec<Arc<AnalyzedTask>> = spec
+        .tasks
+        .iter()
+        .map(|task| {
+            state.store.analyzed(
+                &task.name,
+                &resolve_source(payload, task)?,
+                TaskParams { period: task.period, priority: task.priority },
+                geometry,
+                model,
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    cmd_wcrt_with(&spec, &tasks)
+}
+
+fn run_sim(payload: &SpecPayload, horizon: Option<u64>) -> Result<String, CliError> {
+    let spec = parse_spec(payload)?;
+    let programs = spec.programs_with(&mut |task| resolve_source(payload, task))?;
+    cmd_sim_with(&spec, &programs, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    const TASK_A: &str = ".data 0x100000\nbuf: .word 1,2,3\n.text 0x1000\nstart: li r1, buf\nld r2, 0(r1)\nld r2, 0(r1)\nhalt\n";
+    const TASK_B: &str =
+        ".data 0x100400\nbuf: .word 7\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\nhalt\n";
+
+    fn spawn() -> ServerHandle {
+        let opts = ServeOptions { host: "127.0.0.1".into(), port: 0, threads: 2 };
+        Server::spawn(&opts).expect("bind on an ephemeral port")
+    }
+
+    fn roundtrip(addr: SocketAddr, lines: &[String]) -> Vec<Json> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        lines
+            .iter()
+            .map(|line| {
+                writeln!(writer, "{line}").and_then(|()| writer.flush()).expect("send");
+                let mut response = String::new();
+                reader.read_line(&mut response).expect("recv");
+                Json::parse(response.trim_end()).expect("response is json")
+            })
+            .collect()
+    }
+
+    fn wcrt_request(id: u64) -> String {
+        Json::obj([
+            ("id", Json::from(id)),
+            ("cmd", Json::from("wcrt")),
+            (
+                "spec",
+                Json::from(
+                    "cache 64 2 16\ncmiss 20\nccs 50\ntask hi a.s 5000 1\ntask lo b.s 50000 2\n",
+                ),
+            ),
+            ("sources", Json::obj([("a.s", Json::from(TASK_A)), ("b.s", Json::from(TASK_B))])),
+        ])
+        .encode()
+    }
+
+    fn shutdown_and_join(handle: ServerHandle) {
+        let replies = roundtrip(handle.addr(), &[r#"{"cmd":"shutdown"}"#.to_string()]);
+        assert_eq!(replies[0].get("ok").unwrap().as_bool(), Some(true));
+        handle.join().expect("clean exit");
+    }
+
+    #[test]
+    fn ping_errors_and_shutdown() {
+        let handle = spawn();
+        let replies = roundtrip(
+            handle.addr(),
+            &[
+                r#"{"id":1,"cmd":"ping"}"#.to_string(),
+                "{not json".to_string(),
+                r#"{"id":2,"cmd":"crpd","spec":"task a a.s 1 1\n","sources":{"a.s":"halt\n"}}"#
+                    .to_string(),
+            ],
+        );
+        assert_eq!(replies[0].get("output").unwrap().as_str(), Some("pong"));
+        assert_eq!(replies[0].get("id").unwrap().as_u64(), Some(1));
+        assert_eq!(replies[1].get("ok").unwrap().as_bool(), Some(false));
+        let crpd_error = replies[2].get("error").unwrap().as_str().unwrap();
+        assert!(crpd_error.contains("exactly two task lines"), "{crpd_error}");
+        shutdown_and_join(handle);
+    }
+
+    #[test]
+    fn wcrt_is_memoized_and_matches_the_one_shot_cli() {
+        let handle = spawn();
+        let replies = roundtrip(
+            handle.addr(),
+            &[wcrt_request(1), wcrt_request(2), r#"{"cmd":"metrics"}"#.to_string()],
+        );
+        let first = replies[0].get("output").unwrap().as_str().unwrap();
+        let second = replies[1].get("output").unwrap().as_str().unwrap();
+        assert_eq!(first, second, "repeated requests must render identically");
+
+        // Byte-identical to the in-process one-shot path.
+        let dir = std::env::temp_dir().join(format!("rtserver-wcrt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.s"), TASK_A).unwrap();
+        std::fs::write(dir.join("b.s"), TASK_B).unwrap();
+        std::fs::write(
+            dir.join("sys.spec"),
+            "cache 64 2 16\ncmiss 20\nccs 50\ntask hi a.s 5000 1\ntask lo b.s 50000 2\n",
+        )
+        .unwrap();
+        let spec = SystemSpec::load(&dir.join("sys.spec")).unwrap();
+        assert_eq!(first, rtcli::cmd_wcrt(&spec).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+
+        let metrics = replies[2].get("metrics").unwrap();
+        let cache = metrics.get("artifact_cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(2), "second request hits both tasks");
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(2));
+        let wcrt = metrics.get("endpoints").unwrap().get("wcrt").unwrap();
+        assert_eq!(wcrt.get("requests").unwrap().as_u64(), Some(2));
+        shutdown_and_join(handle);
+    }
+
+    #[test]
+    fn sim_and_wcet_render_over_inline_sources() {
+        let handle = spawn();
+        let sim = Json::obj([
+            ("cmd", Json::from("sim")),
+            ("horizon", Json::from(60_000u64)),
+            (
+                "spec",
+                Json::from(
+                    "cache 64 2 16\ncmiss 20\nccs 50\ntask hi a.s 5000 1\ntask lo b.s 50000 2\n",
+                ),
+            ),
+            ("sources", Json::obj([("a.s", Json::from(TASK_A)), ("b.s", Json::from(TASK_B))])),
+        ])
+        .encode();
+        let wcet = Json::obj([
+            ("cmd", Json::from("wcet")),
+            ("spec", Json::from("cache 64 2 16\ntask hi a.s 5000 1\n")),
+            ("sources", Json::obj([("a.s", Json::from(TASK_A))])),
+        ])
+        .encode();
+        let replies = roundtrip(handle.addr(), &[sim, wcet]);
+        let sim_out = replies[0].get("output").unwrap().as_str().unwrap();
+        assert!(sim_out.contains("max response"), "{sim_out}");
+        let wcet_out = replies[1].get("output").unwrap().as_str().unwrap();
+        assert!(wcet_out.contains("WCET ="), "{wcet_out}");
+        shutdown_and_join(handle);
+    }
+}

@@ -1,0 +1,180 @@
+//! Content-addressed memoization of [`AnalyzedTask`] artifacts.
+//!
+//! Task analysis (path simulation + useful-block sweeps + WCET) dominates
+//! request latency, and real clients resubmit the same task systems with
+//! small parameter tweaks. The store keys each artifact by everything the
+//! analysis depends on — the program *content* (not its file name), the
+//! cache geometry, the timing model and the scheduling parameters — and
+//! hands out [`Arc`] clones so concurrent requests share one artifact
+//! without copying. Results are immutable once computed (the analysis is
+//! deterministic; see `crpd::intra`'s ordered sweeps), so no invalidation
+//! is ever needed: a changed source text simply hashes to a new key, and
+//! stale keys age out only when the server restarts.
+//!
+//! Failed analyses are *not* cached: errors are cheap to recompute and
+//! callers may fix the environment (e.g. a missing include path) between
+//! requests.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crpd::{AnalyzedTask, TaskParams};
+use rtcache::CacheGeometry;
+use rtcli::CliError;
+use rtwcet::TimingModel;
+
+/// Everything an [`AnalyzedTask`] artifact depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// FNV-1a hash of the task name and assembly source text.
+    pub program_hash: u64,
+    /// Cache geometry analyzed under.
+    pub geometry: CacheGeometry,
+    /// Timing model analyzed under.
+    pub model: TimingModel,
+    /// Scheduling parameters baked into the artifact.
+    pub params: TaskParams,
+}
+
+/// 64-bit FNV-1a over `name` and `source`, with a separator so
+/// `("ab", "c")` and `("a", "bc")` hash differently.
+pub fn program_hash(name: &str, source: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes().chain([0u8]).chain(source.bytes()) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The shared artifact cache plus its hit/miss counters.
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    entries: Mutex<HashMap<ArtifactKey, Arc<AnalyzedTask>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Returns the memoized artifact for `(name, source, params,
+    /// geometry, model)`, analyzing and inserting it on first use.
+    ///
+    /// The analysis itself runs outside the map lock, so distinct tasks
+    /// analyze in parallel across worker threads. Two threads racing on
+    /// the *same* key may both analyze; determinism makes the results
+    /// interchangeable and the first insert wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Asm`] or [`CliError::Analysis`] from the
+    /// underlying pipeline; errors are never cached.
+    pub fn analyzed(
+        &self,
+        name: &str,
+        source: &str,
+        params: TaskParams,
+        geometry: CacheGeometry,
+        model: TimingModel,
+    ) -> Result<Arc<AnalyzedTask>, CliError> {
+        let key = ArtifactKey {
+            program_hash: program_hash(name, source),
+            geometry,
+            model,
+            params: params.clone(),
+        };
+        if let Some(found) = self.entries.lock().expect("store lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let program =
+            rtprogram::asm::assemble(name, source).map_err(|e| CliError::Asm(e.to_string()))?;
+        let analyzed = AnalyzedTask::analyze(&program, params, geometry, model)
+            .map_err(|e| CliError::Analysis(e.to_string()))?;
+        let artifact = Arc::new(analyzed);
+        let mut entries = self.entries.lock().expect("store lock");
+        Ok(Arc::clone(entries.entry(key).or_insert(artifact)))
+    }
+
+    /// Number of lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to analyze.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct artifacts currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("store lock").len()
+    }
+
+    /// `true` if no artifact has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TASK: &str =
+        "start: li r1, 5\nloop: addi r1, r1, -1\nbne r1, r0, loop\n.bound loop, 5\nhalt\n";
+
+    fn params(priority: u32) -> TaskParams {
+        TaskParams { period: 10_000, priority }
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_artifact() {
+        let store = ArtifactStore::default();
+        let g = CacheGeometry::paper_l1();
+        let m = TimingModel::default();
+        let a = store.analyzed("t", TASK, params(1), g, m).unwrap();
+        assert_eq!((store.hits(), store.misses(), store.len()), (0, 1, 1));
+        let b = store.analyzed("t", TASK, params(1), g, m).unwrap();
+        assert_eq!((store.hits(), store.misses(), store.len()), (1, 1, 1));
+        assert!(Arc::ptr_eq(&a, &b), "hits must share the artifact, not copy it");
+    }
+
+    #[test]
+    fn any_key_component_change_misses() {
+        let store = ArtifactStore::default();
+        let g = CacheGeometry::paper_l1();
+        let m = TimingModel::default();
+        store.analyzed("t", TASK, params(1), g, m).unwrap();
+        // Different source content under the same name.
+        store.analyzed("t", "start: halt\n", params(1), g, m).unwrap();
+        // Different scheduling parameters on the same program.
+        store.analyzed("t", TASK, params(2), g, m).unwrap();
+        // Different geometry.
+        store.analyzed("t", TASK, params(1), CacheGeometry::new(64, 2, 16).unwrap(), m).unwrap();
+        // Different timing model.
+        store.analyzed("t", TASK, params(1), g, TimingModel::with_miss_penalty(40)).unwrap();
+        assert_eq!(store.hits(), 0);
+        assert_eq!((store.misses(), store.len()), (5, 5));
+    }
+
+    #[test]
+    fn name_is_part_of_the_content() {
+        // The task name appears in rendered reports, so artifacts under
+        // different names must not alias even with identical source.
+        assert_ne!(program_hash("a", "x"), program_hash("b", "x"));
+        assert_ne!(program_hash("ab", "c"), program_hash("a", "bc"));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let store = ArtifactStore::default();
+        let g = CacheGeometry::paper_l1();
+        let m = TimingModel::default();
+        let err = store.analyzed("bad", "frobnicate r1\n", params(1), g, m).unwrap_err();
+        assert!(matches!(err, CliError::Asm(_)));
+        assert!(store.is_empty());
+        assert_eq!(store.misses(), 1);
+    }
+}

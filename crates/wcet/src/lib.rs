@@ -268,8 +268,7 @@ pub fn estimate_wcet_hierarchy(
 ) -> Result<HierarchyWcetEstimate, WcetError> {
     let mut per_variant = Vec::with_capacity(program.variants().len());
     for variant in program.variants() {
-        let wrap =
-            |source: ExecError| WcetError::Exec { variant: variant.name.clone(), source };
+        let wrap = |source: ExecError| WcetError::Exec { variant: variant.name.clone(), source };
         let mut sim = Simulator::with_variant(program, variant)
             .map_err(|source| wrap(ExecError::Mem { pc: program.entry(), source }))?;
         let mut hierarchy = CacheHierarchy::new(l1, l2)?;
@@ -297,11 +296,7 @@ pub fn estimate_wcet_hierarchy(
         .max_by_key(|v| v.cycles)
         .expect("programs always have at least one variant")
         .clone();
-    Ok(HierarchyWcetEstimate {
-        cycles: worst.cycles,
-        worst_variant: worst.name,
-        per_variant,
-    })
+    Ok(HierarchyWcetEstimate { cycles: worst.cycles, worst_variant: worst.name, per_variant })
 }
 
 /// A structural, simulation-free WCET bound: every access (fetch and
@@ -345,10 +340,8 @@ pub fn structural_wcet_bound(
     // Longest path over the residual DAG via DFS with memoization (the
     // graph is acyclic after back-edge removal, which natural_loops
     // verified).
-    let back_edges: std::collections::BTreeSet<(rtprogram::BlockId, rtprogram::BlockId)> = loops
-        .iter()
-        .flat_map(|l| l.tails.iter().map(move |t| (*t, l.header)))
-        .collect();
+    let back_edges: std::collections::BTreeSet<(rtprogram::BlockId, rtprogram::BlockId)> =
+        loops.iter().flat_map(|l| l.tails.iter().map(move |t| (*t, l.header))).collect();
     let mut memo: Vec<Option<u64>> = vec![None; cfg.len()];
     let mut stack = vec![cfg.entry()];
     while let Some(&b) = stack.last() {
@@ -356,13 +349,8 @@ pub fn structural_wcet_bound(
             stack.pop();
             continue;
         }
-        let succs: Vec<_> = cfg
-            .block(b)
-            .succs
-            .iter()
-            .copied()
-            .filter(|s| !back_edges.contains(&(b, *s)))
-            .collect();
+        let succs: Vec<_> =
+            cfg.block(b).succs.iter().copied().filter(|s| !back_edges.contains(&(b, *s))).collect();
         let unresolved: Vec<_> =
             succs.iter().copied().filter(|s| memo[s.index()].is_none()).collect();
         if unresolved.is_empty() {

@@ -23,11 +23,10 @@ pub const ENCODER_HISTORY: usize = 256;
 /// The standard IMA step-size table (89 entries).
 pub const STEP_TABLE: [i32; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// The standard IMA index-adjust table (indexed by the 4-bit code).
@@ -136,13 +135,7 @@ pub mod reference {
 /// Emits `predicted += / -= vpdiff` with clamping to 16-bit range.
 /// `predicted` in `R14`, `vpdiff` in `R8`, `sign` in `R1`, scratch `R2`.
 fn emit_predict_update(b: &mut ProgramBuilder) {
-    b.if_else(
-        Cond::Eq,
-        R1,
-        R0,
-        |b| b.add(R14, R14, R8),
-        |b| b.sub(R14, R14, R8),
-    );
+    b.if_else(Cond::Eq, R1, R0, |b| b.add(R14, R14, R8), |b| b.sub(R14, R14, R8));
     b.li(R2, 32767);
     b.if_then(Cond::Lt, R2, R14, |b| b.li(R14, 32767));
     b.li(R2, -32768);
@@ -201,7 +194,7 @@ pub fn adpcm_encoder() -> Program {
         b.shl(R4, R4, R15); // 4*i
         b.add(R2, R10, R4);
         b.ld(R2, R2, 0); // sample
-        // step = steps[index]
+                         // step = steps[index]
         b.shl(R5, R9, R15);
         b.add(R5, R12, R5);
         b.ld(R6, R5, 0); // step
@@ -291,7 +284,7 @@ pub fn adpcm_decoder() -> Program {
         b.shl(R4, R4, R15);
         b.add(R7, R10, R4);
         b.ld(R7, R7, 0); // code
-        // step = steps[index]
+                         // step = steps[index]
         b.shl(R5, R9, R15);
         b.add(R5, R12, R5);
         b.ld(R6, R5, 0); // step
@@ -356,9 +349,8 @@ mod tests {
         let mut sim = Simulator::with_variant(&p, &p.variants()[0].clone()).unwrap();
         sim.run_to_halt().unwrap();
         let base = p.symbol("codes").unwrap();
-        let got: Vec<i32> = (0..ENCODER_SAMPLES as u64)
-            .map(|i| sim.memory().read(base + 4 * i).unwrap())
-            .collect();
+        let got: Vec<i32> =
+            (0..ENCODER_SAMPLES as u64).map(|i| sim.memory().read(base + 4 * i).unwrap()).collect();
         assert_eq!(got, reference::encode(&waveform_a(ENCODER_SAMPLES)));
     }
 
@@ -368,9 +360,8 @@ mod tests {
         let mut sim = Simulator::with_variant(&p, &p.variants()[1].clone()).unwrap();
         sim.run_to_halt().unwrap();
         let base = p.symbol("codes").unwrap();
-        let got: Vec<i32> = (0..ENCODER_SAMPLES as u64)
-            .map(|i| sim.memory().read(base + 4 * i).unwrap())
-            .collect();
+        let got: Vec<i32> =
+            (0..ENCODER_SAMPLES as u64).map(|i| sim.memory().read(base + 4 * i).unwrap()).collect();
         assert_eq!(got, reference::encode(&waveform_b(ENCODER_SAMPLES)));
     }
 
@@ -380,9 +371,8 @@ mod tests {
         let mut sim = Simulator::with_variant(&p, &p.variants()[0].clone()).unwrap();
         sim.run_to_halt().unwrap();
         let base = p.symbol("out").unwrap();
-        let got: Vec<i32> = (0..DECODER_CODES as u64)
-            .map(|i| sim.memory().read(base + 4 * i).unwrap())
-            .collect();
+        let got: Vec<i32> =
+            (0..DECODER_CODES as u64).map(|i| sim.memory().read(base + 4 * i).unwrap()).collect();
         let want = reference::decode(&reference::encode(&waveform_a(DECODER_CODES)));
         assert_eq!(got, want);
     }
@@ -393,13 +383,8 @@ mod tests {
         let decoded = reference::decode(&reference::encode(&original));
         // ADPCM is lossy; after the adaptive quantizer settles the error
         // must stay well under the signal swing (~8500).
-        let max_err = original
-            .iter()
-            .zip(&decoded)
-            .skip(32)
-            .map(|(a, b)| (a - b).abs())
-            .max()
-            .unwrap();
+        let max_err =
+            original.iter().zip(&decoded).skip(32).map(|(a, b)| (a - b).abs()).max().unwrap();
         assert!(max_err < 2000, "round-trip error too large: {max_err}");
     }
 

@@ -18,8 +18,7 @@ use crate::layout;
 pub fn context_switch() -> Program {
     let mut b = ProgramBuilder::new("ctxswitch", layout::CTX_CODE, layout::CTX_DATA);
     let tcb_old = b.data_space("tcb_old", 16);
-    let tcb_new =
-        b.data_words("tcb_new", &(0..16).map(|i| 1000 + i).collect::<Vec<i32>>());
+    let tcb_new = b.data_words("tcb_new", &(0..16).map(|i| 1000 + i).collect::<Vec<i32>>());
 
     // Save the outgoing context. R15 is the last register stored, so it can
     // serve as the save-area pointer.

@@ -28,9 +28,7 @@ pub const CAUCHY_KERNEL: [i32; 9] = [1, 2, 1, 2, -12, 2, 1, 2, 1];
 /// Cauchy path's footprint differs from the Sobel path's by a full KiB —
 /// the property the paper's path analysis (Fig. 4 / Example 5) exploits.
 pub fn cauchy_norm_table() -> Vec<i32> {
-    (0..256i32)
-        .map(|i| (255.0 * (f64::from(i) / 255.0).sqrt()).round() as i32)
-        .collect()
+    (0..256i32).map(|i| (255.0 * (f64::from(i) / 255.0).sqrt()).round() as i32).collect()
 }
 
 /// Deterministic test image: a dark/bright vertical step plus texture.
@@ -212,7 +210,7 @@ pub fn edge_detection_with_dim(dim: usize) -> Program {
                     });
                     b.if_then(Cond::Lt, R7, R0, |b| b.sub(R7, R0, R7));
                     b.sra(R7, R7, R15); // scale by >>2
-                    // normalize through the LUT: cnorm[min(acc >> 3, 255)]
+                                        // normalize through the LUT: cnorm[min(acc >> 3, 255)]
                     b.li(R9, 3);
                     b.sra(R8, R7, R9);
                     b.li(R9, 255);

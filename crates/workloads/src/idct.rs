@@ -267,8 +267,7 @@ mod tests {
                     for u in 0..8 {
                         let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
                         let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
-                        acc += cu / 2.0
-                            * cv / 2.0
+                        acc += cu / 2.0 * cv / 2.0
                             * f64::from(coeffs[v * 8 + u])
                             * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0)
                                 .cos()
@@ -282,10 +281,7 @@ mod tests {
         for (f, i) in float_out.iter().zip(&fixed) {
             // Two >>10 truncations plus table rounding bound the error by
             // roughly 5; allow a little slack.
-            assert!(
-                (f - f64::from(*i)).abs() < 8.0,
-                "fixed {i} vs float {f:.2}"
-            );
+            assert!((f - f64::from(*i)).abs() < 8.0, "fixed {i} vs float {f:.2}");
         }
     }
 

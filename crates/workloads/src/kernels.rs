@@ -98,8 +98,10 @@ pub fn reference_matmul(a: &[i32], bm: &[i32], n: usize) -> Vec<i32> {
 pub fn matrix_multiply(code_base: u64, data_base: u64, n: usize) -> Program {
     assert!(n > 0, "matrix must be non-empty");
     let mut b = ProgramBuilder::new("matmul", code_base, data_base);
-    let a = b.data_words("a", &input_stream(n * n, 0xA1).iter().map(|v| v % 100).collect::<Vec<_>>());
-    let bm = b.data_words("b", &input_stream(n * n, 0xB2).iter().map(|v| v % 100).collect::<Vec<_>>());
+    let a =
+        b.data_words("a", &input_stream(n * n, 0xA1).iter().map(|v| v % 100).collect::<Vec<_>>());
+    let bm =
+        b.data_words("b", &input_stream(n * n, 0xB2).iter().map(|v| v % 100).collect::<Vec<_>>());
     let c = b.data_space("c", n * n);
     let row_bytes = 4 * n as i32;
 
@@ -185,7 +187,7 @@ pub fn crc32(code_base: u64, data_base: u64, words: usize) -> Program {
             b.shl(R5, R5, R15);
             b.add(R5, R11, R5);
             b.ld(R5, R5, 0); // table[(crc ^ b) & 0xff]
-            // crc = (crc >> 8) logical: arithmetic shift then mask.
+                             // crc = (crc >> 8) logical: arithmetic shift then mask.
             b.li(R6, 8);
             b.sra(R7, R12, R6);
             b.li(R6, 0x00FF_FFFF);
@@ -303,7 +305,7 @@ pub fn insertion_sort(code_base: u64, data_base: u64, n: usize) -> Program {
         b.branch(Cond::Eq, R4, R10, done);
         b.ld(R5, R4, -4); // arr[j-1]
         b.ld(R6, R4, 0); // arr[j]
-        // if arr[j-1] <= arr[j]: done
+                         // if arr[j-1] <= arr[j]: done
         b.branch(Cond::Ge, R6, R5, done);
         b.st(R5, R4, 0); // swap
         b.st(R6, R4, -4);
@@ -338,10 +340,7 @@ mod tests {
         sim.run_to_halt().unwrap();
         let x = input_stream(24 + 7, 0xF1);
         let h: Vec<i32> = input_stream(8, 0x11).iter().map(|v| v % 16).collect();
-        assert_eq!(
-            read_words(&sim, p.symbol("out").unwrap(), 24),
-            reference_fir(&x, &h)
-        );
+        assert_eq!(read_words(&sim, p.symbol("out").unwrap(), 24), reference_fir(&x, &h));
     }
 
     #[test]
@@ -352,10 +351,7 @@ mod tests {
         sim.run_to_halt().unwrap();
         let a: Vec<i32> = input_stream(n * n, 0xA1).iter().map(|v| v % 100).collect();
         let bm: Vec<i32> = input_stream(n * n, 0xB2).iter().map(|v| v % 100).collect();
-        assert_eq!(
-            read_words(&sim, p.symbol("c").unwrap(), n * n),
-            reference_matmul(&a, &bm, n)
-        );
+        assert_eq!(read_words(&sim, p.symbol("c").unwrap(), n * n), reference_matmul(&a, &bm, n));
     }
 
     #[test]

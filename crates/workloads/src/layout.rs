@@ -64,8 +64,20 @@ mod tests {
     #[test]
     fn regions_are_word_aligned() {
         for base in [
-            MR_CODE, ED_CODE, OFDM_CODE, MR_DATA, ED_DATA, OFDM_DATA, IDCT_CODE, ADPCMD_CODE,
-            ADPCMC_CODE, IDCT_DATA, ADPCMD_DATA, ADPCMC_DATA, CTX_CODE, CTX_DATA,
+            MR_CODE,
+            ED_CODE,
+            OFDM_CODE,
+            MR_DATA,
+            ED_DATA,
+            OFDM_DATA,
+            IDCT_CODE,
+            ADPCMD_CODE,
+            ADPCMC_CODE,
+            IDCT_DATA,
+            ADPCMD_DATA,
+            ADPCMC_DATA,
+            CTX_CODE,
+            CTX_DATA,
         ] {
             assert_eq!(base % 4, 0);
         }

@@ -58,13 +58,17 @@ pub use edge::{
     CAUCHY_KERNEL, CAUCHY_THRESHOLD, DIM, SOBEL_THRESHOLD,
 };
 pub use idct::reference as idct_reference;
-pub use idct::{coeff_pattern, coeff_sparse, cos_table, idct, idct_with_blocks, BLOCKS, FRAME_WORDS};
+pub use idct::{
+    coeff_pattern, coeff_sparse, cos_table, idct, idct_with_blocks, BLOCKS, FRAME_WORDS,
+};
 pub use ofdm::reference as ofdm_reference;
 pub use ofdm::{
     frame_a, frame_b, ofdm_transmitter, ofdm_transmitter_with_points, twiddles, POINTS, PREFIX,
     QAM_LEVELS, RING_WORDS, TWIDDLE_SCALE,
 };
-pub use robot::{mobile_robot, reference_position, HISTORY, OBSTACLE_THRESHOLD, SENSORS, WAYPOINTS};
+pub use robot::{
+    mobile_robot, reference_position, HISTORY, OBSTACLE_THRESHOLD, SENSORS, WAYPOINTS,
+};
 
 use rtprogram::Program;
 

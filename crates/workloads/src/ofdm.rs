@@ -169,7 +169,7 @@ pub fn ofdm_transmitter_with_points(n: usize) -> Program {
             b.li_addr(R1, map_im);
             b.add(R7, R1, R7);
             b.ld(R7, R7, 0); // im
-            // acc_re += re*wr - im*wi
+                             // acc_re += re*wr - im*wi
             b.mul(R1, R6, R8);
             b.add(R4, R4, R1);
             b.mul(R1, R7, R9);

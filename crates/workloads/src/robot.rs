@@ -226,10 +226,7 @@ mod tests {
         sim.run_to_halt().unwrap();
         let history = p.symbol("history").unwrap();
         let state = p.symbol("state").unwrap();
-        assert_eq!(
-            sim.memory().read(history).unwrap(),
-            sim.memory().read(state + 8).unwrap()
-        );
+        assert_eq!(sim.memory().read(history).unwrap(), sim.memory().read(state + 8).unwrap());
     }
 
     #[test]

@@ -123,13 +123,7 @@ pub fn synthetic_task(spec: &SyntheticSpec) -> Program {
         let upper = buffer + 4 * (spec.data_words / 2) as u64;
         b.li_addr(R7, selector);
         b.ld(R7, R7, 0);
-        b.if_else(
-            Cond::Eq,
-            R7,
-            R0,
-            |b| scan(b, buffer),
-            |b| scan(b, upper),
-        );
+        b.if_else(Cond::Eq, R7, R0, |b| scan(b, buffer), |b| scan(b, upper));
     } else {
         scan(&mut b, buffer);
     }

@@ -56,10 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for policy in ReplacementPolicy::ALL {
         // MR's period is shorter than ED's execution time, so every ED
         // job is preempted several times.
-        let tasks = vec![
-            SchedTask::new(mr.clone(), 30_000, 2),
-            SchedTask::new(ed.clone(), 800_000, 3),
-        ];
+        let tasks =
+            vec![SchedTask::new(mr.clone(), 30_000, 2), SchedTask::new(ed.clone(), 800_000, 3)];
         let config = SchedConfig {
             geometry,
             model,

@@ -5,7 +5,9 @@
 //! cargo run --release --example custom_task
 //! ```
 
-use preempt_wcrt::analysis::{dataflow_useful, reload_lines, AnalyzedTask, CrpdApproach, TaskParams};
+use preempt_wcrt::analysis::{
+    dataflow_useful, reload_lines, AnalyzedTask, CrpdApproach, TaskParams,
+};
 use preempt_wcrt::cache::CacheGeometry;
 use preempt_wcrt::program::asm::assemble;
 use preempt_wcrt::program::cfg::Cfg;

@@ -6,7 +6,9 @@
 //! cargo run --release --example media_system
 //! ```
 
-use preempt_wcrt::analysis::{analyze_all, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams};
+use preempt_wcrt::analysis::{
+    analyze_all, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams,
+};
 use preempt_wcrt::cache::CacheGeometry;
 use preempt_wcrt::wcet::TimingModel;
 

@@ -51,11 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nper-core WCRT (private L1s):");
     for report in &reports {
         for (task, wcet, result) in &report.tasks {
-            println!(
-                "  core {} {:>10}: C={wcet:>7}  {result}",
-                report.core,
-                tasks[*task].name()
-            );
+            println!("  core {} {:>10}: C={wcet:>7}  {result}", report.core, tasks[*task].name());
         }
     }
 
@@ -103,11 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nwith a shared 128 KiB L2 (cross-core interference bounded):");
     for report in &with_l2 {
         for (task, wcet, result) in &report.tasks {
-            println!(
-                "  core {} {:>10}: C={wcet:>7}  {result}",
-                report.core,
-                tasks[*task].name()
-            );
+            println!("  core {} {:>10}: C={wcet:>7}  {result}", report.core, tasks[*task].name());
         }
     }
     Ok(())

@@ -10,9 +10,13 @@
 //! cargo run --release --example robot_system
 //! ```
 
-use preempt_wcrt::analysis::{analyze_all, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams};
+use preempt_wcrt::analysis::{
+    analyze_all, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams,
+};
 use preempt_wcrt::cache::CacheGeometry;
-use preempt_wcrt::sched::{render_timeline, simulate, CacheMode, SchedConfig, SchedTask, VariantPolicy};
+use preempt_wcrt::sched::{
+    render_timeline, simulate, CacheMode, SchedConfig, SchedTask, VariantPolicy,
+};
 use preempt_wcrt::wcet::TimingModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -82,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, tr) in report.tasks.iter().enumerate() {
         println!(
             "  {:>8}: max response {:>8} (mean {:>8}), {} jobs, {} preemptions, {} deadline misses",
-            tr.name, tr.max_response, tr.mean_response, tr.completed, tr.preemptions,
+            tr.name,
+            tr.max_response,
+            tr.mean_response,
+            tr.completed,
+            tr.preemptions,
             tr.deadline_misses
         );
         for (a, approach) in CrpdApproach::ALL.iter().enumerate() {

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let single = analyze_all(
         &tasks,
         &matrix,
-        &WcrtParams { miss_penalty: hierarchy.mem_penalty, ctx_switch: 300, max_iterations: 10_000 },
+        &WcrtParams {
+            miss_penalty: hierarchy.mem_penalty,
+            ctx_switch: 300,
+            max_iterations: 10_000,
+        },
     );
     // Two-level WCRT.
     let params = TwoLevelParams {

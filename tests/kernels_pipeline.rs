@@ -61,13 +61,9 @@ fn kernel_crpd_orderings_hold() {
     )
     .unwrap();
     for p in all_kernels() {
-        let lo = AnalyzedTask::analyze(
-            &p,
-            TaskParams { period: 10_000_000, priority: 2 },
-            g,
-            model,
-        )
-        .unwrap();
+        let lo =
+            AnalyzedTask::analyze(&p, TaskParams { period: 10_000_000, priority: 2 }, g, model)
+                .unwrap();
         let a1 = reload_lines(CrpdApproach::AllPreemptingLines, &lo, &hi);
         let a2 = reload_lines(CrpdApproach::InterTask, &lo, &hi);
         let a3 = reload_lines(CrpdApproach::UsefulBlocks, &lo, &hi);
@@ -86,10 +82,8 @@ fn kernel_system_art_within_bounds() {
         kernels::insertion_sort(0x0006_0000, DATA_LO + 0x1000, 32),
     ];
     // Periods sized from solo WCETs.
-    let wcets: Vec<u64> = programs
-        .iter()
-        .map(|p| estimate_wcet(p, g, model).unwrap().cycles)
-        .collect();
+    let wcets: Vec<u64> =
+        programs.iter().map(|p| estimate_wcet(p, g, model).unwrap().cycles).collect();
     let periods = [wcets[0] * 6, wcets[1] * 10, wcets[2] * 30];
     let tasks: Vec<AnalyzedTask> = programs
         .iter()

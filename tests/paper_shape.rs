@@ -41,7 +41,10 @@ fn table2_shape_combined_is_tightest() {
         let a4 = reload_lines(CrpdApproach::Combined, lo, hi);
         assert!(a4 <= a2, "pair ({i},{j}): App4 {a4} > App2 {a2}");
         assert!(a4 <= a3, "pair ({i},{j}): App4 {a4} > App3 {a3}");
-        assert!(a2 <= a1, "pair ({i},{j}): App2 {a2} > App1 {a1} (Eq.2 is bounded by the preemptor footprint)");
+        assert!(
+            a2 <= a1,
+            "pair ({i},{j}): App2 {a2} > App1 {a1} (Eq.2 is bounded by the preemptor footprint)"
+        );
         assert!(a1 > 0 && a4 > 0, "pair ({i},{j}): overlapping tasks must conflict");
     }
 }

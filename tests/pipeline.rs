@@ -92,13 +92,9 @@ fn assemble_analyze_schedule_round_trip() {
         model,
     )
     .expect("analyzes");
-    let hi = AnalyzedTask::analyze(
-        &reader,
-        TaskParams { period: 10_000, priority: 1 },
-        geometry,
-        model,
-    )
-    .expect("analyzes");
+    let hi =
+        AnalyzedTask::analyze(&reader, TaskParams { period: 10_000, priority: 1 }, geometry, model)
+            .expect("analyzes");
     let a4 = reload_lines(CrpdApproach::Combined, &lo, &hi);
     let a1 = reload_lines(CrpdApproach::AllPreemptingLines, &lo, &hi);
     assert!(a4 <= a1);
@@ -121,10 +117,7 @@ fn assemble_analyze_schedule_round_trip() {
         l2: None,
     };
     let report = simulate(
-        &[
-            SchedTask::new(reader.clone(), 10_000, 1),
-            SchedTask::new(writer.clone(), 100_000, 2),
-        ],
+        &[SchedTask::new(reader.clone(), 10_000, 1), SchedTask::new(writer.clone(), 100_000, 2)],
         &config,
     )
     .expect("simulates");
@@ -147,13 +140,7 @@ fn umbrella_reexports_are_consistent() {
 #[test]
 fn experiment_builders_return_priority_ordered_sets() {
     let e1 = preempt_wcrt::workloads::experiment1();
-    assert_eq!(
-        e1.iter().map(|p| p.name()).collect::<Vec<_>>(),
-        vec!["mr", "ed", "ofdm"]
-    );
+    assert_eq!(e1.iter().map(|p| p.name()).collect::<Vec<_>>(), vec!["mr", "ed", "ofdm"]);
     let e2 = preempt_wcrt::workloads::experiment2();
-    assert_eq!(
-        e2.iter().map(|p| p.name()).collect::<Vec<_>>(),
-        vec!["idct", "adpcmd", "adpcmc"]
-    );
+    assert_eq!(e2.iter().map(|p| p.name()).collect::<Vec<_>>(), vec!["idct", "adpcmd", "adpcmc"]);
 }

@@ -1,0 +1,140 @@
+//! End-to-end test of the analysis daemon: concurrent clients over real
+//! TCP must see responses byte-identical to the one-shot CLI, served
+//! partly from the memoized artifact store.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use rtserver::json::Json;
+use rtserver::Server;
+
+const SPEC: &str = "cache 64 2 16\ncmiss 20\nccs 50\ntask hi hi.s 5000 1\ntask lo lo.s 50000 2\n";
+const TASK_HI: &str = ".data 0x100000\nbuf: .word 1,2,3,4\n.text 0x1000\nstart: li r1, buf\nli r3, 4\nloop: ld r2, 0(r1)\naddi r1, r1, 4\naddi r3, r3, -1\nbne r3, r0, loop\n.bound loop, 4\nhalt\n";
+const TASK_LO: &str = ".data 0x100400\nbuf: .word 7,8\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\nld r4, 4(r1)\nadd r2, r2, r4\nhalt\n";
+
+const CLIENTS: usize = 6;
+const REQUESTS_PER_CLIENT: usize = 3;
+
+fn request_line(id: u64) -> String {
+    Json::obj([
+        ("id", Json::from(id)),
+        ("cmd", Json::from("wcrt")),
+        ("spec", Json::from(SPEC)),
+        ("sources", Json::obj([("hi.s", Json::from(TASK_HI)), ("lo.s", Json::from(TASK_LO))])),
+    ])
+    .encode()
+}
+
+fn roundtrip(addr: std::net::SocketAddr, lines: &[String]) -> Vec<Json> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone stream"));
+    let mut reader = BufReader::new(stream);
+    lines
+        .iter()
+        .map(|line| {
+            writeln!(writer, "{line}").and_then(|()| writer.flush()).expect("send");
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("recv");
+            Json::parse(reply.trim_end()).expect("reply parses as json")
+        })
+        .collect()
+}
+
+/// The reference output, computed in-process through the same code path
+/// `trisc wcrt system.spec` uses.
+fn one_shot_reference() -> String {
+    let dir = std::env::temp_dir().join(format!("rtserver-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::write(dir.join("hi.s"), TASK_HI).expect("write hi.s");
+    std::fs::write(dir.join("lo.s"), TASK_LO).expect("write lo.s");
+    let spec_path = dir.join("system.spec");
+    std::fs::write(&spec_path, SPEC).expect("write spec");
+    let spec = rtcli::SystemSpec::load(&spec_path).expect("spec parses");
+    let output = rtcli::cmd_wcrt(&spec).expect("one-shot analysis succeeds");
+    std::fs::remove_dir_all(&dir).ok();
+    output
+}
+
+#[test]
+fn concurrent_clients_get_cli_identical_memoized_responses() {
+    let opts = rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 4 };
+    let handle = Server::spawn(&opts).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let expected = one_shot_reference();
+    assert!(expected.contains("WCRT"), "reference output looks wrong: {expected}");
+
+    // >= 4 clients hammer the same spec concurrently, pipelining a few
+    // requests each over their own connection.
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let lines: Vec<String> = (0..REQUESTS_PER_CLIENT)
+                    .map(|r| request_line((c * REQUESTS_PER_CLIENT + r) as u64))
+                    .collect();
+                roundtrip(addr, &lines)
+            })
+        })
+        .collect();
+
+    for (c, client) in clients.into_iter().enumerate() {
+        let replies = client.join().expect("client thread");
+        for (r, reply) in replies.iter().enumerate() {
+            assert_eq!(
+                reply.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "client {c} request {r}: {reply:?}"
+            );
+            let id = reply.get("id").and_then(Json::as_u64).expect("id echoed");
+            assert_eq!(id, (c * REQUESTS_PER_CLIENT + r) as u64);
+            let output = reply.get("output").and_then(Json::as_str).expect("output");
+            assert_eq!(output, expected, "server output must be byte-identical to the CLI");
+        }
+    }
+
+    // The artifact store must have served most of those analyses from
+    // memory: 2 distinct artifacts, everything else hits.
+    let replies = roundtrip(addr, &[r#"{"cmd":"metrics"}"#.to_string()]);
+    let metrics = replies[0].get("metrics").expect("metrics payload");
+    let cache = metrics.get("artifact_cache").expect("artifact_cache");
+    let hits = cache.get("hits").and_then(Json::as_u64).expect("hits");
+    let entries = cache.get("entries").and_then(Json::as_u64).expect("entries");
+    assert!(hits > 0, "repeated identical requests must hit the memo store");
+    assert_eq!(entries, 2, "one artifact per distinct task");
+    let wcrt = metrics.get("endpoints").and_then(|e| e.get("wcrt")).expect("wcrt endpoint stats");
+    assert_eq!(
+        wcrt.get("requests").and_then(Json::as_u64),
+        Some((CLIENTS * REQUESTS_PER_CLIENT) as u64)
+    );
+    assert_eq!(wcrt.get("errors").and_then(Json::as_u64), Some(0));
+
+    // Graceful shutdown: ack, drain, exit.
+    let replies = roundtrip(addr, &[r#"{"cmd":"shutdown"}"#.to_string()]);
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("server exits cleanly after shutdown");
+}
+
+/// The wire spec format is the on-disk spec format: a spec that parses
+/// from disk must be accepted verbatim over the wire (with sources
+/// resolved from the server's filesystem as the fallback).
+#[test]
+fn wire_spec_falls_back_to_server_filesystem_sources() {
+    let dir = std::env::temp_dir().join(format!("rtserver-fs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let hi = dir.join("hi.s");
+    std::fs::write(&hi, TASK_HI).expect("write hi.s");
+
+    let opts = rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 4 };
+    let handle = Server::spawn(&opts).expect("bind");
+    // No `sources` map: the task file is an absolute path on the server.
+    let line = Json::obj([
+        ("cmd", Json::from("wcet")),
+        ("spec", Json::from(format!("cache 64 2 16\ntask hi {} 5000 1\n", hi.display()).as_str())),
+    ])
+    .encode();
+    let replies = roundtrip(handle.addr(), &[line, r#"{"cmd":"shutdown"}"#.to_string()]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true), "{:?}", replies[0]);
+    assert!(replies[0].get("output").and_then(Json::as_str).unwrap().contains("WCET ="));
+    handle.join().expect("clean exit");
+}

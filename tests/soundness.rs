@@ -35,8 +35,7 @@ fn synthetic_system(seed: u64) -> Vec<(preempt_wcrt::program::Program, u64, u32)
         .into_iter()
         .enumerate()
         .map(|(i, p)| {
-            let wcet =
-                preempt_wcrt::wcet::estimate_wcet(&p, g, model).expect("analyzes").cycles;
+            let wcet = preempt_wcrt::wcet::estimate_wcet(&p, g, model).expect("analyzes").cycles;
             // Periods 4x/8x/16x the WCET: plenty of preemption, still
             // schedulable.
             let period = wcet * (4 << i);
@@ -82,11 +81,10 @@ fn art_never_exceeds_converged_wcrt() {
                 variant_policy: VariantPolicy::Worst,
                 cache_mode: CacheMode::Shared,
                 replacement: Default::default(),
-        l2: None,
+                l2: None,
             };
             let report = simulate(&sched, &config).expect("simulates");
-            let params =
-                WcrtParams { miss_penalty: 20, ctx_switch: 300, max_iterations: 10_000 };
+            let params = WcrtParams { miss_penalty: 20, ctx_switch: 300, max_iterations: 10_000 };
             for approach in CrpdApproach::ALL {
                 let matrix = CrpdMatrix::compute(approach, &tasks);
                 let results = analyze_all(&tasks, &matrix, &params);
@@ -144,7 +142,7 @@ fn measured_reloads_respect_combined_bound() {
             variant_policy: VariantPolicy::Worst,
             cache_mode: CacheMode::Shared,
             replacement: Default::default(),
-        l2: None,
+            l2: None,
         };
         let report = simulate(
             &[
@@ -154,10 +152,7 @@ fn measured_reloads_respect_combined_bound() {
             &config,
         )
         .expect("simulates");
-        assert!(
-            report.tasks[1].preemptions > 0,
-            "seed {seed}: the test needs real preemptions"
-        );
+        assert!(report.tasks[1].preemptions > 0, "seed {seed}: the test needs real preemptions");
         for p in &report.preemptions {
             assert!(
                 p.reloaded_lines <= bound,
@@ -180,10 +175,8 @@ fn dataflow_contains_exact_useful_at_node_entries() {
     use preempt_wcrt::program::AccessKind;
 
     let geometry = CacheGeometry::new(128, 2, 16).unwrap();
-    let mut programs = vec![
-        preempt_wcrt::workloads::mobile_robot(),
-        preempt_wcrt::workloads::context_switch(),
-    ];
+    let mut programs =
+        vec![preempt_wcrt::workloads::mobile_robot(), preempt_wcrt::workloads::context_switch()];
     for seed in [3u64, 17, 404] {
         let mut spec = SyntheticSpec::new("s", 0x0001_0000, 0x0010_0000);
         spec.seed = seed;
@@ -193,8 +186,7 @@ fn dataflow_contains_exact_useful_at_node_entries() {
         let cfg = Cfg::from_program(&p);
         let df = dataflow_useful(&p, geometry).expect("analyzes");
         for variant in p.variants() {
-            let trace =
-                preempt_wcrt::program::sim::trace_variant(&p, variant).expect("runs");
+            let trace = preempt_wcrt::program::sim::trace_variant(&p, variant).expect("runs");
             let exact = UsefulTrace::from_trace(&trace, geometry);
             // Positions in the trace where a basic block is entered.
             let entries: Vec<(usize, preempt_wcrt::program::BlockId)> = trace
