@@ -15,6 +15,12 @@
 //! the server's own `metrics` snapshot. Because every request carries
 //! the same spec, steady-state traffic should be served almost entirely
 //! from the artifact cache — the hit/miss line is the point of the tool.
+//!
+//! `--par-sweep` instead benchmarks a *single* cold analysis (paper
+//! Experiment I, all four CRPD approaches at the reference miss penalty)
+//! under `rtpar` pools of 1, 2, 4 and 8 threads, verifying the rendered
+//! report is byte-identical at every pool size and printing the
+//! wall-time speedup over the single-threaded run.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -33,10 +39,11 @@ struct Options {
     addr: Option<String>,
     connections: usize,
     requests: usize,
+    par_sweep: bool,
 }
 
 fn parse_options() -> Result<Options, String> {
-    let mut opts = Options { addr: None, connections: 4, requests: 100 };
+    let mut opts = Options { addr: None, connections: 4, requests: 100, par_sweep: false };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -50,6 +57,7 @@ fn parse_options() -> Result<Options, String> {
                 opts.requests =
                     value("--requests")?.parse().map_err(|e| format!("--requests: {e}"))?;
             }
+            "--par-sweep" => opts.par_sweep = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -57,6 +65,69 @@ fn parse_options() -> Result<Options, String> {
         return Err("--connections and --requests must be positive".to_string());
     }
     Ok(opts)
+}
+
+/// One cold Experiment-I analysis, shaped like a single server `wcrt`
+/// request: analyze every task once, then compute the four CRPD matrices
+/// and WCRT fixpoints (fanned out per approach) and render a report.
+fn cold_analysis() -> String {
+    use std::fmt::Write as _;
+    let model = rtwcet::TimingModel::with_miss_penalty(rtbench::REFERENCE_CMISS);
+    let experiment = rtbench::Experiment::build(
+        &rtbench::experiment1_spec(),
+        rtcache::CacheGeometry::paper_l1(),
+    );
+    let params = crpd::WcrtParams {
+        miss_penalty: rtbench::REFERENCE_CMISS,
+        ctx_switch: experiment.ctx_switch_cost(model),
+        max_iterations: 10_000,
+    };
+    let per_approach = rtpar::par_map(&crpd::CrpdApproach::ALL, |a| {
+        let matrix = crpd::CrpdMatrix::compute(*a, &experiment.reference);
+        crpd::analyze_all(&experiment.reference, &matrix, &params)
+    });
+    let mut out = String::new();
+    for (approach, results) in crpd::CrpdApproach::ALL.iter().zip(&per_approach) {
+        for (i, r) in results.iter().enumerate() {
+            let _ = writeln!(out, "{approach} task{i}: {} {}", r.cycles, r.schedulable);
+        }
+    }
+    out
+}
+
+/// `--par-sweep`: times [`cold_analysis`] under pools of 1/2/4/8 threads
+/// and checks the reports are byte-identical across pool sizes.
+fn par_sweep() -> Result<(), String> {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "par-sweep: Experiment I cold analysis (4 approaches, Cmiss=20) per pool size \
+         ({cores} core(s) available{})",
+        if cores == 1 { "; expect no speedup, only invariance" } else { "" }
+    );
+    let mut reference: Option<(String, f64)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rtpar::Pool::new(threads);
+        let started = Instant::now();
+        let report = pool.install(cold_analysis);
+        let secs = started.elapsed().as_secs_f64();
+        match &reference {
+            None => {
+                println!("  threads=1: {:>8.1} ms (baseline)", secs * 1e3);
+                reference = Some((report, secs));
+            }
+            Some((baseline, base_secs)) => {
+                if report != *baseline {
+                    return Err(format!("report at {threads} threads differs from baseline"));
+                }
+                println!(
+                    "  threads={threads}: {:>8.1} ms ({:.2}x vs 1 thread, byte-identical)",
+                    secs * 1e3,
+                    base_secs / secs
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 fn wcrt_request(id: u64) -> String {
@@ -108,6 +179,9 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 
 fn run() -> Result<(), String> {
     let opts = parse_options()?;
+    if opts.par_sweep {
+        return par_sweep();
+    }
 
     // Without --addr, run a server inside this process on an ephemeral
     // port so the tool works out of the box.
@@ -186,7 +260,9 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("loadgen: {message}");
-            eprintln!("usage: loadgen [--addr HOST:PORT] [--connections N] [--requests M]");
+            eprintln!(
+                "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests M] [--par-sweep]"
+            );
             ExitCode::from(2)
         }
     }

@@ -140,18 +140,15 @@ impl Experiment {
     pub fn build(spec: &ExperimentSpec, geometry: CacheGeometry) -> Experiment {
         let model = TimingModel::with_miss_penalty(REFERENCE_CMISS);
         let period_model = TimingModel::with_miss_penalty(PERIOD_CMISS);
-        let mut programs = Vec::new();
-        let mut periods = Vec::new();
-        let mut priorities = Vec::new();
-        for t in &spec.tasks {
+        // The period-deriving WCET probes are independent per task.
+        let periods = rtpar::par_map(&spec.tasks, |t| {
             let wcet = estimate_wcet(&t.program, geometry, period_model)
                 .expect("workload programs analyze cleanly")
                 .cycles;
-            let period = (wcet as f64 * t.paper_period_us / t.paper_wcet_us).round() as u64;
-            programs.push(t.program.clone());
-            periods.push(period);
-            priorities.push(t.priority);
-        }
+            (wcet as f64 * t.paper_period_us / t.paper_wcet_us).round() as u64
+        });
+        let programs: Vec<Program> = spec.tasks.iter().map(|t| t.program.clone()).collect();
+        let priorities: Vec<u32> = spec.tasks.iter().map(|t| t.priority).collect();
         let reference = analyze_tasks(&programs, &periods, &priorities, geometry, model);
         Experiment {
             name: spec.name.to_string(),
@@ -224,20 +221,17 @@ fn analyze_tasks(
     geometry: CacheGeometry,
     model: TimingModel,
 ) -> Vec<AnalyzedTask> {
-    programs
-        .iter()
-        .zip(periods)
-        .zip(priorities)
-        .map(|((p, period), prio)| {
-            AnalyzedTask::analyze(
-                p,
-                TaskParams { period: *period, priority: *prio },
-                geometry,
-                model,
-            )
-            .expect("workload programs analyze cleanly")
-        })
-        .collect()
+    // Per-task analyses are independent; fan out over the current rtpar
+    // pool. Results come back in task order, so sweeps stay deterministic.
+    rtpar::par_map_range(programs.len(), |i| {
+        AnalyzedTask::analyze(
+            &programs[i],
+            TaskParams { period: periods[i], priority: priorities[i] },
+            geometry,
+            model,
+        )
+        .expect("workload programs analyze cleanly")
+    })
 }
 
 /// Improvement of approach 4 over another approach, in percent

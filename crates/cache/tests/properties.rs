@@ -114,6 +114,53 @@ proptest! {
         prop_assert!(s as u64 <= geom.total_lines());
     }
 
+    /// Definition 3 reference model: `S(Ma, Mb)` equals the hand-computed
+    /// `Σ_r min(|m̂a,r|, |m̂b,r|, L)` over every cache set `r`, and is
+    /// therefore bounded by `L × N` (associativity × sets).
+    #[test]
+    fn overlap_bound_matches_definition3(geom in arb_geometry(),
+                                         a in arb_blocks(120), b in arb_blocks(120)) {
+        let ma = Ciip::from_blocks(geom, a.iter().map(|r| MemoryBlock::new(*r)));
+        let mb = Ciip::from_blocks(geom, b.iter().map(|r| MemoryBlock::new(*r)));
+        let count_per_set = |refs: &[u64]| {
+            let mut counts = std::collections::BTreeMap::new();
+            for block in refs.iter().map(|r| MemoryBlock::new(*r)).collect::<BTreeSet<_>>() {
+                *counts.entry(geom.index_of_block(block)).or_insert(0usize) += 1;
+            }
+            counts
+        };
+        let (ca, cb) = (count_per_set(&a), count_per_set(&b));
+        let ways = geom.ways() as usize;
+        let expected: usize = geom
+            .set_indices()
+            .map(|r| {
+                ca.get(&r).copied().unwrap_or(0).min(cb.get(&r).copied().unwrap_or(0)).min(ways)
+            })
+            .sum();
+        prop_assert_eq!(ma.overlap_bound(&mb), expected);
+        prop_assert!(expected as u64 <= geom.ways() as u64 * geom.sets() as u64);
+    }
+
+    /// Stepwise monotonicity: adding blocks to either operand one at a
+    /// time never decreases the bound, and each step grows it by at most
+    /// one (each new block adds at most one conflicting line).
+    #[test]
+    fn overlap_bound_monotone_per_block(geom in arb_geometry(),
+                                        a in arb_blocks(60), grow in arb_blocks(40)) {
+        let ma = Ciip::from_blocks(geom, a.iter().map(|r| MemoryBlock::new(*r)));
+        let mut mb = Ciip::empty(geom);
+        let mut previous = 0;
+        for r in grow {
+            mb.extend([MemoryBlock::new(r)]);
+            let bound = ma.overlap_bound(&mb);
+            prop_assert!(bound >= previous, "bound {bound} dropped below {previous}");
+            prop_assert!(bound <= previous + 1, "one block added {} lines", bound - previous);
+            // Symmetry at every step, not just on final operands.
+            prop_assert_eq!(bound, mb.overlap_bound(&ma));
+            previous = bound;
+        }
+    }
+
     /// Ground truth check for Eq. 2: load task A's blocks, then task B's;
     /// the number of A-blocks evicted during B's execution never exceeds
     /// `S(Ma, Mb)` under LRU.

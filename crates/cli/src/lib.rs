@@ -274,7 +274,7 @@ pub fn cmd_wcrt(spec: &SystemSpec) -> Result<String, CliError> {
 /// # Errors
 ///
 /// Returns [`CliError::Options`] for an invalid cache geometry.
-pub fn cmd_wcrt_with<T: Borrow<AnalyzedTask>>(
+pub fn cmd_wcrt_with<T: Borrow<AnalyzedTask> + Sync>(
     spec: &SystemSpec,
     tasks: &[T],
 ) -> Result<String, CliError> {
@@ -292,10 +292,12 @@ pub fn cmd_wcrt_with<T: Borrow<AnalyzedTask>>(
         "  {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "task", "App. 1", "App. 2", "App. 3", "App. 4", "period"
     );
-    let per_approach: Vec<Vec<crpd::WcrtResult>> = CrpdApproach::ALL
-        .iter()
-        .map(|a| analyze_all(tasks, &CrpdMatrix::compute(*a, tasks), &params))
-        .collect();
+    // The four approaches are independent; fan them out over the current
+    // rtpar pool (matrix cells fan out again inside). Results land in
+    // approach order, so the report bytes never depend on the pool size.
+    let per_approach: Vec<Vec<crpd::WcrtResult>> = rtpar::par_map(&CrpdApproach::ALL, |a| {
+        analyze_all(tasks, &CrpdMatrix::compute(*a, tasks), &params)
+    });
     for (i, t) in tasks.iter().map(Borrow::borrow).enumerate() {
         let cell = |a: usize| {
             let r = per_approach[a][i];

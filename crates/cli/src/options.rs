@@ -88,16 +88,22 @@ pub struct ServeOptions {
     pub host: String,
     /// TCP port to bind; `0` asks the OS for an ephemeral port.
     pub port: u16,
-    /// Worker threads executing analysis requests.
+    /// The server's one parallelism knob: connection workers *and* the
+    /// `rtpar` analysis pool that intra-request analysis fans out on.
     pub threads: usize,
 }
 
 impl Default for ServeOptions {
-    /// Loopback on port 7227 with one worker per available core
-    /// (capped at 8; analysis requests are CPU-bound).
+    /// Loopback on port 7227 with [`rtpar::default_threads`] threads
+    /// (`RTPAR_THREADS`, or one per available core capped at 8; analysis
+    /// requests are CPU-bound) — the same default the analysis pool uses,
+    /// so the two are never configured apart.
     fn default() -> Self {
-        let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
-        ServeOptions { host: "127.0.0.1".to_string(), port: 7227, threads }
+        ServeOptions {
+            host: "127.0.0.1".to_string(),
+            port: 7227,
+            threads: rtpar::default_threads(),
+        }
     }
 }
 

@@ -149,7 +149,9 @@ impl SystemSpec {
         self.tasks.iter().map(|t| crate::assemble_named(&t.name, &read_source(t)?)).collect()
     }
 
-    /// Assembles and analyzes every task.
+    /// Assembles and analyzes every task. Per-task analyses fan out over
+    /// the current `rtpar` pool; the first error in task order wins, so
+    /// outputs do not depend on the thread count.
     ///
     /// # Errors
     ///
@@ -157,19 +159,19 @@ impl SystemSpec {
     pub fn analyzed_tasks(&self) -> Result<Vec<AnalyzedTask>, CliError> {
         let geometry = self.cache.geometry()?;
         let model = self.cache.model();
-        self.programs()?
-            .iter()
-            .zip(&self.tasks)
-            .map(|(p, t)| {
-                AnalyzedTask::analyze(
-                    p,
-                    TaskParams { period: t.period, priority: t.priority },
-                    geometry,
-                    model,
-                )
-                .map_err(|e| CliError::Analysis(e.to_string()))
-            })
-            .collect()
+        let programs = self.programs()?;
+        rtpar::par_map_range(programs.len(), |i| {
+            let task = &self.tasks[i];
+            AnalyzedTask::analyze(
+                &programs[i],
+                TaskParams { period: task.period, priority: task.priority },
+                geometry,
+                model,
+            )
+            .map_err(|e| CliError::Analysis(e.to_string()))
+        })
+        .into_iter()
+        .collect()
     }
 }
 

@@ -124,24 +124,23 @@ impl CrpdMatrix {
     /// Accepts any slice of task-like values (`&[AnalyzedTask]`,
     /// `&[Arc<AnalyzedTask>]`, …) so callers that share analysis artifacts
     /// across threads need not clone them.
-    pub fn compute<T: Borrow<AnalyzedTask>>(approach: CrpdApproach, tasks: &[T]) -> Self {
-        let lines = tasks
-            .iter()
-            .map(Borrow::borrow)
-            .map(|ti| {
-                tasks
-                    .iter()
-                    .map(Borrow::borrow)
-                    .map(|tj| {
-                        if tj.params().priority < ti.params().priority {
-                            reload_lines(approach, ti, tj)
-                        } else {
-                            0
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+    ///
+    /// All `n²` preemption-pair cells are independent, so they fan out
+    /// over the current [`rtpar`] pool; the flat cell vector is folded
+    /// back into rows in index order, keeping the matrix byte-identical
+    /// at any thread count.
+    pub fn compute<T: Borrow<AnalyzedTask> + Sync>(approach: CrpdApproach, tasks: &[T]) -> Self {
+        let n = tasks.len();
+        let cells = rtpar::par_map_range(n * n, |cell| {
+            let (ti, tj) = (tasks[cell / n].borrow(), tasks[cell % n].borrow());
+            if tj.params().priority < ti.params().priority {
+                reload_lines(approach, ti, tj)
+            } else {
+                0
+            }
+        });
+        let mut cells = cells.into_iter();
+        let lines = (0..n).map(|_| cells.by_ref().take(n).collect()).collect();
         CrpdMatrix { approach, lines }
     }
 

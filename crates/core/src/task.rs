@@ -50,6 +50,11 @@ impl AnalyzedTask {
     /// Simulates every feasible path of `program`, classifies its accesses
     /// against a cold cache and estimates the WCET.
     ///
+    /// The WCET estimation and the per-variant trace analyses are
+    /// independent, so they fan out over the current [`rtpar`] pool; the
+    /// union footprint is folded in variant order afterwards, keeping the
+    /// artifact byte-identical at any thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`AnalysisError`] if a path simulation faults.
@@ -59,18 +64,32 @@ impl AnalyzedTask {
         geometry: CacheGeometry,
         model: TimingModel,
     ) -> Result<Self, AnalysisError> {
-        let wcet = estimate_wcet(program, geometry, model)
-            .map_err(|e| AnalysisError::Wcet { task: program.name().to_string(), source: e })?;
-        let mut paths = Vec::with_capacity(program.variants().len());
+        let (wcet, traced) = rtpar::join(
+            || {
+                estimate_wcet(program, geometry, model).map_err(|e| AnalysisError::Wcet {
+                    task: program.name().to_string(),
+                    source: e,
+                })
+            },
+            || {
+                rtpar::par_map(program.variants(), |variant| {
+                    let trace =
+                        rtprogram::sim::trace_variant(program, variant).map_err(|source| {
+                            AnalysisError::Exec { task: program.name().to_string(), source }
+                        })?;
+                    let trace = UsefulTrace::from_trace(&trace, geometry);
+                    let blocks = trace.all_blocks();
+                    Ok(AnalyzedPath { name: variant.name.clone(), trace, blocks })
+                })
+            },
+        );
+        let wcet = wcet?;
+        let mut paths = Vec::with_capacity(traced.len());
         let mut all_blocks = Ciip::empty(geometry);
-        for variant in program.variants() {
-            let trace = rtprogram::sim::trace_variant(program, variant).map_err(|source| {
-                AnalysisError::Exec { task: program.name().to_string(), source }
-            })?;
-            let trace = UsefulTrace::from_trace(&trace, geometry);
-            let blocks = trace.all_blocks();
-            all_blocks = all_blocks.union(&blocks);
-            paths.push(AnalyzedPath { name: variant.name.clone(), trace, blocks });
+        for path in traced {
+            let path: AnalyzedPath = path?;
+            all_blocks = all_blocks.union(&path.blocks);
+            paths.push(path);
         }
         Ok(AnalyzedTask {
             name: program.name().to_string(),

@@ -135,12 +135,16 @@ pub fn response_time_generic(
 
 /// Response times for every task (the highest-priority task's WCRT is its
 /// WCET — it is never preempted).
-pub fn analyze_all<T: Borrow<AnalyzedTask>>(
+///
+/// Per-task recurrences are independent, so they fan out over the current
+/// [`rtpar`] pool; results come back in task order, so the output is
+/// byte-identical at any thread count.
+pub fn analyze_all<T: Borrow<AnalyzedTask> + Sync>(
     tasks: &[T],
     matrix: &CrpdMatrix,
     params: &WcrtParams,
 ) -> Vec<WcrtResult> {
-    (0..tasks.len()).map(|i| response_time(tasks, matrix, i, params)).collect()
+    rtpar::par_map_range(tasks.len(), |i| response_time(tasks, matrix, i, params))
 }
 
 #[cfg(test)]

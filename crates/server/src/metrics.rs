@@ -98,9 +98,15 @@ impl Metrics {
     }
 
     /// Snapshots everything — uptime, per-endpoint counters and latency
-    /// percentiles, and the artifact-cache counters — as the `metrics`
-    /// response payload.
-    pub fn snapshot(&self, store: &ArtifactStore) -> Json {
+    /// percentiles, the artifact-cache counters, and the analysis-pool
+    /// shape (`analysis_threads` total, of which `analysis_workers` are
+    /// spawned background threads) — as the `metrics` response payload.
+    pub fn snapshot(
+        &self,
+        store: &ArtifactStore,
+        analysis_threads: usize,
+        analysis_workers: usize,
+    ) -> Json {
         let endpoints = self.endpoints.lock().expect("metrics lock");
         let per_endpoint = endpoints
             .iter()
@@ -124,6 +130,13 @@ impl Metrics {
                     ("hits", Json::from(store.hits())),
                     ("misses", Json::from(store.misses())),
                     ("entries", Json::from(store.len() as u64)),
+                ]),
+            ),
+            (
+                "analysis_pool",
+                Json::obj([
+                    ("threads", Json::from(analysis_threads as u64)),
+                    ("background_workers", Json::from(analysis_workers as u64)),
                 ]),
             ),
         ])
@@ -173,7 +186,7 @@ mod tests {
         metrics.record("wcrt", true, Duration::from_micros(300));
         metrics.record("wcrt", false, Duration::from_micros(700));
         metrics.record("ping", true, Duration::from_micros(2));
-        let snap = metrics.snapshot(&store);
+        let snap = metrics.snapshot(&store, 4, 3);
         let wcrt = snap.get("endpoints").unwrap().get("wcrt").unwrap();
         assert_eq!(wcrt.get("requests").unwrap().as_u64(), Some(2));
         assert_eq!(wcrt.get("errors").unwrap().as_u64(), Some(1));
@@ -181,5 +194,8 @@ mod tests {
         let cache = snap.get("artifact_cache").unwrap();
         assert_eq!(cache.get("hits").unwrap().as_u64(), Some(0));
         assert!(snap.get("uptime_secs").unwrap().as_u64().is_some());
+        let pool = snap.get("analysis_pool").unwrap();
+        assert_eq!(pool.get("threads").unwrap().as_u64(), Some(4));
+        assert_eq!(pool.get("background_workers").unwrap().as_u64(), Some(3));
     }
 }

@@ -33,17 +33,44 @@ use crate::proto::{err_response, ok_response, ok_response_with, Command, Request
 use crate::store::ArtifactStore;
 
 /// State shared by every worker: the artifact cache, the metrics
-/// registry and the shutdown flag.
-#[derive(Debug, Default)]
+/// registry, the analysis pool and the shutdown flag.
+#[derive(Debug)]
 pub struct ServerState {
     /// Memoized analysis artifacts.
     pub store: ArtifactStore,
     /// Request counters and latency histograms.
     pub metrics: Metrics,
+    /// The `rtpar` pool intra-request analysis fans out on. Sized by the
+    /// same `--threads` knob as the connection [`WorkerPool`], so `serve
+    /// --threads 1` truly single-threads the analysis (the pool spawns no
+    /// background workers; every closure runs inline on the connection
+    /// worker).
+    analysis: rtpar::Pool,
     shutdown: AtomicBool,
 }
 
+impl Default for ServerState {
+    fn default() -> Self {
+        ServerState::with_threads(rtpar::default_threads())
+    }
+}
+
 impl ServerState {
+    /// State with an analysis pool of `threads` total threads.
+    pub fn with_threads(threads: usize) -> ServerState {
+        ServerState {
+            store: ArtifactStore::default(),
+            metrics: Metrics::default(),
+            analysis: rtpar::Pool::new(threads),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The analysis pool shared by every request.
+    pub fn analysis_pool(&self) -> &rtpar::Pool {
+        &self.analysis
+    }
+
     fn begin_shutdown(&self, listener_addr: SocketAddr) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop; the probe connection is dropped there.
@@ -67,10 +94,12 @@ impl Server {
     /// Returns the bind error (bad host, port in use, …).
     pub fn bind(opts: &ServeOptions) -> io::Result<Server> {
         let listener = TcpListener::bind((opts.host.as_str(), opts.port))?;
+        // `--threads` is the single parallelism knob: it sizes both the
+        // connection pool and the analysis pool the requests fan out on.
         Ok(Server {
             listener,
             pool: WorkerPool::new(opts.threads),
-            state: Arc::new(ServerState::default()),
+            state: Arc::new(ServerState::with_threads(opts.threads)),
         })
     }
 
@@ -151,7 +180,12 @@ impl ServerHandle {
 /// Returns bind/listener errors.
 pub fn run(opts: &ServeOptions) -> io::Result<()> {
     let server = Server::bind(opts)?;
-    println!("rtserver listening on {} ({} worker threads)", server.local_addr()?, opts.threads);
+    println!(
+        "rtserver listening on {} ({} connection workers, {}-thread analysis pool)",
+        server.local_addr()?,
+        opts.threads,
+        opts.threads
+    );
     server.serve()
 }
 
@@ -166,7 +200,9 @@ fn handle_connection(stream: TcpStream, state: &ServerState, listener_addr: Sock
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = handle_request(state, &line);
+        // Run the request with the server's analysis pool installed so
+        // nested `rtpar` fan-out inside the analyses lands there.
+        let (response, shutdown) = state.analysis.install(|| handle_request(state, &line));
         if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
             break;
         }
@@ -193,7 +229,12 @@ fn handle_request(state: &ServerState, line: &str) -> (String, bool) {
     let (response, ok, shutdown) = match &request.cmd {
         Command::Ping => (ok_response(id, "pong"), true, false),
         Command::Metrics => {
-            (ok_response_with(id, "metrics", state.metrics.snapshot(&state.store)), true, false)
+            let snapshot = state.metrics.snapshot(
+                &state.store,
+                state.analysis.threads(),
+                state.analysis.background_workers(),
+            );
+            (ok_response_with(id, "metrics", snapshot), true, false)
         }
         Command::Shutdown => (ok_response(id, "draining in-flight work, then exiting"), true, true),
         Command::Wcet(payload) => finish(id, run_wcet(payload)),
@@ -260,28 +301,30 @@ fn run_crpd(state: &ServerState, payload: &SpecPayload) -> Result<String, CliErr
             model,
         )
     };
-    let preempted = memoized(preempted_task, 2)?;
-    let preempting = memoized(preempting_task, 1)?;
-    Ok(cmd_crpd_with(&preempted, &preempting, &spec.cache))
+    let (preempted, preempting) =
+        rtpar::join(|| memoized(preempted_task, 2), || memoized(preempting_task, 1));
+    Ok(cmd_crpd_with(preempted?.as_ref(), preempting?.as_ref(), &spec.cache))
 }
 
 fn run_wcrt(state: &ServerState, payload: &SpecPayload) -> Result<String, CliError> {
     let spec = parse_spec(payload)?;
     let geometry = spec.cache.geometry()?;
     let model = spec.cache.model();
-    let tasks: Vec<Arc<AnalyzedTask>> = spec
-        .tasks
-        .iter()
-        .map(|task| {
-            state.store.analyzed(
-                &task.name,
-                &resolve_source(payload, task)?,
-                TaskParams { period: task.period, priority: task.priority },
-                geometry,
-                model,
-            )
-        })
-        .collect::<Result<_, _>>()?;
+    // Analyze all tasks of the request in parallel; results (and the
+    // first error, if any) are taken in task order, so the rendered
+    // report is byte-identical at any pool size.
+    let tasks: Vec<Arc<AnalyzedTask>> = rtpar::par_map_range(spec.tasks.len(), |i| {
+        let task = &spec.tasks[i];
+        state.store.analyzed(
+            &task.name,
+            &resolve_source(payload, task)?,
+            TaskParams { period: task.period, priority: task.priority },
+            geometry,
+            model,
+        )
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     cmd_wcrt_with(&spec, &tasks)
 }
 

@@ -1,0 +1,127 @@
+//! Thread-count invariance: every analysis artifact and rendered report
+//! must be byte-identical whether the `rtpar` pool runs 1, 2 or 8
+//! threads. This is the hard determinism contract of the parallel
+//! runtime — reductions merge in index order, so the pool size may only
+//! change wall-clock time, never a single output byte.
+
+use std::fmt::Write as _;
+
+use preempt_wcrt::analysis::{
+    analyze_all, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams,
+};
+use preempt_wcrt::cache::CacheGeometry;
+use preempt_wcrt::wcet::TimingModel;
+use preempt_wcrt::workloads::synthetic::{synthetic_task, SyntheticSpec};
+
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+
+/// Builds a three-task synthetic system and renders *everything* the
+/// analysis produces — task artifacts, all four CRPD matrices and the
+/// WCRT fixpoints — into one string, so a single byte comparison covers
+/// every parallelized stage (`AnalyzedTask::analyze`,
+/// `CrpdMatrix::compute`, `analyze_all`).
+fn analysis_report() -> String {
+    let geometry = CacheGeometry::new(64, 2, 16).unwrap();
+    let model = TimingModel::default();
+    let tasks: Vec<AnalyzedTask> = (0..3usize)
+        .map(|i| {
+            let mut spec = SyntheticSpec::new(
+                format!("inv{i}"),
+                0x0001_0000 + 0x0800 * i as u64,
+                0x0010_0000 + 0x0140 * i as u64,
+            );
+            spec.seed = 0xBEEF + i as u64;
+            spec.data_words = 128 + 32 * i;
+            spec.outer_iters = 2 + i as u32;
+            let program = synthetic_task(&spec);
+            AnalyzedTask::analyze(
+                &program,
+                TaskParams { period: 200_000 << i, priority: 2 + i as u32 },
+                geometry,
+                model,
+            )
+            .expect("synthetic tasks analyze cleanly")
+        })
+        .collect();
+    let params = WcrtParams { miss_penalty: 20, ctx_switch: 120, max_iterations: 10_000 };
+    let mut out = String::new();
+    for t in &tasks {
+        let _ = writeln!(out, "{t} mumbs={} useful={}", t.mumbs(), t.useful_line_bound());
+    }
+    for approach in CrpdApproach::ALL {
+        let matrix = CrpdMatrix::compute(approach, &tasks);
+        for i in 0..tasks.len() {
+            for j in 0..tasks.len() {
+                let _ = write!(out, "{approach}[{i}][{j}]={} ", matrix.reload(i, j));
+            }
+        }
+        let _ = writeln!(out);
+        for r in analyze_all(&tasks, &matrix, &params) {
+            let _ = writeln!(out, "{approach}: {} {} {}", r.cycles, r.schedulable, r.iterations);
+        }
+    }
+    out
+}
+
+/// The full `trisc wcrt` pipeline (spec file -> assembled programs ->
+/// analysis -> rendered table) under one explicit pool.
+fn cli_report(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("rt-invariance-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::write(
+        dir.join("hi.s"),
+        ".data 0x100000\nbuf: .word 1,2,3,4\n.text 0x1000\nstart: li r1, buf\nli r3, 4\n\
+         loop: ld r2, 0(r1)\naddi r1, r1, 4\naddi r3, r3, -1\nbne r3, r0, loop\n\
+         .bound loop, 4\nhalt\n",
+    )
+    .expect("write hi.s");
+    std::fs::write(
+        dir.join("lo.s"),
+        ".data 0x100400\nbuf: .word 7,8\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\n\
+         ld r4, 4(r1)\nadd r2, r2, r4\nhalt\n",
+    )
+    .expect("write lo.s");
+    let spec_path = dir.join("system.spec");
+    std::fs::write(
+        &spec_path,
+        "cache 64 2 16\ncmiss 20\nccs 50\ntask hi hi.s 5000 1\ntask lo lo.s 50000 2\n",
+    )
+    .expect("write spec");
+    let spec = rtcli::SystemSpec::load(&spec_path).expect("spec parses");
+    let output = rtcli::cmd_wcrt(&spec).expect("wcrt succeeds");
+    std::fs::remove_dir_all(&dir).ok();
+    output
+}
+
+#[test]
+fn analysis_artifacts_are_byte_identical_at_any_pool_size() {
+    let reference = rtpar::Pool::new(1).install(analysis_report);
+    assert!(reference.contains("App. 4"), "report looks wrong: {reference}");
+    for threads in POOL_SIZES {
+        let pool = rtpar::Pool::new(threads);
+        assert_eq!(pool.background_workers(), threads - 1);
+        let report = pool.install(analysis_report);
+        assert_eq!(report, reference, "pool of {threads} threads changed the analysis output");
+    }
+}
+
+#[test]
+fn cli_wcrt_report_is_byte_identical_at_any_pool_size() {
+    let reference = rtpar::Pool::new(1).install(|| cli_report("ref"));
+    assert!(reference.contains("WCRT"), "report looks wrong: {reference}");
+    for threads in POOL_SIZES {
+        let report = rtpar::Pool::new(threads).install(|| cli_report(&threads.to_string()));
+        assert_eq!(report, reference, "pool of {threads} threads changed the rendered report");
+    }
+}
+
+/// Repeating the *same* analysis on the *same* multi-threaded pool is
+/// also stable run-to-run (no scheduling-order leak into the artifacts).
+#[test]
+fn repeated_runs_on_one_pool_are_stable() {
+    let pool = rtpar::Pool::new(8);
+    let first = pool.install(analysis_report);
+    for _ in 0..3 {
+        assert_eq!(pool.install(analysis_report), first);
+    }
+}

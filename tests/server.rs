@@ -114,6 +114,49 @@ fn concurrent_clients_get_cli_identical_memoized_responses() {
     handle.join().expect("server exits cleanly after shutdown");
 }
 
+/// `--threads` is the server's single parallelism knob: it sizes the
+/// `rtpar` analysis pool as well as the connection workers, responses are
+/// byte-identical between a 1-thread and an 8-thread server, and a
+/// `--threads 1` server truly single-threads its analysis (its pool
+/// spawns zero background workers — the regression guard for the old
+/// split between server threads and analysis threads).
+#[test]
+fn wcrt_responses_are_thread_count_invariant_over_the_wire() {
+    let mut outputs = Vec::new();
+    for threads in [1usize, 8] {
+        let opts = rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads };
+        let handle = Server::spawn(&opts).expect("bind ephemeral port");
+        let replies = roundtrip(
+            handle.addr(),
+            &[
+                request_line(1),
+                r#"{"cmd":"metrics"}"#.to_string(),
+                r#"{"cmd":"shutdown"}"#.to_string(),
+            ],
+        );
+        assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true), "{:?}", replies[0]);
+        outputs.push(replies[0].get("output").and_then(Json::as_str).expect("output").to_string());
+
+        let pool = replies[1]
+            .get("metrics")
+            .and_then(|m| m.get("analysis_pool"))
+            .expect("metrics exposes the analysis pool");
+        assert_eq!(
+            pool.get("threads").and_then(Json::as_u64),
+            Some(threads as u64),
+            "the analysis pool must be sized by --threads"
+        );
+        assert_eq!(
+            pool.get("background_workers").and_then(Json::as_u64),
+            Some(threads as u64 - 1),
+            "--threads 1 must spawn no analysis workers; N threads spawn N-1"
+        );
+        handle.join().expect("clean exit");
+    }
+    assert_eq!(outputs[0], outputs[1], "1-thread and 8-thread servers must agree byte-for-byte");
+    assert_eq!(outputs[0], one_shot_reference(), "and both must match the one-shot CLI");
+}
+
 /// The wire spec format is the on-disk spec format: a spec that parses
 /// from disk must be accepted verbatim over the wire (with sources
 /// resolved from the server's filesystem as the fallback).

@@ -163,6 +163,109 @@ fn measured_reloads_respect_combined_bound() {
     }
 }
 
+/// A tiny SplitMix64 so the randomized differential test below is
+/// self-seeding and reproducible without any external PRNG crate.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `lo..=hi`.
+    fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// Differential soundness over *random* task pairs: generate synthetic
+/// preempted/preempting programs with randomized footprints, loop shapes
+/// and strides, replay the actual preemptions on the cache simulator, and
+/// check that no measured useful-block reload cost ever exceeds the
+/// analyzed per-preemption CRPD — for the combined approach (the paper's
+/// App. 4) and, by the tightness ordering also asserted here, for every
+/// coarser approach.
+#[test]
+fn random_pairs_measured_reloads_never_exceed_analyzed_crpd() {
+    let geometries =
+        [CacheGeometry::new(32, 2, 16).unwrap(), CacheGeometry::new(64, 2, 16).unwrap()];
+    let model = TimingModel::default();
+    let mut total_preemptions = 0usize;
+    for seed in 0u64..8 {
+        let mut rng = SplitMix64(0xC0FF_EE00 + seed);
+        let geometry = geometries[(rng.next() % geometries.len() as u64) as usize];
+        let mut make = |name: &str, slot: u64| {
+            let mut spec = SyntheticSpec::new(
+                name.to_string(),
+                0x0001_0000 + 0x0800 * slot,
+                // Stagger data bases within one index period so the pair
+                // genuinely conflicts in the cache.
+                0x0010_0000 + 0x0100 * slot + 16 * rng.in_range(0, 8),
+            );
+            spec.seed = rng.next();
+            // The scan arm must stay inside half the (two-path) buffer:
+            // inner_iters * stride_words <= data_words / 2.
+            spec.stride_words = rng.in_range(1, 3) as usize;
+            spec.data_words = spec.stride_words * rng.in_range(64, 160) as usize;
+            spec.outer_iters = rng.in_range(2, 5) as u32;
+            spec.inner_iters = rng.in_range(8, 32) as u32;
+            synthetic_task(&spec)
+        };
+        let hi_p = make("rhi", 0);
+        let lo_p = make("rlo", 1);
+        let wcet = |p| preempt_wcrt::wcet::estimate_wcet(p, geometry, model).unwrap().cycles;
+        // High-priority period at ~2x its WCET presses hard enough to
+        // preempt; the low task gets room to actually run (and be hit).
+        let hi_period = wcet(&hi_p) * 2;
+        let lo_period = (wcet(&lo_p) + wcet(&hi_p) * 4) * 2;
+        let analyze = |p: &_, period, priority| {
+            AnalyzedTask::analyze(p, TaskParams { period, priority }, geometry, model)
+                .expect("analyzes")
+        };
+        let hi = analyze(&hi_p, hi_period, 1);
+        let lo = analyze(&lo_p, lo_period, 2);
+        let bound = |approach| preempt_wcrt::analysis::reload_lines(approach, &lo, &hi);
+        let combined = bound(CrpdApproach::Combined);
+        for coarser in
+            [CrpdApproach::AllPreemptingLines, CrpdApproach::InterTask, CrpdApproach::UsefulBlocks]
+        {
+            assert!(
+                combined <= bound(coarser),
+                "seed {seed}: combined {combined} above {coarser} bound {}",
+                bound(coarser)
+            );
+        }
+        let config = SchedConfig {
+            geometry,
+            model,
+            ctx_switch: 0,
+            horizon: lo_period * 3,
+            variant_policy: VariantPolicy::Worst,
+            cache_mode: CacheMode::Shared,
+            replacement: Default::default(),
+            l2: None,
+        };
+        let report = simulate(
+            &[SchedTask::new(hi_p, hi_period, 1), SchedTask::new(lo_p, lo_period, 2)],
+            &config,
+        )
+        .expect("simulates");
+        for p in &report.preemptions {
+            assert!(
+                p.reloaded_lines <= combined,
+                "seed {seed} ({geometry}): measured reload {} > analyzed CRPD {combined}",
+                p.reloaded_lines
+            );
+        }
+        total_preemptions += report.tasks[1].preemptions as usize;
+    }
+    assert!(total_preemptions > 0, "the random systems must actually preempt");
+}
+
 /// Lee's RMB/LMB dataflow over-approximates the exact useful blocks *at
 /// basic-block entry points* (the only execution points it evaluates).
 /// The exact sweep also sees mid-block points, so the comparison is made
