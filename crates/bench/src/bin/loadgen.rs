@@ -21,6 +21,11 @@
 //! under `rtpar` pools of 1, 2, 4 and 8 threads, verifying the rendered
 //! report is byte-identical at every pool size and printing the
 //! wall-time speedup over the single-threaded run.
+//!
+//! Either mode also writes a machine-readable summary — the printed
+//! numbers plus the per-stage `rtobs` span durations of everything that
+//! ran in this process — to `BENCH_wcrt.json` (`--json-out PATH` to
+//! relocate it).
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -40,10 +45,17 @@ struct Options {
     connections: usize,
     requests: usize,
     par_sweep: bool,
+    json_out: String,
 }
 
 fn parse_options() -> Result<Options, String> {
-    let mut opts = Options { addr: None, connections: 4, requests: 100, par_sweep: false };
+    let mut opts = Options {
+        addr: None,
+        connections: 4,
+        requests: 100,
+        par_sweep: false,
+        json_out: "BENCH_wcrt.json".to_string(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -58,6 +70,7 @@ fn parse_options() -> Result<Options, String> {
                     value("--requests")?.parse().map_err(|e| format!("--requests: {e}"))?;
             }
             "--par-sweep" => opts.par_sweep = true,
+            "--json-out" => opts.json_out = value("--json-out")?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -65,6 +78,32 @@ fn parse_options() -> Result<Options, String> {
         return Err("--connections and --requests must be positive".to_string());
     }
     Ok(opts)
+}
+
+/// The recorder's per-stage span totals as a JSON object:
+/// `{"wcrt": {"count": 8, "total_us": 1234}, ...}`.
+fn stage_durations_json(session: &rtobs::Session) -> Json {
+    Json::Obj(
+        session
+            .recorder()
+            .stage_durations()
+            .into_iter()
+            .map(|(stage, (count, total_us))| {
+                let entry =
+                    Json::obj([("count", Json::from(count)), ("total_us", Json::from(total_us))]);
+                (stage.to_string(), entry)
+            })
+            .collect(),
+    )
+}
+
+/// Writes the machine-readable run summary next to the printed report.
+fn write_bench_json(path: &str, report: Json) -> Result<(), String> {
+    let mut text = report.encode();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
 }
 
 /// One cold Experiment-I analysis, shaped like a single server `wcrt`
@@ -96,8 +135,9 @@ fn cold_analysis() -> String {
 }
 
 /// `--par-sweep`: times [`cold_analysis`] under pools of 1/2/4/8 threads
-/// and checks the reports are byte-identical across pool sizes.
-fn par_sweep() -> Result<(), String> {
+/// and checks the reports are byte-identical across pool sizes. Returns
+/// one JSON row per pool size for the `BENCH_wcrt.json` summary.
+fn par_sweep() -> Result<Json, String> {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!(
         "par-sweep: Experiment I cold analysis (4 approaches, Cmiss=20) per pool size \
@@ -105,15 +145,17 @@ fn par_sweep() -> Result<(), String> {
         if cores == 1 { "; expect no speedup, only invariance" } else { "" }
     );
     let mut reference: Option<(String, f64)> = None;
+    let mut rows = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let pool = rtpar::Pool::new(threads);
         let started = Instant::now();
         let report = pool.install(cold_analysis);
         let secs = started.elapsed().as_secs_f64();
-        match &reference {
+        let speedup = match &reference {
             None => {
                 println!("  threads=1: {:>8.1} ms (baseline)", secs * 1e3);
                 reference = Some((report, secs));
+                1.0
             }
             Some((baseline, base_secs)) => {
                 if report != *baseline {
@@ -124,10 +166,16 @@ fn par_sweep() -> Result<(), String> {
                     secs * 1e3,
                     base_secs / secs
                 );
+                base_secs / secs
             }
-        }
+        };
+        rows.push(Json::obj([
+            ("threads", Json::from(threads as u64)),
+            ("millis", Json::Num(secs * 1e3)),
+            ("speedup_vs_1_thread", Json::Num(speedup)),
+        ]));
     }
-    Ok(())
+    Ok(Json::Arr(rows))
 }
 
 fn wcrt_request(id: u64) -> String {
@@ -179,8 +227,19 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 
 fn run() -> Result<(), String> {
     let opts = parse_options()?;
+    // Record per-stage span durations for everything analyzed in this
+    // process (the par-sweep itself, or the in-process server's work).
+    let session = rtobs::begin();
     if opts.par_sweep {
-        return par_sweep();
+        let sweep = par_sweep()?;
+        return write_bench_json(
+            &opts.json_out,
+            Json::obj([
+                ("mode", Json::from("par_sweep")),
+                ("par_sweep", sweep),
+                ("stages", stage_durations_json(&session)),
+            ]),
+        );
     }
 
     // Without --addr, run a server inside this process on an ephemeral
@@ -188,7 +247,12 @@ fn run() -> Result<(), String> {
     let (addr, local) = match &opts.addr {
         Some(addr) => (addr.clone(), None),
         None => {
-            let serve = ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 4 };
+            let serve = ServeOptions {
+                host: "127.0.0.1".to_string(),
+                port: 0,
+                threads: 4,
+                trace_out: None,
+            };
             let handle = Server::spawn(&serve).map_err(|e| format!("spawn server: {e}"))?;
             (handle.addr().to_string(), Some(handle))
         }
@@ -248,11 +312,34 @@ fn run() -> Result<(), String> {
         );
     }
 
+    let in_process = local.is_some();
     if let Some(handle) = local {
         one_shot(&addr, r#"{"cmd":"shutdown"}"#)?;
         handle.join().map_err(|e| e.to_string())?;
     }
-    Ok(())
+
+    write_bench_json(
+        &opts.json_out,
+        Json::obj([
+            ("mode", Json::from("load")),
+            ("in_process_server", Json::Bool(in_process)),
+            ("connections", Json::from(opts.connections as u64)),
+            ("requests_per_connection", Json::from(opts.requests as u64)),
+            ("total_requests", Json::from(total as u64)),
+            ("elapsed_secs", Json::Num(elapsed.as_secs_f64())),
+            ("requests_per_sec", Json::Num(total as f64 / elapsed.as_secs_f64())),
+            (
+                "latency_us",
+                Json::obj([
+                    ("p50", Json::from(percentile(&latencies, 0.50))),
+                    ("p95", Json::from(percentile(&latencies, 0.95))),
+                    ("p99", Json::from(percentile(&latencies, 0.99))),
+                ]),
+            ),
+            ("server_metrics", metrics.clone()),
+            ("stages", stage_durations_json(&session)),
+        ]),
+    )
 }
 
 fn main() -> ExitCode {
@@ -261,7 +348,7 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("loadgen: {message}");
             eprintln!(
-                "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests M] [--par-sweep]"
+                "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests M] [--par-sweep] [--json-out PATH]"
             );
             ExitCode::from(2)
         }

@@ -1,0 +1,90 @@
+//! Validates a Chrome `trace_event` JSON file written by `--trace-out`.
+//!
+//! ```text
+//! trisc wcrt --trace-out t.json examples/specs/system.spec
+//! cargo run -p rtbench --bin tracecheck -- t.json \
+//!     --require assemble,trace,ciip,mumbs,crpd,wcrt
+//! ```
+//!
+//! Checks the file parses, holds a `traceEvents` array of complete-event
+//! (`ph:"X"`) records with numeric `ts`/`dur`/`pid`/`tid` and the stable
+//! `args.id` span identifiers rtobs emits, and — with `--require` — that
+//! every named pipeline stage contributed at least one span. Exits
+//! non-zero on the first violation, so CI can gate on it.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use rtserver::json::Json;
+
+fn run() -> Result<String, String> {
+    let mut path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require" => {
+                let list = args.next().ok_or("--require needs a comma-separated stage list")?;
+                required.extend(list.split(',').filter(|s| !s.is_empty()).map(str::to_string));
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("missing TRACE.json argument")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return Err(format!("{path}: missing `traceEvents` array"));
+    };
+
+    let mut stages = BTreeSet::new();
+    for (i, event) in events.iter().enumerate() {
+        let field = |key: &str| event.get(key).ok_or(format!("{path}: event {i} missing `{key}`"));
+        let name =
+            field("name")?.as_str().ok_or(format!("{path}: event {i}: `name` must be a string"))?;
+        if field("ph")?.as_str() != Some("X") {
+            return Err(format!("{path}: event {i} (`{name}`): `ph` must be \"X\""));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            if field(key)?.as_u64().is_none() {
+                return Err(format!(
+                    "{path}: event {i} (`{name}`): `{key}` must be a non-negative number"
+                ));
+            }
+        }
+        let id = event
+            .get("args")
+            .and_then(|a| a.get("id"))
+            .and_then(Json::as_str)
+            .ok_or(format!("{path}: event {i} (`{name}`): missing string `args.id`"))?;
+        if !id.contains('#') {
+            return Err(format!(
+                "{path}: event {i} (`{name}`): `args.id` must be `path#occurrence`, got `{id}`"
+            ));
+        }
+        stages.insert(name.to_string());
+    }
+
+    for stage in &required {
+        if !stages.contains(stage) {
+            return Err(format!("{path}: no span recorded for required stage `{stage}`"));
+        }
+    }
+    let stage_list: Vec<&str> = stages.iter().map(String::as_str).collect();
+    Ok(format!("{path}: {} spans ok, stages: {}", events.len(), stage_list.join(", ")))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            println!("tracecheck: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("tracecheck: {message}");
+            eprintln!("usage: tracecheck TRACE.json [--require stage,stage,...]");
+            ExitCode::from(1)
+        }
+    }
+}

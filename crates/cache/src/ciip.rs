@@ -125,6 +125,9 @@ impl Ciip {
     /// be displaced when `other`'s blocks are loaded (and vice versa — the
     /// bound is symmetric).
     ///
+    /// When an `rtobs` recorder is installed, every non-zero per-set term
+    /// is recorded together with the `min` argument that produced it.
+    ///
     /// # Panics
     ///
     /// Panics if the two partitions were built for different geometries;
@@ -134,11 +137,58 @@ impl Ciip {
             self.geometry, other.geometry,
             "CIIPs from different cache geometries cannot be compared"
         );
+        if rtobs::enabled() {
+            let mut total = 0;
+            for c in self.overlap_contributions(other) {
+                rtobs::record_overlap_set(c.set.as_usize() as u32, c.lines as u64, c.cap);
+                total += c.lines;
+            }
+            return total;
+        }
         let ways = self.geometry.ways() as usize;
         // Iterate the smaller map for efficiency; the bound is symmetric.
         let (small, large) =
             if self.parts.len() <= other.parts.len() { (self, other) } else { (other, self) };
         small.parts.iter().map(|(idx, s)| s.len().min(large.subset_len(*idx)).min(ways)).sum()
+    }
+
+    /// The per-set terms of [`Ciip::overlap_bound`], in set-index order,
+    /// each annotated with the binding argument of
+    /// `min(|m̂a,r|, |m̂b,r|, L)`. `self` plays the preempted side (`a`),
+    /// `other` the preempting side (`b`); the total equals the bound.
+    /// Zero terms are omitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn overlap_contributions(&self, other: &Ciip) -> Vec<OverlapContribution> {
+        assert_eq!(
+            self.geometry, other.geometry,
+            "CIIPs from different cache geometries cannot be compared"
+        );
+        let ways = self.geometry.ways() as usize;
+        self.parts
+            .iter()
+            .filter_map(|(idx, subset)| {
+                let a = subset.len();
+                let b = other.subset_len(*idx);
+                let lines = a.min(b).min(ways);
+                if lines == 0 {
+                    return None;
+                }
+                // Tie-breaking favours the hard architectural cap first,
+                // then the preempted side, mirroring the order the paper
+                // states the bound in.
+                let cap = if ways <= a && ways <= b {
+                    rtobs::OverlapCap::Ways
+                } else if a <= b {
+                    rtobs::OverlapCap::Preempted
+                } else {
+                    rtobs::OverlapCap::Preempting
+                };
+                Some(OverlapContribution { set: *idx, lines, cap })
+            })
+            .collect()
     }
 
     /// Per-set occupancy histogram: `histogram[k]` counts the cache sets
@@ -201,6 +251,17 @@ impl Ciip {
     }
 }
 
+/// One non-zero per-set term of the Eq. 2 / Eq. 3 overlap bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapContribution {
+    /// The cache set the term belongs to.
+    pub set: SetIndex,
+    /// `min(|m̂a,r|, |m̂b,r|, L)` for that set.
+    pub lines: usize,
+    /// Which argument of the `min` was binding.
+    pub cap: rtobs::OverlapCap,
+}
+
 impl fmt::Display for Ciip {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "CIIP({} blocks over {} sets)", self.block_count(), self.subset_count())
@@ -247,6 +308,51 @@ mod tests {
         // Set 0: min(2, 1, 4) = 1; set 1: min(3, 3, 4) = 3; total 4.
         assert_eq!(m1.overlap_bound(&m2), 4);
         assert_eq!(m2.overlap_bound(&m1), 4, "bound is symmetric");
+    }
+
+    #[test]
+    fn overlap_contributions_match_the_bound_and_name_the_cap() {
+        let m1 = example3();
+        let m2 = Ciip::from_addrs(geom(), [0x200u64, 0x310, 0x410, 0x510]);
+        let contributions = m1.overlap_contributions(&m2);
+        let total: usize = contributions.iter().map(|c| c.lines).sum();
+        assert_eq!(total, m1.overlap_bound(&m2));
+        // Set 0: min(2, 1, 4) = 1 capped by the preempting side;
+        // set 1: min(3, 3, 4) = 3 capped by the (tied) preempted side.
+        assert_eq!(
+            contributions,
+            vec![
+                OverlapContribution {
+                    set: SetIndex::new(0),
+                    lines: 1,
+                    cap: rtobs::OverlapCap::Preempting,
+                },
+                OverlapContribution {
+                    set: SetIndex::new(1),
+                    lines: 3,
+                    cap: rtobs::OverlapCap::Preempted,
+                },
+            ]
+        );
+        // Direct-mapped: associativity saturates every non-empty set.
+        let g = CacheGeometry::new(16, 1, 16).unwrap();
+        let a = Ciip::from_addrs(g, [0x000u64, 0x100, 0x200]);
+        let b = Ciip::from_addrs(g, [0x300u64, 0x400]);
+        let caps: Vec<_> = a.overlap_contributions(&b).iter().map(|c| c.cap).collect();
+        assert_eq!(caps, vec![rtobs::OverlapCap::Ways]);
+    }
+
+    #[test]
+    fn overlap_bound_is_unchanged_by_an_installed_recorder() {
+        let m1 = example3();
+        let m2 = Ciip::from_addrs(geom(), [0x200u64, 0x310, 0x410, 0x510]);
+        let plain = m1.overlap_bound(&m2);
+        let session = rtobs::begin();
+        assert_eq!(m1.overlap_bound(&m2), plain);
+        let counters = session.recorder().counters();
+        drop(session);
+        let recorded: u64 = counters.overlap_sets.values().map(|t| t.contributed).sum();
+        assert_eq!(recorded, plain as u64);
     }
 
     #[test]

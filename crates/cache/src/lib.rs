@@ -44,7 +44,7 @@ mod hierarchy;
 mod replacement;
 mod sim;
 
-pub use ciip::Ciip;
+pub use ciip::{Ciip, OverlapContribution};
 pub use geometry::{CacheGeometry, GeometryError, MemoryBlock, SetIndex};
 pub use hierarchy::{CacheHierarchy, HierarchyError, LevelOutcome};
 pub use replacement::ReplacementPolicy;

@@ -5,11 +5,14 @@ use std::path::Path;
 
 use crate::options::{CacheOptions, CliError, ServeOptions};
 use crate::spec::SystemSpec;
-use crate::{cmd_asm, cmd_crpd, cmd_disasm, cmd_footprint, cmd_run, cmd_sim, cmd_wcet, cmd_wcrt};
+use crate::{
+    cmd_asm, cmd_crpd, cmd_disasm, cmd_footprint, cmd_run, cmd_sim, cmd_wcet, cmd_wcrt,
+    cmd_wcrt_explain,
+};
 
 /// The usage line printed on bad invocations and `--help`.
-pub const USAGE: &str =
-    "trisc <asm|disasm|run|wcet|footprint|crpd|wcrt|sim|serve> ... (see --help)";
+pub const USAGE: &str = "trisc <asm|disasm|run|wcet|footprint|crpd|wcrt|sim|serve> ... \
+     (wcrt/crpd take --trace-out TRACE.json; wcrt takes --explain)";
 
 /// A fully parsed `trisc` invocation.
 ///
@@ -38,7 +41,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Invocation, CliError> {
         opts.parse_from(&mut args)?;
         if let Some(extra) = args.first() {
             return Err(CliError::Usage(format!(
-                "unexpected argument `{extra}`; trisc serve [--host HOST] [--port PORT] [--threads N]"
+                "unexpected argument `{extra}`; trisc serve [--host HOST] [--port PORT] [--threads N] [--trace-out TRACE.json]"
             )));
         }
         return Ok(Invocation::Serve(opts));
@@ -69,6 +72,31 @@ pub fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<Stri
     } else {
         Ok(None)
     }
+}
+
+/// Extracts a valueless `--flag` from `args`, returning whether it was
+/// present (every occurrence is removed).
+pub fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+/// Runs `f` with an `rtobs` recording session installed when `trace_out`
+/// names a path, writing the Chrome trace there afterwards. With no path
+/// the command runs bare: collection stays disabled and costs nothing.
+fn with_recorder(
+    trace_out: Option<&str>,
+    f: impl FnOnce() -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    let Some(path) = trace_out else { return f() };
+    let session = rtobs::begin();
+    let out = f()?;
+    session
+        .recorder()
+        .write_chrome_trace(Path::new(path))
+        .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    Ok(out)
 }
 
 /// Runs one `trisc` invocation (`args` excludes the program name) and
@@ -120,18 +148,34 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
             }
         }
         "crpd" => {
+            let trace_out = take_flag_value(&mut args, "--trace-out")?;
             let [low, high] = args.as_slice() else {
-                return Err(CliError::Usage("trisc crpd LOW.s HIGH.s [cache options]".into()));
+                return Err(CliError::Usage(
+                    "trisc crpd LOW.s HIGH.s [cache options] [--trace-out TRACE.json]".into(),
+                ));
             };
             let (low_name, low_text) = read(low)?;
             let (high_name, high_text) = read(high)?;
-            cmd_crpd((&low_name, &low_text), (&high_name, &high_text), &cache)
+            with_recorder(trace_out.as_deref(), || {
+                cmd_crpd((&low_name, &low_text), (&high_name, &high_text), &cache)
+            })
         }
         "wcrt" => {
+            let trace_out = take_flag_value(&mut args, "--trace-out")?;
+            let explain = take_bool_flag(&mut args, "--explain");
             let [file] = args.as_slice() else {
-                return Err(CliError::Usage("trisc wcrt SYSTEM.spec".into()));
+                return Err(CliError::Usage(
+                    "trisc wcrt SYSTEM.spec [--explain] [--trace-out TRACE.json]".into(),
+                ));
             };
-            cmd_wcrt(&SystemSpec::load(Path::new(file))?)
+            let spec = SystemSpec::load(Path::new(file))?;
+            with_recorder(trace_out.as_deref(), || {
+                if explain {
+                    cmd_wcrt_explain(&spec, &spec.analyzed_tasks()?)
+                } else {
+                    cmd_wcrt(&spec)
+                }
+            })
         }
         "sim" => {
             let horizon = take_flag_value(&mut args, "--horizon")?
@@ -218,12 +262,57 @@ mod tests {
     }
 
     #[test]
+    fn take_bool_flag_removes_every_occurrence() {
+        let mut args = argv(&["sys.spec", "--explain", "--explain"]);
+        assert!(take_bool_flag(&mut args, "--explain"));
+        assert!(!take_bool_flag(&mut args, "--explain"));
+        assert_eq!(args, argv(&["sys.spec"]));
+    }
+
+    #[test]
+    fn wcrt_explain_and_trace_out_end_to_end() {
+        // The acceptance path of the observability layer: one command
+        // produces both the breakdown report and a Chrome trace covering
+        // every pipeline stage.
+        temp_file(
+            "hi.s",
+            ".data 0x100000\nbuf: .word 1,2,3\n.text 0x1000\nstart: li r1, buf\nld r2, 0(r1)\nld r2, 0(r1)\nhalt\n",
+        );
+        temp_file(
+            "lo.s",
+            ".data 0x100400\nbuf: .word 7\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\nhalt\n",
+        );
+        let spec = temp_file(
+            "explain.spec",
+            "cache 64 2 16\ncmiss 20\nccs 50\ntask hi hi.s 5000 1\ntask lo lo.s 50000 2\n",
+        );
+        let trace = spec.with_file_name("explain-trace.json");
+        let out = dispatch(argv(&[
+            "wcrt",
+            spec.to_str().unwrap(),
+            "--explain",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("WCRT breakdown"), "{out}");
+        assert!(out.contains("App. 4: R="), "{out}");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.contains("\"traceEvents\":["), "{json}");
+        for stage in ["assemble", "trace", "ciip", "mumbs", "crpd", "wcrt"] {
+            assert!(json.contains(&format!("\"name\":\"{stage}\"")), "missing stage {stage}");
+        }
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
     fn parse_recognizes_serve() {
         match parse(argv(&["serve", "--port", "0", "--threads", "2"])).unwrap() {
             Invocation::Serve(opts) => {
                 assert_eq!(opts.port, 0);
                 assert_eq!(opts.threads, 2);
                 assert_eq!(opts.host, "127.0.0.1");
+                assert_eq!(opts.trace_out, None);
             }
             other => panic!("expected Serve, got {other:?}"),
         }

@@ -12,11 +12,16 @@
 //! trisc disasm task.s                      # canonical listing
 //! trisc run    task.s [--variant NAME]     # execute, dump registers
 //! trisc wcet   task.s [cache options]      # per-path WCET + bound
-//! trisc crpd   low.s high.s [cache opts]   # the four reload bounds
-//! trisc wcrt   system.spec                 # WCRT per approach
+//! trisc crpd   low.s high.s [cache opts] [--trace-out T.json]
+//! trisc wcrt   system.spec [--explain] [--trace-out T.json]
 //! trisc sim    system.spec [--horizon N]   # co-simulation + timeline
-//! trisc serve  [--host H] [--port P] [--threads N]  # analysis daemon
+//! trisc serve  [--host H] [--port P] [--threads N] [--trace-out T.json]
 //! ```
+//!
+//! `--trace-out` installs an [`rtobs`] recording session for the run and
+//! writes a Chrome `trace_event` JSON file (open in `chrome://tracing` or
+//! Perfetto); `--explain` appends a per-task WCRT breakdown whose cycle
+//! components sum to the reported `R_i`. Neither changes analysis output.
 //!
 //! (`serve` itself is implemented by the `rtserver` crate, which also
 //! ships the `trisc` binary; everything else lives here.)
@@ -160,7 +165,7 @@ pub fn cmd_crpd(
     let geometry = opts.geometry()?;
     let model = opts.model();
     let analyze = |name: &str, source: &str, priority: u32| -> Result<AnalyzedTask, CliError> {
-        let p = assemble(name, source).map_err(|e| CliError::Asm(e.to_string()))?;
+        let p = assemble_named(name, source)?;
         AnalyzedTask::analyze(&p, TaskParams { period: u64::MAX, priority }, geometry, model)
             .map_err(|e| CliError::Analysis(e.to_string()))
     };
@@ -303,6 +308,8 @@ pub fn cmd_wcrt_with<T: Borrow<AnalyzedTask> + Sync>(
             let r = per_approach[a][i];
             if r.schedulable {
                 r.cycles.to_string()
+            } else if r.stop == crpd::StopReason::IterationCap {
+                format!("{}!", r.cycles)
             } else {
                 format!("{}*", r.cycles)
             }
@@ -318,7 +325,88 @@ pub fn cmd_wcrt_with<T: Borrow<AnalyzedTask> + Sync>(
             t.params().period
         );
     }
-    let _ = writeln!(out, "  (*: not schedulable under that bound)");
+    let _ = writeln!(out, "  (*: not schedulable under that bound; !: iteration cap hit)");
+    Ok(out)
+}
+
+/// How many cache sets the `--explain` breakdown names per preempting
+/// task: the top contributors to the combined (App. 4) overlap bound.
+const EXPLAIN_TOP_SETS: usize = 4;
+
+/// `trisc wcrt --explain`: the [`cmd_wcrt_with`] table followed by a
+/// per-task breakdown of every approach's WCRT into its Eq. 7 terms —
+/// WCET, higher-priority interference, CRPD reload cycles and context
+/// switches (the four always sum to the reported `R_i`) — plus the cache
+/// sets contributing most to the combined overlap bound per preempting
+/// task.
+///
+/// The breakdown is a deterministic recomputation
+/// ([`crpd::explain_response_time`]) rather than recorder state, so the
+/// output is byte-identical whether or not tracing is enabled.
+///
+/// # Errors
+///
+/// Returns [`CliError::Options`] for an invalid cache geometry.
+pub fn cmd_wcrt_explain<T: Borrow<AnalyzedTask> + Sync>(
+    spec: &SystemSpec,
+    tasks: &[T],
+) -> Result<String, CliError> {
+    let mut out = cmd_wcrt_with(spec, tasks)?;
+    let model = spec.cache.model();
+    let params = WcrtParams {
+        miss_penalty: model.miss_penalty,
+        ctx_switch: spec.ctx_switch,
+        max_iterations: 10_000,
+    };
+    let matrices: Vec<CrpdMatrix> =
+        rtpar::par_map(&CrpdApproach::ALL, |a| CrpdMatrix::compute(*a, tasks));
+    let _ = writeln!(out, "\nWCRT breakdown (cycles; wcet + interference + crpd + ctx = R):");
+    for (i, t) in tasks.iter().map(Borrow::borrow).enumerate() {
+        let _ = writeln!(
+            out,
+            "  {} (C={}, period {}, priority {}):",
+            t.name(),
+            t.wcet(),
+            t.params().period,
+            t.params().priority
+        );
+        for matrix in &matrices {
+            let b = crpd::explain_response_time(tasks, matrix, i, &params);
+            let _ = writeln!(
+                out,
+                "    {}: R={} = {} + {} + {} + {} ({} preemptions, {})",
+                matrix.approach,
+                b.result.cycles,
+                b.wcet,
+                b.interference,
+                b.crpd,
+                b.ctx_switch,
+                b.preemptions,
+                b.result.stop
+            );
+        }
+        for hp in tasks.iter().map(Borrow::borrow) {
+            if hp.params().priority >= t.params().priority {
+                continue;
+            }
+            let contributions = crpd::combined_overlap_breakdown(t, hp);
+            if contributions.is_empty() {
+                continue;
+            }
+            let shown: Vec<String> = contributions
+                .iter()
+                .take(EXPLAIN_TOP_SETS)
+                .map(|c| format!("set {}: {} (min: {})", c.set.as_usize(), c.lines, c.cap.label()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "    top sets vs `{}` (of {} overlapping): {}",
+                hp.name(),
+                contributions.len(),
+                shown.join(", ")
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -383,6 +471,7 @@ pub fn cmd_sim_with(
 /// Loads a program from already-read source; helper shared by spec
 /// loading.
 pub(crate) fn assemble_named(name: &str, source: &str) -> Result<Program, CliError> {
+    let _span = rtobs::span_labeled("assemble", || name.to_string());
     assemble(name, source).map_err(|e| CliError::Asm(e.to_string()))
 }
 
@@ -442,6 +531,48 @@ mod tests {
         let out = cmd_wcet("count", COUNT, &CacheOptions::default()).unwrap();
         assert!(out.contains("WCET ="));
         assert!(out.contains("structural all-miss bound"));
+    }
+
+    #[test]
+    fn explain_components_sum_to_the_reported_wcrt() {
+        let dir = std::env::temp_dir().join(format!("trisc-explain-lib-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("hi.s"),
+            ".data 0x100000\nbuf: .word 1,2,3\n.text 0x1000\nstart: li r1, buf\nld r2, 0(r1)\nld r2, 0(r1)\nhalt\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("lo.s"),
+            ".data 0x100400\nbuf: .word 7\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\nld r2, 0(r1)\nhalt\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("sys.spec"),
+            "cache 64 2 16\ncmiss 20\nccs 50\ntask hi hi.s 5000 1\ntask lo lo.s 50000 2\n",
+        )
+        .unwrap();
+        let spec = SystemSpec::load(&dir.join("sys.spec")).unwrap();
+        let tasks = spec.analyzed_tasks().unwrap();
+        let out = cmd_wcrt_explain(&spec, &tasks).unwrap();
+        // Every breakdown line's four terms must sum to its R, exactly.
+        let mut parsed = 0;
+        for line in out.lines().filter(|l| l.trim_start().starts_with("App. ")) {
+            let rest = line.split("R=").nth(1).unwrap();
+            let r: u64 = rest.split(' ').next().unwrap().parse().unwrap();
+            let terms = rest.split(" = ").nth(1).unwrap().split(" (").next().unwrap();
+            let sum: u64 = terms.split(" + ").map(|t| t.trim().parse::<u64>().unwrap()).sum();
+            assert_eq!(sum, r, "{line}");
+            parsed += 1;
+        }
+        assert_eq!(parsed, 2 * CrpdApproach::ALL.len(), "{out}");
+        // `lo` is preempted by `hi`; their footprints collide, so the
+        // breakdown names the contributing sets.
+        assert!(out.contains("top sets vs `hi`"), "{out}");
+        // The table half is byte-identical to the plain report.
+        let plain = cmd_wcrt_with(&spec, &tasks).unwrap();
+        assert!(out.starts_with(&plain), "explain must append, not rewrite");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

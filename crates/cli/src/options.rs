@@ -80,8 +80,9 @@ impl CacheOptions {
 }
 
 /// Options of the `trisc serve` subcommand (`--host`, `--port`,
-/// `--threads`). The daemon itself lives in the `rtserver` crate; parsing
-/// stays here with the other CLI surface so it is testable alongside it.
+/// `--threads`, `--trace-out`). The daemon itself lives in the `rtserver`
+/// crate; parsing stays here with the other CLI surface so it is testable
+/// alongside it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeOptions {
     /// Interface to bind.
@@ -91,6 +92,9 @@ pub struct ServeOptions {
     /// The server's one parallelism knob: connection workers *and* the
     /// `rtpar` analysis pool that intra-request analysis fans out on.
     pub threads: usize,
+    /// Keep an `rtobs` recorder installed for the server's lifetime and
+    /// write the Chrome trace of everything it served here on shutdown.
+    pub trace_out: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -103,6 +107,7 @@ impl Default for ServeOptions {
             host: "127.0.0.1".to_string(),
             port: 7227,
             threads: rtpar::default_threads(),
+            trace_out: None,
         }
     }
 }
@@ -120,12 +125,13 @@ impl ServeOptions {
         let mut it = args.drain(..);
         while let Some(arg) = it.next() {
             match arg.as_str() {
-                "--host" | "--port" | "--threads" => {
+                "--host" | "--port" | "--threads" | "--trace-out" => {
                     let value = it
                         .next()
                         .ok_or_else(|| CliError::Options(format!("{arg} needs a value")))?;
                     match arg.as_str() {
                         "--host" => self.host = value,
+                        "--trace-out" => self.trace_out = Some(value),
                         "--port" => {
                             self.port = value.parse().map_err(|_| {
                                 CliError::Options(format!("bad value for --port: {value}"))
@@ -238,6 +244,11 @@ mod tests {
         assert_eq!(o.port, 0);
         assert_eq!(o.threads, 3);
         assert_eq!(args, vec!["spare".to_string()]);
+        assert_eq!(o.trace_out, None);
+        let mut args: Vec<String> =
+            ["--trace-out", "t.json"].iter().map(|s| s.to_string()).collect();
+        o.parse_from(&mut args).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
         let mut bad: Vec<String> = ["--threads", "0"].iter().map(|s| s.to_string()).collect();
         assert!(matches!(ServeOptions::default().parse_from(&mut bad), Err(CliError::Options(_))));
         let mut bad: Vec<String> = vec!["--port".to_string(), "high".to_string()];

@@ -104,6 +104,49 @@ pub fn reload_lines_with(
     }
 }
 
+/// The per-set terms behind the Combined (Approach 4) bound for one
+/// preemption pair, for explainability: finds the worst (preempting
+/// path, preempted path, execution point) combination — the one
+/// [`reload_lines`] maximizes over — and returns the per-cache-set
+/// contributions of `S(useful(t), m_b)` at that point, largest first
+/// (ties broken by set index). The contributions sum to
+/// `reload_lines(Combined, preempted, preempting)`.
+///
+/// Deterministic recomputation from the analysis artifacts, independent
+/// of whether an `rtobs` recorder is installed.
+///
+/// # Panics
+///
+/// Panics if the two tasks were analyzed under different cache geometries.
+pub fn combined_overlap_breakdown(
+    preempted: &AnalyzedTask,
+    preempting: &AnalyzedTask,
+) -> Vec<rtcache::OverlapContribution> {
+    assert_eq!(
+        preempted.geometry(),
+        preempting.geometry(),
+        "tasks analyzed under different cache geometries"
+    );
+    let mut best: Option<(usize, &crate::task::AnalyzedPath, usize, &rtcache::Ciip)> = None;
+    for preempting_path in preempting.paths() {
+        for own in preempted.paths() {
+            let (bound, pos) = own.trace.max_overlap_bound(&preempting_path.blocks);
+            // Strict `>` keeps the first maximum in path order, so the
+            // result is deterministic.
+            if best.is_none_or(|(b, ..)| bound > b) {
+                best = Some((bound, own, pos, &preempting_path.blocks));
+            }
+        }
+    }
+    let Some((bound, own, pos, mb)) = best else { return Vec::new() };
+    if bound == 0 {
+        return Vec::new();
+    }
+    let mut contributions = own.trace.useful_at(pos).overlap_contributions(mb);
+    contributions.sort_by_key(|c| (std::cmp::Reverse(c.lines), c.set));
+    contributions
+}
+
 /// The reload-line matrix of a task set under one approach:
 /// `lines[i][j]` is the bound for task `i` preempted by task `j`
 /// (`usize::MAX` is never used; cells where `j` cannot preempt `i` hold
@@ -130,11 +173,18 @@ impl CrpdMatrix {
     /// back into rows in index order, keeping the matrix byte-identical
     /// at any thread count.
     pub fn compute<T: Borrow<AnalyzedTask> + Sync>(approach: CrpdApproach, tasks: &[T]) -> Self {
+        let _span = rtobs::span_labeled("crpd", || format!("{approach} matrix"));
         let n = tasks.len();
         let cells = rtpar::par_map_range(n * n, |cell| {
-            let (ti, tj) = (tasks[cell / n].borrow(), tasks[cell % n].borrow());
+            let (i, j) = (cell / n, cell % n);
+            let (ti, tj) = (tasks[i].borrow(), tasks[j].borrow());
             if tj.params().priority < ti.params().priority {
-                reload_lines(approach, ti, tj)
+                let _span = rtobs::span_labeled("crpd", || {
+                    format!("{approach} {}<-{}", ti.name(), tj.name())
+                });
+                let lines = reload_lines(approach, ti, tj);
+                rtobs::record_crpd_cell(approach.label(), i, j, lines as u64);
+                lines
             } else {
                 0
             }
@@ -213,6 +263,40 @@ mod tests {
         assert_eq!(m.reload(1, 1), 0);
         // MR can preempt ED; with overlapping footprints the bound is > 0.
         assert!(m.reload(1, 0) > 0);
+    }
+
+    #[test]
+    fn combined_breakdown_sums_to_the_combined_bound() {
+        let (ed, mr) = small_pair();
+        let bound = reload_lines(CrpdApproach::Combined, &ed, &mr);
+        let contributions = combined_overlap_breakdown(&ed, &mr);
+        let total: usize = contributions.iter().map(|c| c.lines).sum();
+        assert_eq!(total, bound, "per-set contributions must sum to the Eq. 4 bound");
+        assert!(bound > 0, "this pair overlaps");
+        // Sorted largest-first, ties by set index.
+        for pair in contributions.windows(2) {
+            assert!(
+                pair[0].lines > pair[1].lines
+                    || (pair[0].lines == pair[1].lines && pair[0].set < pair[1].set)
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_cells_are_recorded_per_pair() {
+        let _serial = crate::obs_test_lock();
+        let (ed, mr) = small_pair(); // ed prio 3, mr prio 2
+        let tasks = vec![mr, ed];
+        let session = rtobs::begin();
+        let m = CrpdMatrix::compute(CrpdApproach::InterTask, &tasks);
+        let counters = session.recorder().counters();
+        drop(session);
+        let cell = counters
+            .crpd_cells
+            .get(&("App. 2".to_string(), 1, 0))
+            .expect("the one feasible preemption pair is recorded");
+        assert_eq!(*cell, m.reload(1, 0) as u64);
+        assert!(!counters.crpd_cells.contains_key(&("App. 2".to_string(), 0, 1)));
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub struct UsefulTrace {
 
 impl UsefulTrace {
     /// Simulates `trace` against a cold cache and records each access's
-    /// hit/miss outcome.
+    /// hit/miss outcome. With an `rtobs` recorder installed, the cold
+    /// simulation's per-set hit/miss/eviction tallies are flushed into
+    /// the recorder.
     pub fn from_trace(trace: &Trace, geometry: CacheGeometry) -> Self {
         let mut cache = CacheSim::new(geometry);
         let accesses = trace
@@ -53,6 +55,7 @@ impl UsefulTrace {
                 (block, cache.access_block(block).is_hit())
             })
             .collect();
+        cache.flush_set_stats();
         UsefulTrace { geometry, accesses }
     }
 
@@ -318,6 +321,7 @@ pub fn dataflow_useful(
     };
 
     // Forward RMB fixpoint: in[v] = ⊔ out[p]; out[v] = transfer(in[v]).
+    let _span = rtobs::span("dataflow");
     let n = cfg.len();
     let mut rmb_in: Vec<AbstractState> = vec![AbstractState::new(); n];
     let mut rmb_out: Vec<AbstractState> = vec![AbstractState::new(); n];
@@ -343,6 +347,8 @@ pub fn dataflow_useful(
         }
     }
 
+    let rmb_rounds = rounds;
+
     // Backward LMB fixpoint: out[v] = ⊔ in[s]; in[v] = transfer_rev(out[v]).
     let mut lmb_in: Vec<AbstractState> = vec![AbstractState::new(); n];
     let mut lmb_out: Vec<AbstractState> = vec![AbstractState::new(); n];
@@ -367,6 +373,8 @@ pub fn dataflow_useful(
             }
         }
     }
+
+    rtobs::record_dataflow_rounds(rmb_rounds as u64, rounds as u64);
 
     let points = (0..n)
         .filter(|v| !profiles[*v].seqs.is_empty())

@@ -62,16 +62,31 @@ pub mod schedutil;
 pub mod task;
 pub mod wcrt;
 
+/// Serializes unit tests that install an `rtobs` session: the recorder
+/// is process-global, so a concurrently-running test could otherwise
+/// record into (and collide with) another test's counters.
+#[cfg(test)]
+pub(crate) fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    match LOCK.get_or_init(std::sync::Mutex::default).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 use std::fmt;
 
-pub use approaches::{reload_lines, CrpdApproach, CrpdMatrix};
+pub use approaches::{combined_overlap_breakdown, reload_lines, CrpdApproach, CrpdMatrix};
 pub use hierarchy::{two_level_analyze_all, two_level_preemption_delay, TwoLevelParams};
 pub use intra::{dataflow_useful, DataflowUseful, UsefulTrace};
 pub use multicore::{first_fit_assignment, multicore_analyze, CoreAssignment, SharedL2};
 pub use partition::{even_way_partition, partitioned_analyze_all, PartitionedTask};
 pub use schedutil::{hyperperiod, liu_layland_bound, rate_monotonic_priorities, total_utilization};
 pub use task::{AnalyzedTask, TaskParams};
-pub use wcrt::{analyze_all, response_time, response_time_generic, WcrtParams, WcrtResult};
+pub use wcrt::{
+    analyze_all, explain_response_time, response_time, response_time_generic, StopReason,
+    WcrtBreakdown, WcrtParams, WcrtResult,
+};
 
 /// Which useful-block formulation Approaches 3 and 4 use.
 #[derive(Debug, Clone, Copy)]

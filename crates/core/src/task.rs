@@ -64,8 +64,10 @@ impl AnalyzedTask {
         geometry: CacheGeometry,
         model: TimingModel,
     ) -> Result<Self, AnalysisError> {
+        let _span = rtobs::span_labeled("analyze", || program.name().to_string());
         let (wcet, traced) = rtpar::join(
             || {
+                let _span = rtobs::span_labeled("wcet", || program.name().to_string());
                 estimate_wcet(program, geometry, model).map_err(|e| AnalysisError::Wcet {
                     task: program.name().to_string(),
                     source: e,
@@ -73,6 +75,9 @@ impl AnalyzedTask {
             },
             || {
                 rtpar::par_map(program.variants(), |variant| {
+                    let _span = rtobs::span_labeled("trace", || {
+                        format!("{}/{}", program.name(), variant.name)
+                    });
                     let trace =
                         rtprogram::sim::trace_variant(program, variant).map_err(|source| {
                             AnalysisError::Exec { task: program.name().to_string(), source }
@@ -84,6 +89,7 @@ impl AnalyzedTask {
             },
         );
         let wcet = wcet?;
+        let ciip_span = rtobs::span_labeled("ciip", || program.name().to_string());
         let mut paths = Vec::with_capacity(traced.len());
         let mut all_blocks = Ciip::empty(geometry);
         for path in traced {
@@ -91,6 +97,7 @@ impl AnalyzedTask {
             all_blocks = all_blocks.union(&path.blocks);
             paths.push(path);
         }
+        drop(ciip_span);
         Ok(AnalyzedTask {
             name: program.name().to_string(),
             params,
@@ -136,12 +143,14 @@ impl AnalyzedTask {
     /// and execution points of `Σ_r min(|useful_r|, L)` (Definition 4
     /// evaluated per path).
     pub fn useful_line_bound(&self) -> usize {
+        let _span = rtobs::span_labeled("mumbs", || format!("{}: line bound", self.name));
         self.paths.iter().map(|p| p.trace.max_line_bound().0).max().unwrap_or(0)
     }
 
     /// The maximum useful memory blocks set (`M̃a`, Definition 4): the
     /// useful set at the worst execution point of the worst path.
     pub fn mumbs(&self) -> Ciip {
+        let _span = rtobs::span_labeled("mumbs", || self.name.clone());
         self.paths
             .iter()
             .map(|p| p.trace.mumbs())
@@ -153,6 +162,7 @@ impl AnalyzedTask {
     /// maximum over this task's paths and execution points of
     /// `S(useful(t), mb)`.
     pub fn max_useful_overlap(&self, mb: &Ciip) -> usize {
+        let _span = rtobs::span_labeled("mumbs", || format!("{}: overlap", self.name));
         self.paths.iter().map(|p| p.trace.max_overlap_bound(mb).0).max().unwrap_or(0)
     }
 }

@@ -24,6 +24,39 @@ impl Default for WcrtParams {
     }
 }
 
+/// Why the Eq. 7 iteration stopped. `DeadlineExceeded` and
+/// `IterationCap` both yield `schedulable == false` but mean different
+/// things: the first is a divergence proof against the deadline, the
+/// second only says the recurrence did not settle within the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The recurrence reached a fixed point (`R^{k+1} == R^k`).
+    Converged,
+    /// An iterate exceeded the deadline; the response time is unbounded
+    /// for scheduling purposes.
+    DeadlineExceeded,
+    /// `max_iterations` was reached before convergence; the reported
+    /// value is a lower bound on the true fixed point.
+    IterationCap,
+}
+
+impl StopReason {
+    /// Short human-readable form used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::DeadlineExceeded => "deadline exceeded",
+            StopReason::IterationCap => "iteration cap",
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Outcome of the response-time iteration for one task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WcrtResult {
@@ -34,16 +67,19 @@ pub struct WcrtResult {
     pub schedulable: bool,
     /// Number of recurrence iterations performed.
     pub iterations: u32,
+    /// Why the iteration stopped.
+    pub stop: StopReason,
 }
 
 impl fmt::Display for WcrtResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "R={} ({}, {} iterations)",
+            "R={} ({}, {} iterations, {})",
             self.cycles,
             if self.schedulable { "schedulable" } else { "NOT schedulable" },
-            self.iterations
+            self.iterations,
+            self.stop
         )
     }
 }
@@ -77,16 +113,18 @@ pub fn response_time<T: Borrow<AnalyzedTask>>(
     i: usize,
     params: &WcrtParams,
 ) -> WcrtResult {
+    let _span = rtobs::span_labeled("wcrt", || format!("{} task{i}", matrix.approach));
     let wcets: Vec<u64> = tasks.iter().map(|t| t.borrow().wcet()).collect();
     let periods: Vec<u64> = tasks.iter().map(|t| t.borrow().params().period).collect();
     let priorities: Vec<u32> = tasks.iter().map(|t| t.borrow().params().priority).collect();
-    response_time_generic(
+    run_recurrence(
         &wcets,
         &periods,
         &priorities,
         &|i, j| preemption_cost(matrix, i, j, params),
         i,
         params.max_iterations,
+        matrix.approach.label(),
     )
 }
 
@@ -109,28 +147,66 @@ pub fn response_time_generic(
     i: usize,
     max_iterations: u32,
 ) -> WcrtResult {
+    run_recurrence(wcets, periods, priorities, cpre, i, max_iterations, "generic")
+}
+
+/// The shared Eq. 7 loop. `context` labels the per-iteration `R_i^k`
+/// trail recorded into an installed `rtobs` recorder (recording is
+/// write-only: the iterates are never read back, so an installed
+/// recorder cannot change the result).
+fn run_recurrence(
+    wcets: &[u64],
+    periods: &[u64],
+    priorities: &[u32],
+    cpre: &dyn Fn(usize, usize) -> u64,
+    i: usize,
+    max_iterations: u32,
+    context: &str,
+) -> WcrtResult {
     assert_eq!(wcets.len(), periods.len());
     assert_eq!(wcets.len(), priorities.len());
     let hp: Vec<usize> = (0..wcets.len()).filter(|j| priorities[*j] < priorities[i]).collect();
     for j in 0..wcets.len() {
         assert!(j == i || priorities[j] != priorities[i], "duplicate priorities are not supported");
     }
+    let recording = rtobs::enabled();
+    let mut iterates: Vec<u64> = Vec::new();
     let deadline = periods[i];
     let mut r = wcets[i];
+    if recording {
+        iterates.push(r); // R_i^0 = C_i
+    }
     let mut iterations = 0;
-    loop {
+    let result = loop {
         iterations += 1;
         let interference: u64 =
             hp.iter().map(|&j| r.div_ceil(periods[j]) * (wcets[j] + cpre(i, j))).sum();
         let next = wcets[i] + interference;
+        if recording && next != r {
+            iterates.push(next);
+        }
         if next == r {
-            return WcrtResult { cycles: r, schedulable: r <= deadline, iterations };
+            break WcrtResult {
+                cycles: r,
+                schedulable: r <= deadline,
+                iterations,
+                stop: StopReason::Converged,
+            };
         }
         if next > deadline || iterations >= max_iterations {
-            return WcrtResult { cycles: next, schedulable: false, iterations };
+            let stop = if next > deadline {
+                StopReason::DeadlineExceeded
+            } else {
+                StopReason::IterationCap
+            };
+            break WcrtResult { cycles: next, schedulable: false, iterations, stop };
         }
         r = next;
+    };
+    if recording {
+        rtobs::record_wcrt_iterations(context, i, &iterates);
     }
+    result
 }
 
 /// Response times for every task (the highest-priority task's WCRT is its
@@ -145,6 +221,95 @@ pub fn analyze_all<T: Borrow<AnalyzedTask> + Sync>(
     params: &WcrtParams,
 ) -> Vec<WcrtResult> {
     rtpar::par_map_range(tasks.len(), |i| response_time(tasks, matrix, i, params))
+}
+
+/// The reported `R_i` of one task split into the Eq. 7 cost terms, all
+/// evaluated at the iterate that produced `result.cycles`, so that
+///
+/// ```text
+/// result.cycles == wcet + interference + crpd + ctx_switch
+/// ```
+///
+/// holds *exactly* — converged or not. Produced by
+/// [`explain_response_time`] for the `--explain` report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WcrtBreakdown {
+    /// The plain iteration outcome (identical to [`response_time`]).
+    pub result: WcrtResult,
+    /// `C_i`: the task's own WCET.
+    pub wcet: u64,
+    /// `Σ_j ⌈R/P_j⌉ · C_j`: higher-priority execution demand.
+    pub interference: u64,
+    /// `Σ_j ⌈R/P_j⌉ · Cpre(T_i, T_j)`: cache reload delay.
+    pub crpd: u64,
+    /// `Σ_j ⌈R/P_j⌉ · 2·Ccs`: context-switch overhead.
+    pub ctx_switch: u64,
+    /// `Σ_j ⌈R/P_j⌉`: worst-case preemption (activation) count.
+    pub preemptions: u64,
+}
+
+/// Runs the same Eq. 7 recurrence as [`response_time`] but keeps the
+/// final iterate's cost terms separated. The `result` field is always
+/// identical to what [`response_time`] returns for the same inputs; the
+/// component sums are a deterministic recomputation, not recorder state,
+/// so `--explain` output is byte-stable with tracing on or off.
+///
+/// # Panics
+///
+/// As [`response_time`].
+pub fn explain_response_time<T: Borrow<AnalyzedTask>>(
+    tasks: &[T],
+    matrix: &CrpdMatrix,
+    i: usize,
+    params: &WcrtParams,
+) -> WcrtBreakdown {
+    let wcets: Vec<u64> = tasks.iter().map(|t| t.borrow().wcet()).collect();
+    let periods: Vec<u64> = tasks.iter().map(|t| t.borrow().params().period).collect();
+    let priorities: Vec<u32> = tasks.iter().map(|t| t.borrow().params().priority).collect();
+    let hp: Vec<usize> = (0..wcets.len()).filter(|j| priorities[*j] < priorities[i]).collect();
+    for j in 0..wcets.len() {
+        assert!(j == i || priorities[j] != priorities[i], "duplicate priorities are not supported");
+    }
+    let deadline = periods[i];
+    let mut r = wcets[i];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut interference = 0u64;
+        let mut crpd = 0u64;
+        let mut ctx_switch = 0u64;
+        let mut preemptions = 0u64;
+        for &j in &hp {
+            let activations = r.div_ceil(periods[j]);
+            preemptions += activations;
+            interference += activations * wcets[j];
+            crpd += activations * (matrix.reload(i, j) as u64 * params.miss_penalty);
+            ctx_switch += activations * 2 * params.ctx_switch;
+        }
+        let next = wcets[i] + interference + crpd + ctx_switch;
+        // Mirror `run_recurrence` exactly: on convergence `next == r`, on
+        // overrun/cap `next` is the reported value — either way the
+        // components above were computed for the value we return.
+        let stop = if next == r {
+            StopReason::Converged
+        } else if next > deadline {
+            StopReason::DeadlineExceeded
+        } else if iterations >= params.max_iterations {
+            StopReason::IterationCap
+        } else {
+            r = next;
+            continue;
+        };
+        let schedulable = stop == StopReason::Converged && next <= deadline;
+        return WcrtBreakdown {
+            result: WcrtResult { cycles: next, schedulable, iterations, stop },
+            wcet: wcets[i],
+            interference,
+            crpd,
+            ctx_switch,
+            preemptions,
+        };
+    }
 }
 
 #[cfg(test)]
@@ -280,7 +445,94 @@ mod tests {
 
     #[test]
     fn result_display() {
-        let r = WcrtResult { cycles: 100, schedulable: true, iterations: 3 };
-        assert!(r.to_string().contains("schedulable"));
+        let r = WcrtResult {
+            cycles: 100,
+            schedulable: true,
+            iterations: 3,
+            stop: StopReason::Converged,
+        };
+        assert_eq!(r.to_string(), "R=100 (schedulable, 3 iterations, converged)");
+        let r = WcrtResult {
+            cycles: 100,
+            schedulable: false,
+            iterations: 3,
+            stop: StopReason::IterationCap,
+        };
+        assert!(r.to_string().contains("NOT schedulable"));
+        assert!(r.to_string().contains("iteration cap"));
+    }
+
+    #[test]
+    fn stop_reason_distinguishes_deadline_from_cap() {
+        let tasks = vec![task(1, 6_000), task(2, 1_000_000)];
+        let m = zero_matrix(2);
+        // Plenty of budget: either converges or provably misses.
+        let converged = response_time(&tasks, &m, 1, &WcrtParams::default());
+        assert_eq!(converged.stop, StopReason::Converged);
+        assert!(converged.schedulable);
+        // One-iteration budget: the recurrence cannot settle.
+        let params = WcrtParams { miss_penalty: 20, ctx_switch: 0, max_iterations: 1 };
+        let capped = response_time(&tasks, &m, 1, &params);
+        assert_eq!(capped.stop, StopReason::IterationCap);
+        assert!(!capped.schedulable);
+        // A deadline barely above the WCET: divergence past the deadline.
+        let lo_wcet = tasks[1].wcet();
+        let tight = vec![task(1, 6_000), task(2, lo_wcet + 10)];
+        let missed = response_time(&tight, &m, 1, &WcrtParams::default());
+        assert_eq!(missed.stop, StopReason::DeadlineExceeded);
+        assert!(!missed.schedulable);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_the_reported_wcrt() {
+        let tasks = vec![task(1, 50_000), task(2, 500_000), task(3, 2_000_000)];
+        for approach in CrpdApproach::ALL {
+            let m = CrpdMatrix::compute(approach, &tasks);
+            let params = WcrtParams { miss_penalty: 20, ctx_switch: 50, max_iterations: 10_000 };
+            for i in 0..tasks.len() {
+                let plain = response_time(&tasks, &m, i, &params);
+                let b = explain_response_time(&tasks, &m, i, &params);
+                assert_eq!(b.result, plain, "{approach} task {i}: breakdown must agree");
+                assert_eq!(
+                    b.wcet + b.interference + b.crpd + b.ctx_switch,
+                    plain.cycles,
+                    "{approach} task {i}: components must sum to R_i"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_agrees_even_when_unschedulable() {
+        let lo_wcet = task(2, 1).wcet();
+        let tasks = vec![task(1, 6_000), task(2, lo_wcet + 10)];
+        let m = zero_matrix(2);
+        let b = explain_response_time(&tasks, &m, 1, &WcrtParams::default());
+        let plain = response_time(&tasks, &m, 1, &WcrtParams::default());
+        assert_eq!(b.result, plain);
+        assert_eq!(b.result.stop, StopReason::DeadlineExceeded);
+        assert_eq!(b.wcet + b.interference + b.crpd + b.ctx_switch, plain.cycles);
+    }
+
+    #[test]
+    fn recurrence_iterates_are_recorded_and_do_not_perturb() {
+        let _serial = crate::obs_test_lock();
+        let tasks = vec![task(1, 50_000), task(2, 1_000_000)];
+        // InterTask: no other test in this binary records under "App. 2",
+        // so a concurrently-running test cannot overwrite the key while
+        // our session has recording enabled.
+        let m = CrpdMatrix::compute(CrpdApproach::InterTask, &tasks);
+        let plain = response_time(&tasks, &m, 1, &WcrtParams::default());
+        let session = rtobs::begin();
+        let traced = response_time(&tasks, &m, 1, &WcrtParams::default());
+        let counters = session.recorder().counters();
+        drop(session);
+        assert_eq!(traced, plain, "an installed recorder must not change the result");
+        let iterates = counters
+            .wcrt_iterations
+            .get(&("App. 2".to_string(), 1))
+            .expect("iterates recorded under the approach label");
+        assert_eq!(*iterates.first().unwrap(), tasks[1].wcet(), "trail starts at R^0 = C_i");
+        assert_eq!(*iterates.last().unwrap(), plain.cycles, "trail ends at the fixed point");
     }
 }

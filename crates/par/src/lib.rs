@@ -42,7 +42,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -99,13 +99,17 @@ unsafe impl Sync for Batch {}
 impl Batch {
     /// Claims and runs items until the cursor is exhausted. Panics from
     /// items are captured into `completion` so `done` always reaches
-    /// `total`; the batch owner rethrows after the wait.
-    fn run_to_exhaustion(&self) {
+    /// `total`; the batch owner rethrows after the wait. Every claimed
+    /// item is tallied into `claimed` (one batched add on exit), which
+    /// lets the pool attribute work to callers vs. background workers.
+    fn run_to_exhaustion(&self, claimed: &AtomicU64) {
+        let mut ran = 0u64;
         loop {
             let index = self.next.fetch_add(1, Ordering::Relaxed);
             if index >= self.total {
-                return;
+                break;
             }
+            ran += 1;
             // SAFETY: `index < total`, so the owner is still inside
             // `par_map_range` (it cannot return before `done == total`)
             // and `data` is alive.
@@ -119,6 +123,9 @@ impl Batch {
             if completion.done == self.total {
                 self.finished.notify_all();
             }
+        }
+        if ran > 0 {
+            claimed.fetch_add(ran, Ordering::Relaxed);
         }
     }
 }
@@ -160,6 +167,11 @@ struct Shared {
     threads: usize,
     queue: Mutex<Queue>,
     work_ready: Condvar,
+    /// Lifetime activity gauges, exposed via [`Pool::stats`]. Purely
+    /// observational: nothing in the scheduling path reads them.
+    batches: AtomicU64,
+    items_inline: AtomicU64,
+    items_stolen: AtomicU64,
 }
 
 impl Shared {
@@ -176,6 +188,7 @@ impl Shared {
         if len == 0 {
             return Vec::new();
         }
+        self.batches.fetch_add(1, Ordering::Relaxed);
         let data = BatchData { f: &f, slots: (0..len).map(|_| Mutex::new(None)).collect() };
         let batch = Arc::new(Batch {
             next: AtomicUsize::new(0),
@@ -198,7 +211,7 @@ impl Shared {
         }
         // Caller participation: exhaust the cursor, then wait for claimed
         // stragglers. After this, no thread will dereference `data` again.
-        batch.run_to_exhaustion();
+        batch.run_to_exhaustion(&self.items_inline);
         let mut completion = batch.completion.lock().expect("batch completion lock");
         while completion.done < len {
             completion = batch.finished.wait(completion).expect("batch completion lock");
@@ -276,7 +289,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 queue = shared.work_ready.wait(queue).expect("pool queue lock");
             }
         };
-        batch.run_to_exhaustion();
+        batch.run_to_exhaustion(&shared.items_stolen);
     }
 }
 
@@ -337,6 +350,9 @@ impl Pool {
             threads,
             queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
             work_ready: Condvar::new(),
+            batches: AtomicU64::new(0),
+            items_inline: AtomicU64::new(0),
+            items_stolen: AtomicU64::new(0),
         });
         let workers = (0..threads - 1)
             .map(|index| {
@@ -402,6 +418,20 @@ impl Pool {
         self.inner.shared.join(a, b)
     }
 
+    /// A point-in-time snapshot of the pool's activity gauges.
+    pub fn stats(&self) -> PoolStats {
+        let shared = &self.inner.shared;
+        let queue_depth = shared.queue.lock().expect("pool queue lock").jobs.len();
+        PoolStats {
+            threads: shared.threads,
+            background_workers: self.background_workers(),
+            batches: shared.batches.load(Ordering::Relaxed),
+            items_inline: shared.items_inline.load(Ordering::Relaxed),
+            items_stolen: shared.items_stolen.load(Ordering::Relaxed),
+            queue_depth,
+        }
+    }
+
     /// Makes this pool the current pool for the duration of `f`: the free
     /// functions ([`par_map`], [`join`], …) called from `f` — directly or
     /// from nested batch items on this thread — run here instead of the
@@ -410,6 +440,42 @@ impl Pool {
         CURRENT.with(|current| current.borrow_mut().push(Arc::clone(&self.inner.shared)));
         let _guard = PopCurrent;
         f()
+    }
+}
+
+/// Lifetime activity counters of a [`Pool`], snapshotted by
+/// [`Pool::stats`]. Counters are monotone over the pool's life; the
+/// queue depth is instantaneous. Exposed so a metrics endpoint can
+/// derive throughput and how much work background workers actually
+/// stole from callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total parallelism (background workers + the participating caller).
+    pub threads: usize,
+    /// Background worker threads spawned (`threads - 1`).
+    pub background_workers: usize,
+    /// Fan-out batches executed (`par_map`/`par_map_range`/`scope`/`join`).
+    pub batches: u64,
+    /// Work items run inline by the thread that submitted the batch.
+    pub items_inline: u64,
+    /// Work items claimed ("stolen") by background workers.
+    pub items_stolen: u64,
+    /// Batch tokens currently waiting in the queue.
+    pub queue_depth: usize,
+}
+
+impl PoolStats {
+    /// Fraction of all executed items claimed by background workers, in
+    /// `[0, 1]`; zero before any work ran. A single-threaded pool always
+    /// reports zero; a perfectly drained `n`-thread pool approaches
+    /// `(n-1)/n`.
+    pub fn worker_utilization(&self) -> f64 {
+        let total = self.items_inline + self.items_stolen;
+        if total == 0 {
+            0.0
+        } else {
+            self.items_stolen as f64 / total as f64
+        }
     }
 }
 
@@ -710,5 +776,35 @@ mod tests {
         let results = pool.par_map_range(8, |i| i + 1);
         assert_eq!(results.len(), 8);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn stats_account_for_every_item() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.stats().batches, 0);
+        pool.par_map_range(5, |i| i);
+        pool.par_map_range(3, |i| i);
+        let stats = pool.stats();
+        assert_eq!(stats.batches, 2);
+        // A single-threaded pool has nobody to steal: all items inline.
+        assert_eq!((stats.items_inline, stats.items_stolen), (8, 0));
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.worker_utilization(), 0.0);
+        assert_eq!(PoolStats { items_inline: 0, ..stats }.worker_utilization(), 0.0);
+    }
+
+    #[test]
+    fn stats_split_inline_and_stolen_items_on_a_multithreaded_pool() {
+        let pool = Pool::new(4);
+        // Slow items so the background workers reliably claim some.
+        pool.par_map_range(64, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            i
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.items_inline + stats.items_stolen, 64);
+        assert!(stats.items_inline > 0, "the caller always participates: {stats:?}");
+        let util = stats.worker_utilization();
+        assert!((0.0..=1.0).contains(&util), "utilization out of range: {util}");
     }
 }

@@ -3,6 +3,10 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // `RTOBS=1` keeps an rtobs recording session alive for the whole
+    // invocation even without `--trace-out` (counters only, no file);
+    // commands that take `--trace-out` install their own session too.
+    let _env_session = rtobs::env_session();
     match rtcli::parse(std::env::args().skip(1).collect()) {
         Ok(rtcli::Invocation::Output(output)) => {
             print!("{output}");

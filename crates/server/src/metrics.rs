@@ -24,11 +24,16 @@ struct Histogram {
     /// bucket 0 too).
     buckets: [u64; BUCKETS],
     total: u64,
+    /// Exact sum of every recorded sample, µs (buckets quantize; the sum
+    /// does not, so mean latency stays exact).
+    sum_us: u64,
+    /// Largest recorded sample, µs.
+    max_us: u64,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: [0; BUCKETS], total: 0 }
+        Histogram { buckets: [0; BUCKETS], total: 0, sum_us: 0, max_us: 0 }
     }
 }
 
@@ -37,6 +42,8 @@ impl Histogram {
         let index = (63 - u64::leading_zeros(micros.max(1)) as usize).min(BUCKETS - 1);
         self.buckets[index] += 1;
         self.total += 1;
+        self.sum_us = self.sum_us.saturating_add(micros);
+        self.max_us = self.max_us.max(micros);
     }
 
     /// The upper bound (in µs) of the bucket holding the `q`-quantile
@@ -114,6 +121,9 @@ impl Metrics {
                 let json = Json::obj([
                     ("requests", Json::from(stats.requests)),
                     ("errors", Json::from(stats.errors)),
+                    ("count", Json::from(stats.latency.total)),
+                    ("sum_us", Json::from(stats.latency.sum_us)),
+                    ("max_us", Json::from(stats.latency.max_us)),
                     ("p50_us", Json::from(stats.latency.quantile_upper_bound(0.50))),
                     ("p95_us", Json::from(stats.latency.quantile_upper_bound(0.95))),
                     ("p99_us", Json::from(stats.latency.quantile_upper_bound(0.99))),
@@ -140,6 +150,105 @@ impl Metrics {
                 ]),
             ),
         ])
+    }
+
+    /// Renders everything in the Prometheus text exposition format (the
+    /// `metrics_prom` response payload): the same data as [`snapshot`]
+    /// plus the analysis pool's activity gauges.
+    ///
+    /// The log₂ histograms translate directly: bucket `i` covers
+    /// `[2^i, 2^(i+1))` µs, so its inclusive Prometheus bound is
+    /// `le="2^(i+1)-1"` (latencies are integral µs), cumulative counts
+    /// are monotone by construction, and `+Inf` equals `_count`.
+    ///
+    /// [`snapshot`]: Metrics::snapshot
+    pub fn prometheus(&self, store: &ArtifactStore, pool: &rtpar::PoolStats) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut gauge = |name: &str, help: &str, value: &dyn std::fmt::Display| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge("rtserver_uptime_seconds", "Seconds since the server started.", &self.uptime_secs());
+        gauge(
+            "rtserver_artifact_cache_entries",
+            "Memoized analysis artifacts currently cached.",
+            &store.len(),
+        );
+        gauge(
+            "rtserver_analysis_pool_threads",
+            "Total analysis parallelism (background workers + caller).",
+            &pool.threads,
+        );
+        gauge(
+            "rtserver_analysis_pool_queue_depth",
+            "Batch tokens waiting in the analysis pool queue.",
+            &pool.queue_depth,
+        );
+        gauge(
+            "rtserver_analysis_pool_worker_utilization",
+            "Fraction of analysis work items stolen by background workers.",
+            &format_args!("{:.6}", pool.worker_utilization()),
+        );
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter("rtserver_artifact_cache_hits_total", "Artifact cache hits.", store.hits());
+        counter("rtserver_artifact_cache_misses_total", "Artifact cache misses.", store.misses());
+        counter(
+            "rtserver_analysis_pool_batches_total",
+            "Fan-out batches executed by the analysis pool.",
+            pool.batches,
+        );
+        counter(
+            "rtserver_analysis_pool_items_inline_total",
+            "Work items run inline by the submitting thread.",
+            pool.items_inline,
+        );
+        counter(
+            "rtserver_analysis_pool_items_stolen_total",
+            "Work items stolen by background pool workers.",
+            pool.items_stolen,
+        );
+        let endpoints = self.endpoints.lock().expect("metrics lock");
+        let _ = writeln!(out, "# HELP rtserver_requests_total Handled requests per endpoint.");
+        let _ = writeln!(out, "# TYPE rtserver_requests_total counter");
+        for (name, stats) in endpoints.iter() {
+            let _ =
+                writeln!(out, "rtserver_requests_total{{endpoint=\"{name}\"}} {}", stats.requests);
+        }
+        let _ = writeln!(out, "# HELP rtserver_request_errors_total Failed requests per endpoint.");
+        let _ = writeln!(out, "# TYPE rtserver_request_errors_total counter");
+        for (name, stats) in endpoints.iter() {
+            let _ = writeln!(
+                out,
+                "rtserver_request_errors_total{{endpoint=\"{name}\"}} {}",
+                stats.errors
+            );
+        }
+        let hist = "rtserver_request_duration_microseconds";
+        let _ = writeln!(out, "# HELP {hist} Request latency per endpoint, microseconds.");
+        let _ = writeln!(out, "# TYPE {hist} histogram");
+        for (name, stats) in endpoints.iter() {
+            let mut cumulative = 0;
+            for (i, count) in stats.latency.buckets.iter().enumerate() {
+                cumulative += count;
+                let le = (1u64 << (i + 1)) - 1;
+                let _ =
+                    writeln!(out, "{hist}_bucket{{endpoint=\"{name}\",le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(
+                out,
+                "{hist}_bucket{{endpoint=\"{name}\",le=\"+Inf\"}} {}",
+                stats.latency.total
+            );
+            let _ = writeln!(out, "{hist}_sum{{endpoint=\"{name}\"}} {}", stats.latency.sum_us);
+            let _ = writeln!(out, "{hist}_count{{endpoint=\"{name}\"}} {}", stats.latency.total);
+        }
+        out
     }
 }
 
@@ -190,6 +299,9 @@ mod tests {
         let wcrt = snap.get("endpoints").unwrap().get("wcrt").unwrap();
         assert_eq!(wcrt.get("requests").unwrap().as_u64(), Some(2));
         assert_eq!(wcrt.get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(wcrt.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(wcrt.get("sum_us").unwrap().as_u64(), Some(1000));
+        assert_eq!(wcrt.get("max_us").unwrap().as_u64(), Some(700));
         assert!(wcrt.get("p99_us").unwrap().as_u64().unwrap() >= 700);
         let cache = snap.get("artifact_cache").unwrap();
         assert_eq!(cache.get("hits").unwrap().as_u64(), Some(0));
@@ -197,5 +309,69 @@ mod tests {
         let pool = snap.get("analysis_pool").unwrap();
         assert_eq!(pool.get("threads").unwrap().as_u64(), Some(4));
         assert_eq!(pool.get("background_workers").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let metrics = Metrics::default();
+        let store = ArtifactStore::default();
+        metrics.record("wcrt", true, Duration::from_micros(300));
+        metrics.record("wcrt", false, Duration::from_micros(700));
+        let pool = rtpar::Pool::new(1);
+        pool.install(|| rtpar::par_map_range(4, |i| i));
+        let text = metrics.prometheus(&store, &pool.stats());
+
+        // Every metric family carries HELP and TYPE lines.
+        for family in [
+            "rtserver_uptime_seconds",
+            "rtserver_requests_total",
+            "rtserver_request_errors_total",
+            "rtserver_request_duration_microseconds",
+            "rtserver_analysis_pool_queue_depth",
+            "rtserver_analysis_pool_items_inline_total",
+            "rtserver_analysis_pool_worker_utilization",
+        ] {
+            assert!(text.contains(&format!("# HELP {family} ")), "missing HELP for {family}");
+            assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
+        }
+        assert!(text.contains("rtserver_requests_total{endpoint=\"wcrt\"} 2"), "{text}");
+        assert!(text.contains("rtserver_request_errors_total{endpoint=\"wcrt\"} 1"), "{text}");
+        assert!(text.contains("rtserver_analysis_pool_items_inline_total 4"), "{text}");
+
+        // Histogram invariants: cumulative buckets are monotone, +Inf
+        // equals _count, and _sum holds the exact total.
+        let mut last = 0;
+        let mut bucket_lines = 0;
+        for line in text.lines().filter(|l| {
+            l.starts_with("rtserver_request_duration_microseconds_bucket{endpoint=\"wcrt\"")
+        }) {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "buckets must be cumulative: {line}");
+            last = value;
+            bucket_lines += 1;
+        }
+        assert_eq!(bucket_lines, super::BUCKETS + 1, "all buckets plus +Inf");
+        assert!(
+            text.contains(
+                "rtserver_request_duration_microseconds_bucket{endpoint=\"wcrt\",le=\"+Inf\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("rtserver_request_duration_microseconds_sum{endpoint=\"wcrt\"} 1000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rtserver_request_duration_microseconds_count{endpoint=\"wcrt\"} 2"),
+            "{text}"
+        );
+        // 300 µs lands in bucket [256, 512) and 700 µs in [512, 1024),
+        // so the le="511" bucket holds exactly one sample.
+        assert!(
+            text.contains(
+                "rtserver_request_duration_microseconds_bucket{endpoint=\"wcrt\",le=\"511\"} 1"
+            ),
+            "{text}"
+        );
     }
 }

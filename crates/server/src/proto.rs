@@ -15,6 +15,7 @@
 //! | `wcrt`     | `spec`                                    | `trisc wcrt` text   |
 //! | `sim`      | `spec` (+ optional `horizon` in cycles)   | `trisc sim` text    |
 //! | `metrics`  | —                                         | `"metrics": {...}`  |
+//! | `metrics_prom` | —                                     | Prometheus text exposition |
 //! | `shutdown` | —                                         | ack, then drain     |
 //!
 //! The `spec` payload is exactly the [`SystemSpec`] text format the
@@ -52,6 +53,8 @@ pub enum Command {
     Ping,
     /// Observability snapshot.
     Metrics,
+    /// Observability snapshot in the Prometheus text exposition format.
+    MetricsProm,
     /// Stop accepting connections, drain in-flight work, exit.
     Shutdown,
     /// Per-task WCET reports for every task of the spec.
@@ -76,6 +79,7 @@ impl Command {
         match self {
             Command::Ping => "ping",
             Command::Metrics => "metrics",
+            Command::MetricsProm => "metrics_prom",
             Command::Shutdown => "shutdown",
             Command::Wcet(_) => "wcet",
             Command::Crpd(_) => "crpd",
@@ -112,6 +116,7 @@ impl Request {
         let cmd = match cmd_name {
             "ping" => Command::Ping,
             "metrics" => Command::Metrics,
+            "metrics_prom" => Command::MetricsProm,
             "shutdown" => Command::Shutdown,
             "wcet" => Command::Wcet(spec_payload(&doc)?),
             "crpd" => Command::Crpd(spec_payload(&doc)?),
@@ -125,7 +130,7 @@ impl Request {
             }
             other => {
                 return Err(format!(
-                    "unknown cmd `{other}` (expected ping|wcet|crpd|wcrt|sim|metrics|shutdown)"
+                    "unknown cmd `{other}` (expected ping|wcet|crpd|wcrt|sim|metrics|metrics_prom|shutdown)"
                 ))
             }
         };
@@ -195,6 +200,10 @@ mod tests {
         let r = Request::parse(r#"{"cmd":"sim","spec":"s","horizon":4096}"#).unwrap();
         let Command::Sim { horizon, .. } = r.cmd else { panic!("expected sim") };
         assert_eq!(horizon, Some(4096));
+
+        let r = Request::parse(r#"{"cmd":"metrics_prom"}"#).unwrap();
+        assert_eq!(r.cmd, Command::MetricsProm);
+        assert_eq!(r.cmd.endpoint(), "metrics_prom");
     }
 
     #[test]

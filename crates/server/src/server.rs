@@ -179,6 +179,10 @@ impl ServerHandle {
 ///
 /// Returns bind/listener errors.
 pub fn run(opts: &ServeOptions) -> io::Result<()> {
+    // With `--trace-out`, keep one rtobs session alive for the daemon's
+    // whole life and flush the Chrome trace of everything it served after
+    // the drain. Without it, collection stays disabled and free.
+    let session = opts.trace_out.as_deref().map(|_| rtobs::begin());
     let server = Server::bind(opts)?;
     println!(
         "rtserver listening on {} ({} connection workers, {}-thread analysis pool)",
@@ -186,7 +190,12 @@ pub fn run(opts: &ServeOptions) -> io::Result<()> {
         opts.threads,
         opts.threads
     );
-    server.serve()
+    server.serve()?;
+    if let (Some(session), Some(path)) = (session, opts.trace_out.as_deref()) {
+        session.recorder().write_chrome_trace(Path::new(path))?;
+        println!("rtobs trace written to {path}");
+    }
+    Ok(())
 }
 
 fn handle_connection(stream: TcpStream, state: &ServerState, listener_addr: SocketAddr) {
@@ -235,6 +244,10 @@ fn handle_request(state: &ServerState, line: &str) -> (String, bool) {
                 state.analysis.background_workers(),
             );
             (ok_response_with(id, "metrics", snapshot), true, false)
+        }
+        Command::MetricsProm => {
+            let text = state.metrics.prometheus(&state.store, &state.analysis.stats());
+            (ok_response(id, &text), true, false)
         }
         Command::Shutdown => (ok_response(id, "draining in-flight work, then exiting"), true, true),
         Command::Wcet(payload) => finish(id, run_wcet(payload)),
@@ -344,7 +357,7 @@ mod tests {
         ".data 0x100400\nbuf: .word 7\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\nhalt\n";
 
     fn spawn() -> ServerHandle {
-        let opts = ServeOptions { host: "127.0.0.1".into(), port: 0, threads: 2 };
+        let opts = ServeOptions { host: "127.0.0.1".into(), port: 0, threads: 2, trace_out: None };
         Server::spawn(&opts).expect("bind on an ephemeral port")
     }
 

@@ -88,8 +88,10 @@ impl ArtifactStore {
             return Ok(Arc::clone(found));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let program =
-            rtprogram::asm::assemble(name, source).map_err(|e| CliError::Asm(e.to_string()))?;
+        let program = {
+            let _span = rtobs::span_labeled("assemble", || name.to_string());
+            rtprogram::asm::assemble(name, source).map_err(|e| CliError::Asm(e.to_string()))?
+        };
         let analyzed = AnalyzedTask::analyze(&program, params, geometry, model)
             .map_err(|e| CliError::Analysis(e.to_string()))?;
         let artifact = Arc::new(analyzed);

@@ -1,0 +1,13 @@
+; High-priority task: walks a 4-word buffer in a bounded loop, so its
+; useful cache blocks make the CRPD terms of the analysis non-trivial.
+.data 0x100000
+buf: .word 1,2,3,4
+.text 0x1000
+start: li r1, buf
+li r3, 4
+loop: ld r2, 0(r1)
+addi r1, r1, 4
+addi r3, r3, -1
+bne r3, r0, loop
+.bound loop, 4
+halt

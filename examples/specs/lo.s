@@ -1,0 +1,10 @@
+; Low-priority task: straight-line reads of a two-word buffer. Preempted
+; by `hi`, so its WCRT includes interference, CRPD and context switches.
+.data 0x100400
+buf: .word 7,8
+.text 0x2000
+start: li r1, buf
+ld r2, 0(r1)
+ld r4, 4(r1)
+add r2, r2, r4
+halt

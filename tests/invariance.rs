@@ -125,3 +125,34 @@ fn repeated_runs_on_one_pool_are_stable() {
         assert_eq!(pool.install(analysis_report), first);
     }
 }
+
+/// The rtobs determinism contract: an installed recorder observes the
+/// pipeline but never perturbs it, so every report is byte-identical
+/// with tracing on and off, at every pool size. (`rtobs::env_session`
+/// honors `RTOBS=1`, so CI re-runs this whole suite with an extra
+/// ambient recorder installed as well.)
+#[test]
+fn reports_are_byte_identical_with_tracing_on_and_off() {
+    let _ambient = rtobs::env_session();
+    let plain_analysis = rtpar::Pool::new(1).install(analysis_report);
+    let plain_cli = rtpar::Pool::new(1).install(|| cli_report("obs-ref"));
+    let session = rtobs::begin();
+    for threads in POOL_SIZES {
+        let pool = rtpar::Pool::new(threads);
+        assert_eq!(
+            pool.install(analysis_report),
+            plain_analysis,
+            "tracing at {threads} threads changed the analysis output"
+        );
+        assert_eq!(
+            pool.install(|| cli_report(&format!("obs-{threads}"))),
+            plain_cli,
+            "tracing at {threads} threads changed the rendered report"
+        );
+    }
+    // The recorder actually saw the runs: every pipeline stage left spans.
+    let stages = session.recorder().stage_durations();
+    for stage in ["assemble", "trace", "ciip", "mumbs", "crpd", "wcrt"] {
+        assert!(stages.contains_key(stage), "no spans recorded for stage `{stage}`");
+    }
+}

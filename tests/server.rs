@@ -57,7 +57,8 @@ fn one_shot_reference() -> String {
 
 #[test]
 fn concurrent_clients_get_cli_identical_memoized_responses() {
-    let opts = rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 4 };
+    let opts =
+        rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 4, trace_out: None };
     let handle = Server::spawn(&opts).expect("bind ephemeral port");
     let addr = handle.addr();
 
@@ -124,7 +125,12 @@ fn concurrent_clients_get_cli_identical_memoized_responses() {
 fn wcrt_responses_are_thread_count_invariant_over_the_wire() {
     let mut outputs = Vec::new();
     for threads in [1usize, 8] {
-        let opts = rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads };
+        let opts = rtcli::ServeOptions {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            threads,
+            trace_out: None,
+        };
         let handle = Server::spawn(&opts).expect("bind ephemeral port");
         let replies = roundtrip(
             handle.addr(),
@@ -157,6 +163,77 @@ fn wcrt_responses_are_thread_count_invariant_over_the_wire() {
     assert_eq!(outputs[0], one_shot_reference(), "and both must match the one-shot CLI");
 }
 
+/// `metrics_prom` returns a well-formed Prometheus text exposition over
+/// the wire: HELP/TYPE headers, request counters reflecting the traffic
+/// just served, and internally consistent histograms (cumulative
+/// monotone buckets whose `+Inf` bucket equals `_count`).
+#[test]
+fn metrics_prom_returns_consistent_prometheus_text() {
+    let opts =
+        rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 2, trace_out: None };
+    let handle = Server::spawn(&opts).expect("bind ephemeral port");
+    let replies = roundtrip(
+        handle.addr(),
+        &[
+            request_line(1),
+            request_line(2),
+            r#"{"cmd":"metrics_prom"}"#.to_string(),
+            r#"{"cmd":"shutdown"}"#.to_string(),
+        ],
+    );
+    assert_eq!(replies[2].get("ok").and_then(Json::as_bool), Some(true), "{:?}", replies[2]);
+    let text = replies[2].get("output").and_then(Json::as_str).expect("exposition text");
+
+    for family in [
+        "rtserver_uptime_seconds",
+        "rtserver_artifact_cache_entries",
+        "rtserver_requests_total",
+        "rtserver_request_duration_microseconds",
+        "rtserver_analysis_pool_threads",
+    ] {
+        assert!(text.contains(&format!("# HELP {family} ")), "missing HELP for {family}");
+        assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
+    }
+    assert!(
+        text.contains(r#"rtserver_requests_total{endpoint="wcrt"} 2"#),
+        "wcrt request counter must reflect the two requests served:\n{text}"
+    );
+
+    // Histogram consistency for the wcrt endpoint: buckets are cumulative
+    // and monotone, `+Inf` equals `_count`, and `_sum`/`_count` exist.
+    let bucket_value = |line: &str| -> u64 {
+        line.rsplit(' ').next().and_then(|v| v.parse().ok()).expect("bucket value")
+    };
+    let mut last = 0u64;
+    let mut inf = None;
+    for line in text.lines() {
+        if !line.starts_with(r#"rtserver_request_duration_microseconds_bucket{endpoint="wcrt""#) {
+            continue;
+        }
+        let value = bucket_value(line);
+        assert!(value >= last, "buckets must be cumulative and monotone: {line}");
+        last = value;
+        if line.contains(r#"le="+Inf""#) {
+            inf = Some(value);
+        }
+    }
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with(r#"rtserver_request_duration_microseconds_count{endpoint="wcrt""#))
+        .expect("wcrt _count line");
+    let count = bucket_value(count_line);
+    assert_eq!(count, 2, "two wcrt requests observed");
+    assert_eq!(inf, Some(count), "+Inf bucket must equal _count");
+    assert!(
+        text.lines().any(|l| l
+            .starts_with(r#"rtserver_request_duration_microseconds_sum{endpoint="wcrt""#)),
+        "wcrt _sum line present"
+    );
+
+    assert_eq!(replies[3].get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("clean exit");
+}
+
 /// The wire spec format is the on-disk spec format: a spec that parses
 /// from disk must be accepted verbatim over the wire (with sources
 /// resolved from the server's filesystem as the fallback).
@@ -167,7 +244,8 @@ fn wire_spec_falls_back_to_server_filesystem_sources() {
     let hi = dir.join("hi.s");
     std::fs::write(&hi, TASK_HI).expect("write hi.s");
 
-    let opts = rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 4 };
+    let opts =
+        rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 4, trace_out: None };
     let handle = Server::spawn(&opts).expect("bind");
     // No `sources` map: the task file is an absolute path on the server.
     let line = Json::obj([
