@@ -22,11 +22,18 @@
 //! report is byte-identical at every pool size and printing the
 //! wall-time speedup over the single-threaded run.
 //!
+//! The load mode also snapshots the server's per-stage artifact-DAG
+//! counters before and after the run and reports each stage's hit rate
+//! over the delta; `--min-stage-hit-rate R` turns that report into a
+//! gate (exit non-zero if any touched stage's rate is below `R`), which
+//! is how CI asserts a warmed server serves repeat traffic from cache.
+//!
 //! Either mode also writes a machine-readable summary — the printed
 //! numbers plus the per-stage `rtobs` span durations of everything that
 //! ran in this process — to `BENCH_wcrt.json` (`--json-out PATH` to
 //! relocate it).
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
@@ -46,6 +53,11 @@ struct Options {
     requests: usize,
     par_sweep: bool,
     json_out: String,
+    /// `--min-stage-hit-rate R`: fail the run unless every pipeline stage
+    /// the run touched served at least fraction `R` of its lookups from
+    /// cache (measured as a delta over this run only, so a warm server
+    /// can be gated independently of its history).
+    min_stage_hit_rate: Option<f64>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -55,6 +67,7 @@ fn parse_options() -> Result<Options, String> {
         requests: 100,
         par_sweep: false,
         json_out: "BENCH_wcrt.json".to_string(),
+        min_stage_hit_rate: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,6 +84,15 @@ fn parse_options() -> Result<Options, String> {
             }
             "--par-sweep" => opts.par_sweep = true,
             "--json-out" => opts.json_out = value("--json-out")?,
+            "--min-stage-hit-rate" => {
+                let rate: f64 = value("--min-stage-hit-rate")?
+                    .parse()
+                    .map_err(|e| format!("--min-stage-hit-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err("--min-stage-hit-rate must be in [0, 1]".to_string());
+                }
+                opts.min_stage_hit_rate = Some(rate);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -78,6 +100,64 @@ fn parse_options() -> Result<Options, String> {
         return Err("--connections and --requests must be positive".to_string());
     }
     Ok(opts)
+}
+
+/// Per-stage `(hits, misses)` out of one `metrics` snapshot's `stages`
+/// object, keyed by stage name.
+fn stage_counters(metrics: &Json) -> Vec<(String, u64, u64)> {
+    let Some(Json::Obj(stages)) = metrics.get("stages") else { return Vec::new() };
+    stages
+        .iter()
+        .map(|(name, s)| {
+            let field = |key: &str| s.get(key).and_then(Json::as_u64).unwrap_or(0);
+            (name.clone(), field("hits"), field("misses"))
+        })
+        .collect()
+}
+
+/// The run's per-stage cache effectiveness: lookups and hit rate over
+/// the delta between the before/after snapshots. Prints one line per
+/// stage and returns the JSON rows plus the gate verdict (`Some` failure
+/// message if any touched stage fell below `min_rate`), so the caller
+/// can still publish the JSON before failing.
+fn stage_effectiveness(
+    before: &Json,
+    after: &Json,
+    min_rate: Option<f64>,
+) -> (Json, Option<String>) {
+    let baseline = stage_counters(before);
+    let mut rows = BTreeMap::new();
+    let mut failures = Vec::new();
+    for (stage, hits_after, misses_after) in stage_counters(after) {
+        let (hits_before, misses_before) = baseline
+            .iter()
+            .find(|(name, ..)| *name == stage)
+            .map(|(_, h, m)| (*h, *m))
+            .unwrap_or((0, 0));
+        let hits = hits_after.saturating_sub(hits_before);
+        let misses = misses_after.saturating_sub(misses_before);
+        let lookups = hits + misses;
+        let rate = if lookups == 0 { 1.0 } else { hits as f64 / lookups as f64 };
+        println!(
+            "server side: stage {stage:>9}: {hits} hits / {misses} misses this run \
+             (hit rate {rate:.3})"
+        );
+        if let Some(min) = min_rate {
+            if lookups > 0 && rate < min {
+                failures.push(format!("stage {stage}: hit rate {rate:.3} < required {min:.3}"));
+            }
+        }
+        rows.insert(
+            stage,
+            Json::obj([
+                ("hits", Json::from(hits)),
+                ("misses", Json::from(misses)),
+                ("hit_rate", Json::Num(rate)),
+            ]),
+        );
+    }
+    let verdict = if failures.is_empty() { None } else { Some(failures.join("; ")) };
+    (Json::Obj(rows), verdict)
 }
 
 /// The recorder's per-stage span totals as a JSON object:
@@ -265,6 +345,13 @@ fn run() -> Result<(), String> {
         if local.is_some() { " (in-process server)" } else { "" },
     );
 
+    // Snapshot the stage counters before the run, so effectiveness is a
+    // delta over this run's traffic even against a long-lived server.
+    let before = one_shot(&addr, r#"{"cmd":"metrics"}"#)?
+        .get("metrics")
+        .cloned()
+        .ok_or("metrics reply missing payload")?;
+
     let started = Instant::now();
     let workers: Vec<_> = (0..opts.connections)
         .map(|_| {
@@ -311,6 +398,8 @@ fn run() -> Result<(), String> {
             field(wcrt, "p99_us"),
         );
     }
+    let (stage_caches, gate_verdict) =
+        stage_effectiveness(&before, metrics, opts.min_stage_hit_rate);
 
     let in_process = local.is_some();
     if let Some(handle) = local {
@@ -337,9 +426,15 @@ fn run() -> Result<(), String> {
                 ]),
             ),
             ("server_metrics", metrics.clone()),
+            ("stage_caches", stage_caches),
             ("stages", stage_durations_json(&session)),
         ]),
-    )
+    )?;
+    // Gate after publishing, so a failed run still leaves its evidence.
+    match gate_verdict {
+        Some(message) => Err(message),
+        None => Ok(()),
+    }
 }
 
 fn main() -> ExitCode {
@@ -348,7 +443,7 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("loadgen: {message}");
             eprintln!(
-                "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests M] [--par-sweep] [--json-out PATH]"
+                "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests M] [--par-sweep] [--json-out PATH] [--min-stage-hit-rate R]"
             );
             ExitCode::from(2)
         }

@@ -37,7 +37,8 @@ use std::borrow::Borrow;
 use std::fmt::Write as _;
 
 use crpd::{
-    analyze_all, reload_lines, AnalyzedTask, CrpdApproach, CrpdMatrix, TaskParams, WcrtParams,
+    analyze_all, reload_lines, AnalyzedTask, CrpdApproach, CrpdCellCache, CrpdMatrix, TaskParams,
+    WcrtParams,
 };
 use rtprogram::asm::{assemble, disassemble};
 use rtprogram::isa::Reg;
@@ -283,6 +284,23 @@ pub fn cmd_wcrt_with<T: Borrow<AnalyzedTask> + Sync>(
     spec: &SystemSpec,
     tasks: &[T],
 ) -> Result<String, CliError> {
+    cmd_wcrt_cached(spec, tasks, &CrpdCellCache::default())
+}
+
+/// [`cmd_wcrt_with`] through a shared [`CrpdCellCache`]: pairwise CRPD
+/// bounds whose `(approach, preempted, preempting)` content keys were
+/// already bounded — by an earlier request against the same cache — are
+/// reused instead of recomputed. The report is byte-identical to the
+/// uncached path; the cache only changes *which* cells run.
+///
+/// # Errors
+///
+/// Returns [`CliError::Options`] for an invalid cache geometry.
+pub fn cmd_wcrt_cached<T: Borrow<AnalyzedTask> + Sync>(
+    spec: &SystemSpec,
+    tasks: &[T],
+    cells: &CrpdCellCache,
+) -> Result<String, CliError> {
     let geometry = spec.cache.geometry()?;
     let model = spec.cache.model();
     let params = WcrtParams {
@@ -301,7 +319,7 @@ pub fn cmd_wcrt_with<T: Borrow<AnalyzedTask> + Sync>(
     // rtpar pool (matrix cells fan out again inside). Results land in
     // approach order, so the report bytes never depend on the pool size.
     let per_approach: Vec<Vec<crpd::WcrtResult>> = rtpar::par_map(&CrpdApproach::ALL, |a| {
-        analyze_all(tasks, &CrpdMatrix::compute(*a, tasks), &params)
+        analyze_all(tasks, &CrpdMatrix::compute_with(*a, tasks, cells), &params)
     });
     for (i, t) in tasks.iter().map(Borrow::borrow).enumerate() {
         let cell = |a: usize| {
@@ -351,7 +369,10 @@ pub fn cmd_wcrt_explain<T: Borrow<AnalyzedTask> + Sync>(
     spec: &SystemSpec,
     tasks: &[T],
 ) -> Result<String, CliError> {
-    let mut out = cmd_wcrt_with(spec, tasks)?;
+    // One cell cache spans the table and the breakdown, so the matrices
+    // here are served entirely from the cells the table already bounded.
+    let cells = CrpdCellCache::default();
+    let mut out = cmd_wcrt_cached(spec, tasks, &cells)?;
     let model = spec.cache.model();
     let params = WcrtParams {
         miss_penalty: model.miss_penalty,
@@ -359,7 +380,7 @@ pub fn cmd_wcrt_explain<T: Borrow<AnalyzedTask> + Sync>(
         max_iterations: 10_000,
     };
     let matrices: Vec<CrpdMatrix> =
-        rtpar::par_map(&CrpdApproach::ALL, |a| CrpdMatrix::compute(*a, tasks));
+        rtpar::par_map(&CrpdApproach::ALL, |a| CrpdMatrix::compute_with(*a, tasks, &cells));
     let _ = writeln!(out, "\nWCRT breakdown (cycles; wcet + interference + crpd + ctx = R):");
     for (i, t) in tasks.iter().map(Borrow::borrow).enumerate() {
         let _ = writeln!(

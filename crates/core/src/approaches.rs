@@ -2,7 +2,10 @@
 //! experiments (§VIII) and the per-task-pair reload matrix.
 
 use std::borrow::Borrow;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::task::AnalyzedTask;
 use crate::UsefulMethod;
@@ -147,6 +150,84 @@ pub fn combined_overlap_breakdown(
     contributions
 }
 
+/// A keyed cache of pairwise reload bounds: one cell per
+/// `(approach, preempted fingerprint, preempting fingerprint)`.
+///
+/// Fingerprints ([`AnalyzedTask::fingerprint`]) content-address the
+/// params-free [`crate::task::AnalyzedProgram`] artifacts, so a bound
+/// computed once is reused across WCRT requests, parameter sweeps and
+/// priority reassignments — only rows/columns of a task whose *program*
+/// (or geometry/model) changed recompute. Scheduling parameters are not
+/// part of the key: they decide *which* cells a matrix needs (who can
+/// preempt whom), never a cell's value.
+///
+/// Thread-safe and deliberately not single-flight: cells are cheap
+/// relative to full analysis and deterministic, so two threads racing on
+/// one cell both compute the same value and the second insert is a no-op.
+#[derive(Debug, Default)]
+pub struct CrpdCellCache {
+    cells: Mutex<HashMap<(CrpdApproach, u128, u128), usize>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CrpdCellCache {
+    /// [`reload_lines`] through the cache: returns the memoized bound for
+    /// the pair's content key, computing and inserting it on first use.
+    ///
+    /// Every lookup is recorded with `rtobs` as a `crpd_cell` stage
+    /// lookup; only misses run (and record a span for) the actual
+    /// computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tasks were analyzed under different cache
+    /// geometries.
+    pub fn reload_lines(
+        &self,
+        approach: CrpdApproach,
+        preempted: &AnalyzedTask,
+        preempting: &AnalyzedTask,
+    ) -> usize {
+        let key = (approach, preempted.fingerprint(), preempting.fingerprint());
+        if let Some(&lines) = self.cells.lock().expect("crpd cell cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            rtobs::record_stage_lookup("crpd_cell", true);
+            return lines;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        rtobs::record_stage_lookup("crpd_cell", false);
+        let lines = {
+            let _span = rtobs::span_labeled("crpd", || {
+                format!("{approach} {}<-{}", preempted.name(), preempting.name())
+            });
+            reload_lines(approach, preempted, preempting)
+        };
+        self.cells.lock().expect("crpd cell cache lock").insert(key, lines);
+        lines
+    }
+
+    /// Number of lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute the bound.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cells currently held.
+    pub fn len(&self) -> usize {
+        self.cells.lock().expect("crpd cell cache lock").len()
+    }
+
+    /// `true` if no cell has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The reload-line matrix of a task set under one approach:
 /// `lines[i][j]` is the bound for task `i` preempted by task `j`
 /// (`usize::MAX` is never used; cells where `j` cannot preempt `i` hold
@@ -173,16 +254,43 @@ impl CrpdMatrix {
     /// back into rows in index order, keeping the matrix byte-identical
     /// at any thread count.
     pub fn compute<T: Borrow<AnalyzedTask> + Sync>(approach: CrpdApproach, tasks: &[T]) -> Self {
+        Self::compute_inner(approach, tasks, None)
+    }
+
+    /// [`compute`](Self::compute) through a [`CrpdCellCache`]: cells whose
+    /// `(approach, preempted, preempting)` content key was already bounded
+    /// — by an earlier matrix, another request, or a different parameter
+    /// binding of the same programs — are served from the cache; only
+    /// fresh pairs run the pairwise analysis. The resulting matrix is
+    /// byte-identical to an uncached [`compute`](Self::compute).
+    pub fn compute_with<T: Borrow<AnalyzedTask> + Sync>(
+        approach: CrpdApproach,
+        tasks: &[T],
+        cells: &CrpdCellCache,
+    ) -> Self {
+        Self::compute_inner(approach, tasks, Some(cells))
+    }
+
+    fn compute_inner<T: Borrow<AnalyzedTask> + Sync>(
+        approach: CrpdApproach,
+        tasks: &[T],
+        cache: Option<&CrpdCellCache>,
+    ) -> Self {
         let _span = rtobs::span_labeled("crpd", || format!("{approach} matrix"));
         let n = tasks.len();
         let cells = rtpar::par_map_range(n * n, |cell| {
             let (i, j) = (cell / n, cell % n);
             let (ti, tj) = (tasks[i].borrow(), tasks[j].borrow());
             if tj.params().priority < ti.params().priority {
-                let _span = rtobs::span_labeled("crpd", || {
-                    format!("{approach} {}<-{}", ti.name(), tj.name())
-                });
-                let lines = reload_lines(approach, ti, tj);
+                let lines = match cache {
+                    Some(cache) => cache.reload_lines(approach, ti, tj),
+                    None => {
+                        let _span = rtobs::span_labeled("crpd", || {
+                            format!("{approach} {}<-{}", ti.name(), tj.name())
+                        });
+                        reload_lines(approach, ti, tj)
+                    }
+                };
                 rtobs::record_crpd_cell(approach.label(), i, j, lines as u64);
                 lines
             } else {
@@ -297,6 +405,32 @@ mod tests {
             .expect("the one feasible preemption pair is recorded");
         assert_eq!(*cell, m.reload(1, 0) as u64);
         assert!(!counters.crpd_cells.contains_key(&("App. 2".to_string(), 0, 1)));
+    }
+
+    #[test]
+    fn cell_cache_reuses_bounds_across_matrices_and_rebindings() {
+        let (ed, mr) = small_pair(); // one feasible pair: ed preempted by mr
+        let cache = CrpdCellCache::default();
+        let tasks = vec![mr, ed];
+        let m1 = CrpdMatrix::compute_with(CrpdApproach::Combined, &tasks, &cache);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 1, 1));
+        let m2 = CrpdMatrix::compute_with(CrpdApproach::Combined, &tasks, &cache);
+        assert_eq!(m1, m2);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        // A param-only rebinding keeps the same preemption structure and
+        // content keys, so the whole matrix is served from the cache.
+        let rebound: Vec<_> = tasks
+            .iter()
+            .map(|t| t.rebind(TaskParams { period: 7_777, priority: t.params().priority }))
+            .collect();
+        let m3 = CrpdMatrix::compute_with(CrpdApproach::Combined, &rebound, &cache);
+        assert_eq!(m1, m3);
+        assert_eq!(cache.misses(), 1, "rebinding params must not recompute any cell");
+        // A different approach keys different cells…
+        CrpdMatrix::compute_with(CrpdApproach::InterTask, &tasks, &cache);
+        assert_eq!((cache.misses(), cache.len()), (2, 2));
+        // …and the cached matrix matches the uncached one byte-for-byte.
+        assert_eq!(CrpdMatrix::compute(CrpdApproach::Combined, &tasks), m1);
     }
 
     #[test]

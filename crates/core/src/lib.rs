@@ -76,13 +76,17 @@ pub(crate) fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
 
 use std::fmt;
 
-pub use approaches::{combined_overlap_breakdown, reload_lines, CrpdApproach, CrpdMatrix};
+pub use approaches::{
+    combined_overlap_breakdown, reload_lines, CrpdApproach, CrpdCellCache, CrpdMatrix,
+};
 pub use hierarchy::{two_level_analyze_all, two_level_preemption_delay, TwoLevelParams};
 pub use intra::{dataflow_useful, DataflowUseful, UsefulTrace};
 pub use multicore::{first_fit_assignment, multicore_analyze, CoreAssignment, SharedL2};
 pub use partition::{even_way_partition, partitioned_analyze_all, PartitionedTask};
 pub use schedutil::{hyperperiod, liu_layland_bound, rate_monotonic_priorities, total_utilization};
-pub use task::{AnalyzedTask, TaskParams};
+pub use task::{
+    content_hash128, program_fingerprint, AnalyzedPath, AnalyzedProgram, AnalyzedTask, TaskParams,
+};
 pub use wcrt::{
     analyze_all, explain_response_time, response_time, response_time_generic, StopReason,
     WcrtBreakdown, WcrtParams, WcrtResult,

@@ -1,6 +1,20 @@
 //! Analyzed tasks: a program plus everything the CRPD/WCRT analysis needs.
+//!
+//! The analysis artifacts are split into two layers so that scheduling
+//! parameters never invalidate cache-state work:
+//!
+//! * [`AnalyzedProgram`] — the params-free artifact: per-variant
+//!   [`UsefulTrace`]s, per-path and union [`Ciip`] footprints, and the
+//!   WCET. It depends only on `(program content, geometry, model)` and
+//!   carries a 128-bit content [`AnalyzedProgram::fingerprint`] over
+//!   exactly those inputs, so it can be content-addressed in artifact
+//!   stores and reused across parameter sweeps.
+//! * [`AnalyzedTask`] — a thin binding of an `Arc<AnalyzedProgram>` plus
+//!   [`TaskParams`]. Rebinding new params ([`AnalyzedTask::rebind`]) is
+//!   O(1) and shares the underlying artifact.
 
 use std::fmt;
+use std::sync::Arc;
 
 use rtcache::{CacheGeometry, Ciip};
 use rtprogram::Program;
@@ -20,15 +34,78 @@ pub struct TaskParams {
     pub priority: u32,
 }
 
-/// A task with its memory-trace analysis artifacts for one cache
-/// geometry: per-feasible-path traces with hit classification, the union
-/// footprint `M`, per-path footprints `M^k`, and the task's WCET.
+/// 128-bit content hash over length-prefixed fields: two independent
+/// 64-bit FNV-1a streams (distinct offset bases, the second fed a
+/// bytewise-transformed copy of the input) concatenated into a `u128`.
+///
+/// Each field is prefixed with its little-endian 64-bit length, so field
+/// boundaries are part of the content — `["ab","c"]` and `["a","bc"]`
+/// hash differently. A single 64-bit FNV is birthday-bound at ~2³²
+/// artifacts; the doubled stream pushes collisions beyond anything a
+/// long-running artifact server will hold.
+pub fn content_hash128<'a>(fields: impl IntoIterator<Item = &'a [u8]>) -> u128 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    const BASIS_LO: u64 = 0xcbf2_9ce4_8422_2325;
+    // Low half of the 128-bit FNV offset basis — independent of BASIS_LO.
+    const BASIS_HI: u64 = 0x6c62_272e_07bb_0142;
+    let (mut lo, mut hi) = (BASIS_LO, BASIS_HI);
+    let mut eat = |byte: u8| {
+        lo = (lo ^ u64::from(byte)).wrapping_mul(PRIME);
+        hi = (hi ^ u64::from(byte ^ 0xa5)).wrapping_mul(PRIME);
+    };
+    for field in fields {
+        for byte in (field.len() as u64).to_le_bytes() {
+            eat(byte);
+        }
+        for &byte in field {
+            eat(byte);
+        }
+    }
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+/// The 128-bit content key of an analysis artifact: everything
+/// [`AnalyzedProgram::analyze`] depends on — the program name, its
+/// canonical disassembly, entry point, every input variant (name and
+/// writes; the disassembly does not list variants), the cache geometry
+/// and the timing model.
+pub fn program_fingerprint(program: &Program, geometry: CacheGeometry, model: TimingModel) -> u128 {
+    let listing = rtprogram::asm::disassemble(program);
+    let mut fields: Vec<Vec<u8>> = vec![
+        program.name().as_bytes().to_vec(),
+        listing.into_bytes(),
+        program.entry().to_le_bytes().to_vec(),
+        format!("{geometry:?}").into_bytes(),
+        format!("{model:?}").into_bytes(),
+    ];
+    for variant in program.variants() {
+        fields.push(variant.name.as_bytes().to_vec());
+        let mut writes = Vec::with_capacity(variant.writes.len() * 12);
+        for (addr, value) in &variant.writes {
+            writes.extend_from_slice(&addr.to_le_bytes());
+            writes.extend_from_slice(&value.to_le_bytes());
+        }
+        fields.push(writes);
+    }
+    content_hash128(fields.iter().map(Vec::as_slice))
+}
+
+/// The params-free analysis artifact of one program under one cache
+/// geometry and timing model: per-feasible-path traces with hit
+/// classification, the union footprint `M`, per-path footprints `M^k`,
+/// and the program's WCET.
+///
+/// Scheduling parameters are deliberately absent — bind them with
+/// [`AnalyzedTask::bind`]. This is the unit of content-addressed caching:
+/// two tasks with the same program, geometry and model share one
+/// `AnalyzedProgram` regardless of their periods and priorities.
 #[derive(Debug, Clone)]
-pub struct AnalyzedTask {
+pub struct AnalyzedProgram {
     name: String,
-    params: TaskParams,
     wcet: u64,
     geometry: CacheGeometry,
+    model: TimingModel,
+    fingerprint: u128,
     /// One entry per input variant (feasible path).
     paths: Vec<AnalyzedPath>,
     /// Union footprint over all paths (`Ma`).
@@ -46,7 +123,7 @@ pub struct AnalyzedPath {
     pub blocks: Ciip,
 }
 
-impl AnalyzedTask {
+impl AnalyzedProgram {
     /// Simulates every feasible path of `program`, classifies its accesses
     /// against a cold cache and estimates the WCET.
     ///
@@ -60,7 +137,6 @@ impl AnalyzedTask {
     /// Returns [`AnalysisError`] if a path simulation faults.
     pub fn analyze(
         program: &Program,
-        params: TaskParams,
         geometry: CacheGeometry,
         model: TimingModel,
     ) -> Result<Self, AnalysisError> {
@@ -98,28 +174,23 @@ impl AnalyzedTask {
             paths.push(path);
         }
         drop(ciip_span);
-        Ok(AnalyzedTask {
+        Ok(AnalyzedProgram {
             name: program.name().to_string(),
-            params,
             wcet: wcet.cycles,
             geometry,
+            model,
+            fingerprint: program_fingerprint(program, geometry, model),
             paths,
             all_blocks,
         })
     }
 
-    /// The task name.
+    /// The program (task) name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
-    /// Scheduling parameters.
-    pub fn params(&self) -> &TaskParams {
-        &self.params
-    }
-
-    /// The task's WCET in cycles (without preemption costs), per Eq. 6's
-    /// `C_i`.
+    /// The WCET in cycles (without preemption costs), per Eq. 6's `C_i`.
     pub fn wcet(&self) -> u64 {
         self.wcet
     }
@@ -127,6 +198,19 @@ impl AnalyzedTask {
     /// The cache geometry the analysis ran under.
     pub fn geometry(&self) -> CacheGeometry {
         self.geometry
+    }
+
+    /// The timing model the analysis ran under.
+    pub fn model(&self) -> TimingModel {
+        self.model
+    }
+
+    /// The 128-bit content key of this artifact (see
+    /// [`program_fingerprint`]): equal fingerprints mean equal program
+    /// content, geometry and model, so analysis results are
+    /// interchangeable.
+    pub fn fingerprint(&self) -> u128 {
+        self.fingerprint
     }
 
     /// Per-feasible-path artifacts.
@@ -159,11 +243,110 @@ impl AnalyzedTask {
     }
 
     /// The combined bound of §V–VI against a preempting footprint `mb`:
-    /// maximum over this task's paths and execution points of
+    /// maximum over this program's paths and execution points of
     /// `S(useful(t), mb)`.
     pub fn max_useful_overlap(&self, mb: &Ciip) -> usize {
         let _span = rtobs::span_labeled("mumbs", || format!("{}: overlap", self.name));
         self.paths.iter().map(|p| p.trace.max_overlap_bound(mb).0).max().unwrap_or(0)
+    }
+}
+
+/// A schedulable task: a shared [`AnalyzedProgram`] artifact bound to
+/// [`TaskParams`]. Cloning or [`rebind`](AnalyzedTask::rebind)ing shares
+/// the artifact; only the thin params differ.
+#[derive(Debug, Clone)]
+pub struct AnalyzedTask {
+    program: Arc<AnalyzedProgram>,
+    params: TaskParams,
+}
+
+impl AnalyzedTask {
+    /// Analyzes `program` and binds `params` in one step — the
+    /// convenience constructor for callers without an artifact store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] if a path simulation faults.
+    pub fn analyze(
+        program: &Program,
+        params: TaskParams,
+        geometry: CacheGeometry,
+        model: TimingModel,
+    ) -> Result<Self, AnalysisError> {
+        Ok(Self::bind(Arc::new(AnalyzedProgram::analyze(program, geometry, model)?), params))
+    }
+
+    /// Binds scheduling parameters to an existing analysis artifact.
+    /// O(1); no pipeline stage re-runs.
+    pub fn bind(program: Arc<AnalyzedProgram>, params: TaskParams) -> Self {
+        AnalyzedTask { program, params }
+    }
+
+    /// This task with different scheduling parameters, sharing the same
+    /// underlying artifact. O(1); no pipeline stage re-runs.
+    pub fn rebind(&self, params: TaskParams) -> Self {
+        AnalyzedTask { program: Arc::clone(&self.program), params }
+    }
+
+    /// The shared params-free analysis artifact.
+    pub fn program(&self) -> &Arc<AnalyzedProgram> {
+        &self.program
+    }
+
+    /// The task name.
+    pub fn name(&self) -> &str {
+        self.program.name()
+    }
+
+    /// Scheduling parameters.
+    pub fn params(&self) -> &TaskParams {
+        &self.params
+    }
+
+    /// The task's WCET in cycles (without preemption costs), per Eq. 6's
+    /// `C_i`.
+    pub fn wcet(&self) -> u64 {
+        self.program.wcet()
+    }
+
+    /// The cache geometry the analysis ran under.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.program.geometry()
+    }
+
+    /// The content fingerprint of the underlying [`AnalyzedProgram`].
+    pub fn fingerprint(&self) -> u128 {
+        self.program.fingerprint()
+    }
+
+    /// Per-feasible-path artifacts.
+    pub fn paths(&self) -> &[AnalyzedPath] {
+        self.program.paths()
+    }
+
+    /// The union footprint `Ma` over all feasible paths.
+    pub fn all_blocks(&self) -> &Ciip {
+        self.program.all_blocks()
+    }
+
+    /// Approach 3's per-task reload count: the maximum over feasible paths
+    /// and execution points of `Σ_r min(|useful_r|, L)` (Definition 4
+    /// evaluated per path).
+    pub fn useful_line_bound(&self) -> usize {
+        self.program.useful_line_bound()
+    }
+
+    /// The maximum useful memory blocks set (`M̃a`, Definition 4): the
+    /// useful set at the worst execution point of the worst path.
+    pub fn mumbs(&self) -> Ciip {
+        self.program.mumbs()
+    }
+
+    /// The combined bound of §V–VI against a preempting footprint `mb`:
+    /// maximum over this task's paths and execution points of
+    /// `S(useful(t), mb)`.
+    pub fn max_useful_overlap(&self, mb: &Ciip) -> usize {
+        self.program.max_useful_overlap(mb)
     }
 }
 
@@ -172,19 +355,20 @@ impl fmt::Display for AnalyzedTask {
         write!(
             f,
             "{}: C={} cycles, P={}, prio={}, footprint={} lines",
-            self.name,
-            self.wcet,
+            self.name(),
+            self.wcet(),
             self.params.period,
             self.params.priority,
-            self.all_blocks.line_bound()
+            self.all_blocks().line_bound()
         )
     }
 }
 
-// The analysis server shares `Arc<AnalyzedTask>` across worker threads;
-// keep the artifact thread-safe by construction.
+// The analysis server shares `Arc<AnalyzedProgram>` across worker
+// threads; keep the artifacts thread-safe by construction.
 const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AnalyzedProgram>();
     assert_send_sync::<AnalyzedTask>();
     assert_send_sync::<AnalyzedPath>();
     assert_send_sync::<TaskParams>();
@@ -263,5 +447,78 @@ mod tests {
         let t = analyze(&p);
         assert!(t.to_string().contains("mr"));
         assert!(t.to_string().contains("cycles"));
+    }
+
+    #[test]
+    fn rebind_shares_the_artifact_and_changes_only_params() {
+        let p = rtworkloads::mobile_robot();
+        let t1 = analyze(&p);
+        let t2 = t1.rebind(TaskParams { period: 42, priority: 9 });
+        assert!(Arc::ptr_eq(t1.program(), t2.program()), "rebind must share the artifact");
+        assert_eq!(t2.params(), &TaskParams { period: 42, priority: 9 });
+        assert_eq!(t1.wcet(), t2.wcet());
+        assert_eq!(t1.fingerprint(), t2.fingerprint());
+        assert_eq!(t1.params().period, 1_000_000, "the original binding is untouched");
+    }
+
+    #[test]
+    fn content_hash_is_length_prefixed_and_two_streamed() {
+        // Field boundaries are content.
+        assert_ne!(
+            content_hash128([b"ab".as_slice(), b"c"]),
+            content_hash128([b"a".as_slice(), b"bc"])
+        );
+        assert_ne!(content_hash128([b"x".as_slice()]), content_hash128([b"y".as_slice()]));
+        assert_eq!(content_hash128([b"x".as_slice()]), content_hash128([b"x".as_slice()]));
+        // The two streams are independent: equal low halves (single FNV-1a
+        // collision surface) must not imply equal high halves.
+        let h = content_hash128([b"x".as_slice()]);
+        assert_ne!((h >> 64) as u64, h as u64);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_every_analysis_input() {
+        let g = CacheGeometry::paper_l1();
+        let m = TimingModel::default();
+        let mr = rtworkloads::mobile_robot();
+        let ed = rtworkloads::edge_detection_with_dim(8);
+        let base = program_fingerprint(&mr, g, m);
+        assert_ne!(base, program_fingerprint(&ed, g, m), "different programs");
+        assert_ne!(
+            base,
+            program_fingerprint(&mr, CacheGeometry::new(64, 2, 16).unwrap(), m),
+            "different geometry"
+        );
+        assert_ne!(
+            base,
+            program_fingerprint(&mr, g, TimingModel::with_miss_penalty(40)),
+            "different timing model"
+        );
+        assert_eq!(base, program_fingerprint(&mr, g, m), "fingerprints are deterministic");
+        assert_eq!(base, analyze(&mr).fingerprint(), "analyze records the same fingerprint");
+    }
+
+    #[test]
+    fn fingerprint_covers_variants_not_just_the_listing() {
+        // `disassemble` does not list input variants, so two programs
+        // differing only in variant writes must still get distinct keys.
+        use rtprogram::InputVariant;
+        let base = rtworkloads::mobile_robot();
+        let variants: Vec<InputVariant> =
+            base.variants().iter().cloned().map(|v| v.with_write(0x10_0000, 7)).collect();
+        let tweaked = Program::new(
+            base.name(),
+            base.code_base(),
+            base.code().to_vec(),
+            base.data_segments().to_vec(),
+            base.entry(),
+            base.symbols().clone(),
+            base.loop_bounds().clone(),
+            variants,
+        )
+        .unwrap();
+        let g = CacheGeometry::paper_l1();
+        let m = TimingModel::default();
+        assert_ne!(program_fingerprint(&base, g, m), program_fingerprint(&tweaked, g, m));
     }
 }

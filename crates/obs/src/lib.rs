@@ -175,6 +175,15 @@ pub struct OverlapTally {
     pub capped_by_ways: u64,
 }
 
+/// Hit/miss tallies of one content-addressed artifact-cache stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageLookupTally {
+    /// Lookups served from the stage cache (no recompute).
+    pub hits: u64,
+    /// Lookups that had to run the stage.
+    pub misses: u64,
+}
+
 /// Snapshot of every typed counter in the recorder.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
@@ -194,6 +203,9 @@ pub struct Counters {
     /// Successive `R_i^k` iterates of the Eq. 7 recurrence keyed by
     /// (context label, task index).
     pub wcrt_iterations: BTreeMap<(String, usize), Vec<u64>>,
+    /// Artifact-cache lookups keyed by pipeline stage (`"assemble"`,
+    /// `"analyze"`, `"crpd_cell"`, …): stage hits vs. recomputes.
+    pub stage_lookups: BTreeMap<&'static str, StageLookupTally>,
 }
 
 /// Thread-safe store for spans and counters. Created by [`begin`];
@@ -345,6 +357,19 @@ fn write_counters_json(out: &mut String, counters: &Counters) {
         }
         out.push_str("]}");
     }
+    out.push_str("],\"stageCache\":[");
+    for (n, (stage, tally)) in counters.stage_lookups.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"stage\":{},\"hits\":{},\"misses\":{}}}",
+            json_string(stage),
+            tally.hits,
+            tally.misses
+        );
+    }
     out.push_str("]}");
 }
 
@@ -473,6 +498,19 @@ pub fn record_wcrt_iterations(context: &str, task: usize, values: &[u64]) {
     inner.counters.wcrt_iterations.insert((context.to_string(), task), values.to_vec());
 }
 
+/// Records one lookup against a content-addressed pipeline-stage cache:
+/// `hit` means the artifact was reused, `!hit` means the stage re-ran.
+pub fn record_stage_lookup(stage: &'static str, hit: bool) {
+    let Some(recorder) = active() else { return };
+    let mut inner = recorder.lock();
+    let tally = inner.counters.stage_lookups.entry(stage).or_default();
+    if hit {
+        tally.hits += 1;
+    } else {
+        tally.misses += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +591,32 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"r\":[100,250,250]"), "{json}");
+    }
+
+    #[test]
+    fn stage_lookups_tally_hits_and_misses() {
+        let _serial = test_lock();
+        record_stage_lookup("analyze", true); // silently dropped: no session
+        let session = begin();
+        record_stage_lookup("analyze", false);
+        record_stage_lookup("analyze", true);
+        record_stage_lookup("analyze", true);
+        record_stage_lookup("crpd_cell", false);
+        let counters = session.recorder().counters();
+        assert_eq!(
+            counters.stage_lookups.get("analyze"),
+            Some(&StageLookupTally { hits: 2, misses: 1 })
+        );
+        assert_eq!(
+            counters.stage_lookups.get("crpd_cell"),
+            Some(&StageLookupTally { hits: 0, misses: 1 })
+        );
+        let json = session.recorder().chrome_trace_json();
+        assert!(
+            json.contains("\"stageCache\":[{\"stage\":\"analyze\",\"hits\":2,\"misses\":1}"),
+            "{json}"
+        );
+        assert!(json.contains("{\"stage\":\"crpd_cell\",\"hits\":0,\"misses\":1}"), "{json}");
     }
 
     #[test]

@@ -100,21 +100,22 @@ impl Batch {
     /// Claims and runs items until the cursor is exhausted. Panics from
     /// items are captured into `completion` so `done` always reaches
     /// `total`; the batch owner rethrows after the wait. Every claimed
-    /// item is tallied into `claimed` (one batched add on exit), which
-    /// lets the pool attribute work to callers vs. background workers.
+    /// item is tallied into `claimed` *before* its `done` increment, so
+    /// once the owner observes a finished batch the inline/stolen split
+    /// is fully accounted (a batched add on loop exit would race the
+    /// owner's `stats()` read).
     fn run_to_exhaustion(&self, claimed: &AtomicU64) {
-        let mut ran = 0u64;
         loop {
             let index = self.next.fetch_add(1, Ordering::Relaxed);
             if index >= self.total {
                 break;
             }
-            ran += 1;
             // SAFETY: `index < total`, so the owner is still inside
             // `par_map_range` (it cannot return before `done == total`)
             // and `data` is alive.
             let outcome =
                 catch_unwind(AssertUnwindSafe(|| unsafe { (self.run_one)(self.data, index) }));
+            claimed.fetch_add(1, Ordering::Relaxed);
             let mut completion = self.completion.lock().expect("batch completion lock");
             if let Err(payload) = outcome {
                 completion.panic.get_or_insert(payload);
@@ -123,9 +124,6 @@ impl Batch {
             if completion.done == self.total {
                 self.finished.notify_all();
             }
-        }
-        if ran > 0 {
-            claimed.fetch_add(ran, Ordering::Relaxed);
         }
     }
 }

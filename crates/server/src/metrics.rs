@@ -131,10 +131,25 @@ impl Metrics {
                 ((*name).to_string(), json)
             })
             .collect();
+        let stages = store
+            .stage_stats()
+            .into_iter()
+            .map(|s| {
+                let json = Json::obj([
+                    ("hits", Json::from(s.hits)),
+                    ("misses", Json::from(s.misses)),
+                    ("entries", Json::from(s.entries)),
+                    ("single_flight_waits", Json::from(s.single_flight_waits)),
+                ]);
+                (s.stage.to_string(), json)
+            })
+            .collect();
         Json::obj([
             ("uptime_secs", Json::from(self.uptime_secs())),
             ("endpoints", Json::Obj(per_endpoint)),
             (
+                // The `analyze` stage's counters, kept under the historic
+                // name for dashboards that predate the staged store.
                 "artifact_cache",
                 Json::obj([
                     ("hits", Json::from(store.hits())),
@@ -142,6 +157,7 @@ impl Metrics {
                     ("entries", Json::from(store.len() as u64)),
                 ]),
             ),
+            ("stages", Json::Obj(stages)),
             (
                 "analysis_pool",
                 Json::obj([
@@ -213,6 +229,40 @@ impl Metrics {
             "Work items stolen by background pool workers.",
             pool.items_stolen,
         );
+        // Per-stage DAG counters, labelled by pipeline stage.
+        let stages = store.stage_stats();
+        for (name, help, value) in [
+            (
+                "rtserver_stage_cache_hits_total",
+                "Pipeline-stage cache hits (artifact reused).",
+                (|s: &crate::store::StageStats| s.hits) as fn(&crate::store::StageStats) -> u64,
+            ),
+            (
+                "rtserver_stage_cache_misses_total",
+                "Pipeline-stage cache misses (stage re-ran).",
+                |s| s.misses,
+            ),
+            (
+                "rtserver_stage_single_flight_waits_total",
+                "Lookups that blocked on another worker's in-flight computation.",
+                |s| s.single_flight_waits,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for s in &stages {
+                let _ = writeln!(out, "{name}{{stage=\"{}\"}} {}", s.stage, value(s));
+            }
+        }
+        let _ = writeln!(out, "# HELP rtserver_stage_cache_entries Artifacts held per stage.");
+        let _ = writeln!(out, "# TYPE rtserver_stage_cache_entries gauge");
+        for s in &stages {
+            let _ = writeln!(
+                out,
+                "rtserver_stage_cache_entries{{stage=\"{}\"}} {}",
+                s.stage, s.entries
+            );
+        }
         let endpoints = self.endpoints.lock().expect("metrics lock");
         let _ = writeln!(out, "# HELP rtserver_requests_total Handled requests per endpoint.");
         let _ = writeln!(out, "# TYPE rtserver_requests_total counter");
@@ -305,6 +355,14 @@ mod tests {
         assert!(wcrt.get("p99_us").unwrap().as_u64().unwrap() >= 700);
         let cache = snap.get("artifact_cache").unwrap();
         assert_eq!(cache.get("hits").unwrap().as_u64(), Some(0));
+        let stages = snap.get("stages").unwrap();
+        for stage in ["assemble", "analyze", "crpd_cell"] {
+            let s = stages.get(stage).unwrap_or_else(|| panic!("stage {stage} in metrics"));
+            assert_eq!(s.get("hits").unwrap().as_u64(), Some(0));
+            assert_eq!(s.get("misses").unwrap().as_u64(), Some(0));
+            assert_eq!(s.get("entries").unwrap().as_u64(), Some(0));
+            assert!(s.get("single_flight_waits").unwrap().as_u64().is_some());
+        }
         assert!(snap.get("uptime_secs").unwrap().as_u64().is_some());
         let pool = snap.get("analysis_pool").unwrap();
         assert_eq!(pool.get("threads").unwrap().as_u64(), Some(4));
@@ -330,6 +388,10 @@ mod tests {
             "rtserver_analysis_pool_queue_depth",
             "rtserver_analysis_pool_items_inline_total",
             "rtserver_analysis_pool_worker_utilization",
+            "rtserver_stage_cache_hits_total",
+            "rtserver_stage_cache_misses_total",
+            "rtserver_stage_cache_entries",
+            "rtserver_stage_single_flight_waits_total",
         ] {
             assert!(text.contains(&format!("# HELP {family} ")), "missing HELP for {family}");
             assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
@@ -337,6 +399,16 @@ mod tests {
         assert!(text.contains("rtserver_requests_total{endpoint=\"wcrt\"} 2"), "{text}");
         assert!(text.contains("rtserver_request_errors_total{endpoint=\"wcrt\"} 1"), "{text}");
         assert!(text.contains("rtserver_analysis_pool_items_inline_total 4"), "{text}");
+        for stage in ["assemble", "analyze", "crpd_cell"] {
+            assert!(
+                text.contains(&format!("rtserver_stage_cache_hits_total{{stage=\"{stage}\"}} 0")),
+                "{text}"
+            );
+            assert!(
+                text.contains(&format!("rtserver_stage_cache_entries{{stage=\"{stage}\"}} 0")),
+                "{text}"
+            );
+        }
 
         // Histogram invariants: cumulative buckets are monotone, +Inf
         // equals _count, and _sum holds the exact total.

@@ -24,6 +24,13 @@
 //! request can be self-contained. Files not found in `sources` are read
 //! from the server's filesystem as a fallback.
 //!
+//! The `metrics` payload reports the staged artifact DAG alongside the
+//! endpoint counters: `"stages"` maps each pipeline stage (`assemble`,
+//! `analyze`, `crpd_cell`) to its `hits`/`misses`/`entries`/
+//! `single_flight_waits`, and `"artifact_cache"` keeps the `analyze`
+//! stage's counters under their historic name. `metrics_prom` exposes
+//! the same data as `rtserver_stage_cache_*{stage="..."}` families.
+//!
 //! ## Responses
 //!
 //! Success: `{"id": 1, "ok": true, "output": "..."}` (plus `"metrics"`

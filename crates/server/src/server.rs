@@ -24,7 +24,7 @@ use std::time::Instant;
 use crpd::{AnalyzedTask, TaskParams};
 use rtcli::spec::SpecTask;
 use rtcli::{
-    cmd_crpd_with, cmd_sim_with, cmd_wcet, cmd_wcrt_with, CliError, ServeOptions, SystemSpec,
+    cmd_crpd_with, cmd_sim_with, cmd_wcet, cmd_wcrt_cached, CliError, ServeOptions, SystemSpec,
 };
 
 use crate::metrics::Metrics;
@@ -305,7 +305,7 @@ fn run_crpd(state: &ServerState, payload: &SpecPayload) -> Result<String, CliErr
     // Mirror the one-shot CLI exactly (`cmd_crpd`): pair analysis uses
     // pseudo-parameters — unbounded period, priorities 2 (preempted) and
     // 1 (preempting) — so the server's report is byte-identical.
-    let memoized = |task: &SpecTask, priority: u32| -> Result<Arc<AnalyzedTask>, CliError> {
+    let memoized = |task: &SpecTask, priority: u32| -> Result<AnalyzedTask, CliError> {
         state.store.analyzed(
             &task.name,
             &resolve_source(payload, task)?,
@@ -316,7 +316,7 @@ fn run_crpd(state: &ServerState, payload: &SpecPayload) -> Result<String, CliErr
     };
     let (preempted, preempting) =
         rtpar::join(|| memoized(preempted_task, 2), || memoized(preempting_task, 1));
-    Ok(cmd_crpd_with(preempted?.as_ref(), preempting?.as_ref(), &spec.cache))
+    Ok(cmd_crpd_with(&preempted?, &preempting?, &spec.cache))
 }
 
 fn run_wcrt(state: &ServerState, payload: &SpecPayload) -> Result<String, CliError> {
@@ -326,7 +326,7 @@ fn run_wcrt(state: &ServerState, payload: &SpecPayload) -> Result<String, CliErr
     // Analyze all tasks of the request in parallel; results (and the
     // first error, if any) are taken in task order, so the rendered
     // report is byte-identical at any pool size.
-    let tasks: Vec<Arc<AnalyzedTask>> = rtpar::par_map_range(spec.tasks.len(), |i| {
+    let tasks: Vec<AnalyzedTask> = rtpar::par_map_range(spec.tasks.len(), |i| {
         let task = &spec.tasks[i];
         state.store.analyzed(
             &task.name,
@@ -338,7 +338,9 @@ fn run_wcrt(state: &ServerState, payload: &SpecPayload) -> Result<String, CliErr
     })
     .into_iter()
     .collect::<Result<_, _>>()?;
-    cmd_wcrt_with(&spec, &tasks)
+    // The pairwise CRPD bounds come from the store's shared cell cache,
+    // so repeated (or param-tweaked) requests reuse them.
+    cmd_wcrt_cached(&spec, &tasks, state.store.cells())
 }
 
 fn run_sim(payload: &SpecPayload, horizon: Option<u64>) -> Result<String, CliError> {

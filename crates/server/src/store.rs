@@ -1,69 +1,264 @@
-//! Content-addressed memoization of [`AnalyzedTask`] artifacts.
+//! The content-addressed artifact DAG behind the analysis server.
 //!
-//! Task analysis (path simulation + useful-block sweeps + WCET) dominates
-//! request latency, and real clients resubmit the same task systems with
-//! small parameter tweaks. The store keys each artifact by everything the
-//! analysis depends on — the program *content* (not its file name), the
-//! cache geometry, the timing model and the scheduling parameters — and
-//! hands out [`Arc`] clones so concurrent requests share one artifact
-//! without copying. Results are immutable once computed (the analysis is
-//! deterministic; see `crpd::intra`'s ordered sweeps), so no invalidation
-//! is ever needed: a changed source text simply hashes to a new key, and
-//! stale keys age out only when the server restarts.
+//! The pipeline is staged — assemble → per-path trace/RMB-LMB → CIIP
+//! footprints → WCET → pairwise CRPD bounds → WCRT recurrence — and each
+//! stage's artifact is memoized under a key built from exactly what that
+//! stage depends on:
 //!
-//! Failed analyses are *not* cached: errors are cheap to recompute and
-//! callers may fix the environment (e.g. a missing include path) between
-//! requests.
+//! | stage       | artifact                    | key                               |
+//! |-------------|-----------------------------|-----------------------------------|
+//! | `assemble`  | [`Program`]                 | `hash128(name, source)`           |
+//! | `analyze`   | [`AnalyzedProgram`]         | `(program_hash, geometry, model)` |
+//! | `crpd_cell` | reload bound (lines)        | `(approach, prog_a, prog_b)`      |
+//!
+//! Scheduling parameters appear in **no** key: a period or priority edit
+//! rebinds the cached [`AnalyzedProgram`] ([`crpd::AnalyzedTask::bind`],
+//! O(1)) and re-runs only the WCRT fixpoint. A source edit re-keys all
+//! three stages; a geometry/model edit re-keys `analyze` and (through the
+//! artifact fingerprints) `crpd_cell` while reusing `assemble`.
+//!
+//! Each [`StageStore`] is *single-flight*: concurrent requests for one
+//! key elect a leader under the map lock, the leader computes outside the
+//! lock, and everyone else blocks on a condvar until the artifact (an
+//! [`Arc`], shared without copying) is ready. Results are immutable once
+//! computed (the analysis is deterministic; see `crpd::intra`'s ordered
+//! sweeps), so no invalidation is ever needed: changed content simply
+//! hashes to a new key, and stale keys age out only when the server
+//! restarts.
+//!
+//! Failed stages are *not* cached: the in-flight slot is cleared so a
+//! later request retries — errors are cheap to recompute and callers may
+//! fix the environment (e.g. a missing include path) between requests.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
-use crpd::{AnalyzedTask, TaskParams};
+use crpd::{AnalyzedProgram, AnalyzedTask, CrpdCellCache, TaskParams};
 use rtcache::CacheGeometry;
 use rtcli::CliError;
+use rtprogram::Program;
 use rtwcet::TimingModel;
 
-/// Everything an [`AnalyzedTask`] artifact depends on.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct ArtifactKey {
-    /// FNV-1a hash of the task name and assembly source text.
-    pub program_hash: u64,
+/// 128-bit content hash of a task's name and assembly source — the
+/// `assemble` stage key. Two independent FNV-1a streams over
+/// length-prefixed fields (see [`crpd::content_hash128`]), so
+/// `("ab", "c")` and `("a", "bc")` hash differently and collisions are
+/// birthday-bound far beyond any realistic artifact population.
+pub fn program_hash(name: &str, source: &str) -> u128 {
+    crpd::content_hash128([name.as_bytes(), source.as_bytes()])
+}
+
+/// The `analyze` stage key: everything an [`AnalyzedProgram`] depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AnalysisKey {
+    /// [`program_hash`] of the task name and source text.
+    pub program_hash: u128,
     /// Cache geometry analyzed under.
     pub geometry: CacheGeometry,
     /// Timing model analyzed under.
     pub model: TimingModel,
-    /// Scheduling parameters baked into the artifact.
-    pub params: TaskParams,
 }
 
-/// 64-bit FNV-1a over `name` and `source`, with a separator so
-/// `("ab", "c")` and `("a", "bc")` hash differently.
-pub fn program_hash(name: &str, source: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in name.bytes().chain([0u8]).chain(source.bytes()) {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+/// Hit/miss/entry counters of one stage, for `metrics`/`metrics_prom`.
+#[derive(Debug, Clone, Copy)]
+pub struct StageStats {
+    /// Stage name (`"assemble"`, `"analyze"`, `"crpd_cell"`).
+    pub stage: &'static str,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran the stage (single-flight leaders only).
+    pub misses: u64,
+    /// Distinct artifacts currently held.
+    pub entries: u64,
+    /// Lookups that blocked on another thread's in-flight computation.
+    pub single_flight_waits: u64,
 }
 
-/// The shared artifact cache plus its hit/miss counters.
-#[derive(Debug, Default)]
-pub struct ArtifactStore {
-    entries: Mutex<HashMap<ArtifactKey, Arc<AnalyzedTask>>>,
+enum Slot<V> {
+    /// A leader is computing this key; waiters block on the condvar.
+    InFlight,
+    /// The artifact, shared without copying.
+    Ready(Arc<V>),
+}
+
+/// One memoized pipeline stage: a content-keyed map with single-flight
+/// deduplication and hit/miss counters.
+///
+/// `get_or_compute` elects exactly one *leader* per missing key (under
+/// the map lock), so concurrent requests for the same key run the stage
+/// once; the others wait and then share the leader's `Arc`. A leader
+/// that fails (or panics) clears its slot, so errors are never cached
+/// and waiters retry — possibly becoming the next leader.
+pub struct StageStore<K, V> {
+    stage: &'static str,
+    entries: Mutex<HashMap<K, Slot<V>>>,
+    ready: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+    waits: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> StageStore<K, V> {
+    fn new(stage: &'static str) -> Self {
+        StageStore {
+            stage,
+            entries: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the memoized artifact for `key`, running `compute` (as the
+    /// single-flight leader, outside the map lock) on first use.
+    ///
+    /// Exactly one concurrent caller per key counts a miss and computes;
+    /// the rest count a hit (plus a single-flight wait if they had to
+    /// block). Every lookup is also recorded with
+    /// [`rtobs::record_stage_lookup`] under this store's stage name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error to the leader; the slot is cleared so
+    /// the key stays uncached and waiters retry.
+    pub fn get_or_compute<E>(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let mut waited = false;
+        {
+            let mut entries = self.entries.lock().expect("stage store lock");
+            loop {
+                match entries.get(&key) {
+                    Some(Slot::Ready(artifact)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        rtobs::record_stage_lookup(self.stage, true);
+                        return Ok(Arc::clone(artifact));
+                    }
+                    Some(Slot::InFlight) => {
+                        if !waited {
+                            waited = true;
+                            self.waits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        entries = self.ready.wait(entries).expect("stage store lock");
+                    }
+                    None => {
+                        entries.insert(key.clone(), Slot::InFlight);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        rtobs::record_stage_lookup(self.stage, false);
+                        break;
+                    }
+                }
+            }
+        }
+        // Leader path: compute outside the lock so distinct keys proceed
+        // in parallel. The guard clears the in-flight slot on error *or*
+        // panic, so waiters never deadlock on an abandoned slot.
+        let mut guard = InFlightGuard { store: self, key: Some(key) };
+        let artifact = Arc::new(compute()?);
+        let key = guard.key.take().expect("leader key");
+        let mut entries = self.entries.lock().expect("stage store lock");
+        entries.insert(key, Slot::Ready(Arc::clone(&artifact)));
+        drop(entries);
+        self.ready.notify_all();
+        Ok(artifact)
+    }
+
+    /// Number of lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that ran the stage (single-flight leaders).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that blocked on another thread's computation.
+    pub fn single_flight_waits(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
+    }
+
+    /// Number of ready artifacts currently held.
+    pub fn len(&self) -> usize {
+        let entries = self.entries.lock().expect("stage store lock");
+        entries.values().filter(|slot| matches!(slot, Slot::Ready(_))).count()
+    }
+
+    /// `true` if no artifact is ready yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// This stage's counters as one [`StageStats`] row.
+    pub fn stats(&self) -> StageStats {
+        StageStats {
+            stage: self.stage,
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: self.len() as u64,
+            single_flight_waits: self.single_flight_waits(),
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for StageStore<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageStore")
+            .field("stage", &self.stage)
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+struct InFlightGuard<'a, K: Eq + Hash + Clone, V> {
+    store: &'a StageStore<K, V>,
+    key: Option<K>,
+}
+
+impl<K: Eq + Hash + Clone, V> Drop for InFlightGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            let mut entries = self.store.entries.lock().expect("stage store lock");
+            entries.remove(&key);
+            drop(entries);
+            self.store.ready.notify_all();
+        }
+    }
+}
+
+/// The server's artifact DAG: per-stage single-flight stores plus the
+/// shared CRPD pairwise-cell cache.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    programs: StageStore<u128, Program>,
+    analyses: StageStore<AnalysisKey, AnalyzedProgram>,
+    cells: CrpdCellCache,
+}
+
+impl Default for ArtifactStore {
+    fn default() -> Self {
+        ArtifactStore {
+            programs: StageStore::new("assemble"),
+            analyses: StageStore::new("analyze"),
+            cells: CrpdCellCache::default(),
+        }
+    }
 }
 
 impl ArtifactStore {
-    /// Returns the memoized artifact for `(name, source, params,
-    /// geometry, model)`, analyzing and inserting it on first use.
+    /// Returns the task bound to `params` over the memoized
+    /// [`AnalyzedProgram`] for `(name, source, geometry, model)`,
+    /// assembling and analyzing only on first use.
     ///
-    /// The analysis itself runs outside the map lock, so distinct tasks
-    /// analyze in parallel across worker threads. Two threads racing on
-    /// the *same* key may both analyze; determinism makes the results
-    /// interchangeable and the first insert wins.
+    /// Params are bound *after* the cache: a request differing only in
+    /// period/priority hits both the `assemble` and `analyze` stages and
+    /// re-runs zero pipeline spans.
     ///
     /// # Errors
     ///
@@ -76,53 +271,77 @@ impl ArtifactStore {
         params: TaskParams,
         geometry: CacheGeometry,
         model: TimingModel,
-    ) -> Result<Arc<AnalyzedTask>, CliError> {
-        let key = ArtifactKey {
-            program_hash: program_hash(name, source),
-            geometry,
-            model,
-            params: params.clone(),
-        };
-        if let Some(found) = self.entries.lock().expect("store lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(found));
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let program = {
+    ) -> Result<AnalyzedTask, CliError> {
+        let hash = program_hash(name, source);
+        let program = self.programs.get_or_compute(hash, || {
             let _span = rtobs::span_labeled("assemble", || name.to_string());
-            rtprogram::asm::assemble(name, source).map_err(|e| CliError::Asm(e.to_string()))?
-        };
-        let analyzed = AnalyzedTask::analyze(&program, params, geometry, model)
-            .map_err(|e| CliError::Analysis(e.to_string()))?;
-        let artifact = Arc::new(analyzed);
-        let mut entries = self.entries.lock().expect("store lock");
-        Ok(Arc::clone(entries.entry(key).or_insert(artifact)))
+            rtprogram::asm::assemble(name, source).map_err(|e| CliError::Asm(e.to_string()))
+        })?;
+        let key = AnalysisKey { program_hash: hash, geometry, model };
+        let analyzed = self.analyses.get_or_compute(key, || {
+            AnalyzedProgram::analyze(&program, geometry, model)
+                .map_err(|e| CliError::Analysis(e.to_string()))
+        })?;
+        Ok(AnalyzedTask::bind(analyzed, params))
     }
 
-    /// Number of lookups served from the cache so far.
+    /// The memoized `assemble` stage.
+    pub fn programs(&self) -> &StageStore<u128, Program> {
+        &self.programs
+    }
+
+    /// The memoized `analyze` stage.
+    pub fn analyses(&self) -> &StageStore<AnalysisKey, AnalyzedProgram> {
+        &self.analyses
+    }
+
+    /// The shared CRPD pairwise-cell cache (`crpd_cell` stage).
+    pub fn cells(&self) -> &CrpdCellCache {
+        &self.cells
+    }
+
+    /// `analyze`-stage hits — the store's headline counter (analysis
+    /// dominates request latency, so this is what "artifact cache hit"
+    /// has always meant in `metrics`).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.analyses.hits()
     }
 
-    /// Number of lookups that had to analyze.
+    /// `analyze`-stage misses.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.analyses.misses()
     }
 
-    /// Number of distinct artifacts currently held.
+    /// Number of distinct analysis artifacts currently held.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("store lock").len()
+        self.analyses.len()
     }
 
-    /// `true` if no artifact has been stored yet.
+    /// `true` if no analysis artifact has been stored yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.analyses.is_empty()
+    }
+
+    /// Counters of every stage, in pipeline order.
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        vec![
+            self.programs.stats(),
+            self.analyses.stats(),
+            StageStats {
+                stage: "crpd_cell",
+                hits: self.cells.hits(),
+                misses: self.cells.misses(),
+                entries: self.cells.len() as u64,
+                single_flight_waits: 0,
+            },
+        ]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Barrier;
 
     const TASK: &str =
         "start: li r1, 5\nloop: addi r1, r1, -1\nbne r1, r0, loop\n.bound loop, 5\nhalt\n";
@@ -140,25 +359,39 @@ mod tests {
         assert_eq!((store.hits(), store.misses(), store.len()), (0, 1, 1));
         let b = store.analyzed("t", TASK, params(1), g, m).unwrap();
         assert_eq!((store.hits(), store.misses(), store.len()), (1, 1, 1));
-        assert!(Arc::ptr_eq(&a, &b), "hits must share the artifact, not copy it");
+        assert!(Arc::ptr_eq(a.program(), b.program()), "hits must share the artifact, not copy it");
+        assert_eq!((store.programs().hits(), store.programs().misses()), (1, 1));
     }
 
     #[test]
-    fn any_key_component_change_misses() {
+    fn params_only_changes_hit_every_stage() {
+        let store = ArtifactStore::default();
+        let g = CacheGeometry::paper_l1();
+        let m = TimingModel::default();
+        let a = store.analyzed("t", TASK, params(1), g, m).unwrap();
+        // Different scheduling parameters: same program artifact, rebound.
+        let b = store.analyzed("t", TASK, params(2), g, m).unwrap();
+        assert_eq!((store.hits(), store.misses(), store.len()), (1, 1, 1));
+        assert!(Arc::ptr_eq(a.program(), b.program()));
+        assert_eq!(b.params(), &params(2));
+    }
+
+    #[test]
+    fn content_and_model_changes_miss_the_right_stages() {
         let store = ArtifactStore::default();
         let g = CacheGeometry::paper_l1();
         let m = TimingModel::default();
         store.analyzed("t", TASK, params(1), g, m).unwrap();
-        // Different source content under the same name.
+        // Different source content under the same name: every stage misses.
         store.analyzed("t", "start: halt\n", params(1), g, m).unwrap();
-        // Different scheduling parameters on the same program.
-        store.analyzed("t", TASK, params(2), g, m).unwrap();
-        // Different geometry.
+        // Different geometry: assemble hits, analyze misses.
         store.analyzed("t", TASK, params(1), CacheGeometry::new(64, 2, 16).unwrap(), m).unwrap();
-        // Different timing model.
+        // Different timing model: assemble hits, analyze misses.
         store.analyzed("t", TASK, params(1), g, TimingModel::with_miss_penalty(40)).unwrap();
+        assert_eq!((store.misses(), store.len()), (4, 4));
         assert_eq!(store.hits(), 0);
-        assert_eq!((store.misses(), store.len()), (5, 5));
+        assert_eq!((store.programs().misses(), store.programs().len()), (2, 2));
+        assert_eq!(store.programs().hits(), 2);
     }
 
     #[test]
@@ -177,6 +410,72 @@ mod tests {
         let err = store.analyzed("bad", "frobnicate r1\n", params(1), g, m).unwrap_err();
         assert!(matches!(err, CliError::Asm(_)));
         assert!(store.is_empty());
-        assert_eq!(store.misses(), 1);
+        assert!(store.programs().is_empty(), "a failed assemble must clear its slot");
+        // The failed stage retries (and fails again) on the next request.
+        store.analyzed("bad", "frobnicate r1\n", params(1), g, m).unwrap_err();
+        assert_eq!(store.programs().misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_are_single_flight() {
+        const THREADS: usize = 8;
+        let store: StageStore<u32, u64> = StageStore::new("analyze");
+        let barrier = Barrier::new(THREADS);
+        let runs = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        store.get_or_compute(7, || {
+                            runs.fetch_add(1, Ordering::Relaxed);
+                            // Hold the in-flight slot long enough that the
+                            // other threads demonstrably arrive meanwhile.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            Ok::<u64, CliError>(42)
+                        })
+                    })
+                })
+                .collect();
+            for handle in handles {
+                assert_eq!(*handle.join().expect("worker").expect("compute"), 42);
+            }
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "exactly one leader runs the stage");
+        assert_eq!(store.misses(), 1, "single-flight: one miss per key, however many racers");
+        assert_eq!(store.hits(), THREADS as u64 - 1);
+        assert!(store.single_flight_waits() > 0, "the non-leaders blocked on the in-flight slot");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn failed_leader_lets_waiters_retry() {
+        const THREADS: usize = 4;
+        let store: StageStore<u32, u64> = StageStore::new("analyze");
+        let barrier = Barrier::new(THREADS);
+        let attempts = AtomicU64::new(0);
+        let successes = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let result = store.get_or_compute(7, || {
+                        // The first leader fails; whoever retries succeeds.
+                        if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Err(CliError::Analysis("transient".into()))
+                        } else {
+                            Ok(99)
+                        }
+                    });
+                    if let Ok(v) = result {
+                        assert_eq!(*v, 99);
+                        successes.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(successes.load(Ordering::SeqCst), THREADS as u64 - 1);
+        assert_eq!(store.len(), 1, "the retried computation is cached");
     }
 }

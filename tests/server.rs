@@ -102,6 +102,23 @@ fn concurrent_clients_get_cli_identical_memoized_responses() {
     let entries = cache.get("entries").and_then(Json::as_u64).expect("entries");
     assert!(hits > 0, "repeated identical requests must hit the memo store");
     assert_eq!(entries, 2, "one artifact per distinct task");
+    // The staged DAG is visible over the wire: both pipeline stages hold
+    // the two artifacts, the repeats hit, and `artifact_cache` above is
+    // the `analyze` stage under its historic name.
+    let stages = metrics.get("stages").expect("stage-level cache stats");
+    for stage in ["assemble", "analyze"] {
+        let s = stages.get(stage).unwrap_or_else(|| panic!("missing stage {stage}"));
+        assert_eq!(s.get("entries").and_then(Json::as_u64), Some(2), "{stage} entries");
+        assert_eq!(s.get("misses").and_then(Json::as_u64), Some(2), "{stage} misses");
+        assert!(s.get("hits").and_then(Json::as_u64).expect("hits") > 0, "{stage} hits");
+    }
+    let analyze = stages.get("analyze").expect("analyze stage");
+    assert_eq!(analyze.get("hits").and_then(Json::as_u64), Some(hits));
+    let cells = stages.get("crpd_cell").expect("crpd_cell stage");
+    assert!(
+        cells.get("hits").and_then(Json::as_u64).expect("cell hits") > 0,
+        "repeated WCRT requests must hit the pairwise CRPD cell cache"
+    );
     let wcrt = metrics.get("endpoints").and_then(|e| e.get("wcrt")).expect("wcrt endpoint stats");
     assert_eq!(
         wcrt.get("requests").and_then(Json::as_u64),
@@ -190,10 +207,22 @@ fn metrics_prom_returns_consistent_prometheus_text() {
         "rtserver_requests_total",
         "rtserver_request_duration_microseconds",
         "rtserver_analysis_pool_threads",
+        "rtserver_stage_cache_hits_total",
+        "rtserver_stage_cache_misses_total",
+        "rtserver_stage_cache_entries",
+        "rtserver_stage_single_flight_waits_total",
     ] {
         assert!(text.contains(&format!("# HELP {family} ")), "missing HELP for {family}");
         assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
     }
+    assert!(
+        text.contains(r#"rtserver_stage_cache_misses_total{stage="analyze"} 2"#),
+        "analyze stage missed once per distinct task:\n{text}"
+    );
+    assert!(
+        text.contains(r#"rtserver_stage_cache_hits_total{stage="crpd_cell"}"#),
+        "crpd_cell stage exported:\n{text}"
+    );
     assert!(
         text.contains(r#"rtserver_requests_total{endpoint="wcrt"} 2"#),
         "wcrt request counter must reflect the two requests served:\n{text}"
