@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use crpd::{dataflow_useful, reload_lines, CrpdApproach, CrpdMatrix, UsefulTrace};
 use crpd::{AnalyzedTask, TaskParams, WcrtParams};
-use rtcache::{CacheGeometry, Ciip, MemoryBlock};
+use rtcache::{CacheGeometry, Ciip, MemoryBlock, PackedFootprint};
 use rtwcet::TimingModel;
 
 fn geometry() -> CacheGeometry {
@@ -35,6 +35,12 @@ fn bench_ciip(c: &mut Criterion) {
     c.bench_function("ciip/overlap_bound", |b| {
         b.iter(|| black_box(&a).overlap_bound(black_box(&b2)))
     });
+    let pa = PackedFootprint::from_ciip(&a).expect("paper geometry packs");
+    let pb = PackedFootprint::from_ciip(&b2).expect("paper geometry packs");
+    c.bench_function("ciip/overlap_bound_packed", |b| {
+        b.iter(|| black_box(&pa).overlap_bound(black_box(&pb)))
+    });
+    c.bench_function("ciip/pack", |b| b.iter(|| PackedFootprint::from_ciip(black_box(&a))));
     c.bench_function("ciip/line_bound", |b| b.iter(|| black_box(&a).line_bound()));
 }
 
@@ -50,6 +56,10 @@ fn bench_useful(c: &mut Criterion) {
     let mb = Ciip::from_blocks(g, (0..512u64).map(MemoryBlock::new));
     c.bench_function("useful/max_overlap_bound", |b| {
         b.iter(|| black_box(&ut).max_overlap_bound(black_box(&mb)))
+    });
+    let packed_mb = PackedFootprint::from_ciip(&mb).expect("paper geometry packs");
+    c.bench_function("useful/max_packed_overlap", |b| {
+        b.iter(|| black_box(&ut).max_packed_overlap(black_box(&packed_mb)))
     });
     c.bench_function("useful/dataflow_ed16", |b| {
         b.iter(|| dataflow_useful(black_box(&program), g).expect("analyzes"))

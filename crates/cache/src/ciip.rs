@@ -139,10 +139,10 @@ impl Ciip {
         );
         if rtobs::enabled() {
             let mut total = 0;
-            for c in self.overlap_contributions(other) {
-                rtobs::record_overlap_set(c.set.as_usize() as u32, c.lines as u64, c.cap);
+            self.for_each_overlap_term(other, |c| {
+                rtobs::record_overlap_set(c.set.as_u32(), c.lines as u64, c.cap);
                 total += c.lines;
-            }
+            });
             return total;
         }
         let ways = self.geometry.ways() as usize;
@@ -150,6 +150,32 @@ impl Ciip {
         let (small, large) =
             if self.parts.len() <= other.parts.len() { (self, other) } else { (other, self) };
         small.parts.iter().map(|(idx, s)| s.len().min(large.subset_len(*idx)).min(ways)).sum()
+    }
+
+    /// Visits every non-zero per-set term of the bound in set-index order
+    /// without allocating; the shared core of [`Ciip::overlap_bound`]'s
+    /// recording path and [`Ciip::overlap_contributions`].
+    fn for_each_overlap_term(&self, other: &Ciip, mut visit: impl FnMut(OverlapContribution)) {
+        let ways = self.geometry.ways() as usize;
+        for (idx, subset) in &self.parts {
+            let a = subset.len();
+            let b = other.subset_len(*idx);
+            let lines = a.min(b).min(ways);
+            if lines == 0 {
+                continue;
+            }
+            // Tie-breaking favours the hard architectural cap first,
+            // then the preempted side, mirroring the order the paper
+            // states the bound in.
+            let cap = if ways <= a && ways <= b {
+                rtobs::OverlapCap::Ways
+            } else if a <= b {
+                rtobs::OverlapCap::Preempted
+            } else {
+                rtobs::OverlapCap::Preempting
+            };
+            visit(OverlapContribution { set: *idx, lines, cap });
+        }
     }
 
     /// The per-set terms of [`Ciip::overlap_bound`], in set-index order,
@@ -166,29 +192,9 @@ impl Ciip {
             self.geometry, other.geometry,
             "CIIPs from different cache geometries cannot be compared"
         );
-        let ways = self.geometry.ways() as usize;
-        self.parts
-            .iter()
-            .filter_map(|(idx, subset)| {
-                let a = subset.len();
-                let b = other.subset_len(*idx);
-                let lines = a.min(b).min(ways);
-                if lines == 0 {
-                    return None;
-                }
-                // Tie-breaking favours the hard architectural cap first,
-                // then the preempted side, mirroring the order the paper
-                // states the bound in.
-                let cap = if ways <= a && ways <= b {
-                    rtobs::OverlapCap::Ways
-                } else if a <= b {
-                    rtobs::OverlapCap::Preempted
-                } else {
-                    rtobs::OverlapCap::Preempting
-                };
-                Some(OverlapContribution { set: *idx, lines, cap })
-            })
-            .collect()
+        let mut contributions = Vec::new();
+        self.for_each_overlap_term(other, |c| contributions.push(c));
+        contributions
     }
 
     /// Per-set occupancy histogram: `histogram[k]` counts the cache sets
@@ -208,12 +214,17 @@ impl Ciip {
     /// # }
     /// ```
     pub fn occupancy_histogram(&self) -> Vec<u32> {
-        let max = self.parts.values().map(BTreeSet::len).max().unwrap_or(0);
-        let mut histogram = vec![0u32; max + 1];
-        histogram[0] = self.geometry.sets() - self.parts.len() as u32;
+        // One pass: grow the vector as larger subsets appear instead of
+        // pre-scanning the map for the maximum.
+        let mut histogram = vec![0u32; 1];
         for subset in self.parts.values() {
-            histogram[subset.len()] += 1;
+            let len = subset.len();
+            if len >= histogram.len() {
+                histogram.resize(len + 1, 0);
+            }
+            histogram[len] += 1;
         }
+        histogram[0] = self.geometry.sets() - self.parts.len() as u32;
         histogram
     }
 

@@ -14,6 +14,9 @@
 //! * [`Ciip`] — the *Cache Index Induced Partition* of a memory-block set
 //!   (paper Definition 3) together with the per-set conflict bound
 //!   `S(Ma, Mb) = Σ_r min(|m̂a,r|, |m̂b,r|, L)` of Eq. 2/3.
+//! * [`PackedFootprint`] — the same footprint flattened to one saturated
+//!   byte per cache set, turning the Eq. 2/3 bound into a dense min-sum
+//!   for the hot CRPD inner loop.
 //!
 //! # Example
 //!
@@ -41,11 +44,13 @@
 mod ciip;
 mod geometry;
 mod hierarchy;
+mod packed;
 mod replacement;
 mod sim;
 
 pub use ciip::{Ciip, OverlapContribution};
 pub use geometry::{CacheGeometry, GeometryError, MemoryBlock, SetIndex};
 pub use hierarchy::{CacheHierarchy, HierarchyError, LevelOutcome};
+pub use packed::PackedFootprint;
 pub use replacement::ReplacementPolicy;
 pub use sim::{AccessOutcome, CacheSim, CacheSnapshot, CacheStats};

@@ -205,6 +205,53 @@ proptest! {
     }
 }
 
+mod packed_props {
+    use super::*;
+    use rtcache::PackedFootprint;
+
+    /// The ISSUE's differential envelope: 4–64 sets, 1–8 ways.
+    fn arb_packed_geometry() -> impl Strategy<Value = CacheGeometry> {
+        (2u32..=6, 1u32..=8, 2u32..=6).prop_map(|(set_log, ways, line_log)| {
+            CacheGeometry::new(1 << set_log, ways, 1 << line_log).expect("valid geometry")
+        })
+    }
+
+    proptest! {
+        /// The packed min-sum kernel is bit-identical to the tree-walk
+        /// Eq. 2 bound, and the packed line bound to the tree line bound,
+        /// on arbitrary footprints.
+        #[test]
+        fn packed_bound_equals_tree_bound(geom in arb_packed_geometry(),
+                                          a in arb_blocks(120), b in arb_blocks(120)) {
+            let ma = Ciip::from_blocks(geom, a.iter().map(|r| MemoryBlock::new(*r)));
+            let mb = Ciip::from_blocks(geom, b.iter().map(|r| MemoryBlock::new(*r)));
+            let pa = PackedFootprint::from_ciip(&ma).expect("ways <= 8 packs");
+            let pb = PackedFootprint::from_ciip(&mb).expect("ways <= 8 packs");
+            prop_assert_eq!(pa.overlap_bound(&pb), ma.overlap_bound(&mb));
+            prop_assert_eq!(pb.overlap_bound(&pa), mb.overlap_bound(&ma));
+            prop_assert_eq!(pa.line_bound(), ma.line_bound());
+            prop_assert_eq!(pb.line_bound(), mb.line_bound());
+        }
+
+        /// Dominance is what the skyline pruning relies on: if `a`
+        /// dominates `b`, then `S(a, mb) >= S(b, mb)` for every `mb`.
+        #[test]
+        fn dominance_implies_pointwise_bound_order(geom in arb_packed_geometry(),
+                                                   a in arb_blocks(80), grow in arb_blocks(40),
+                                                   probe in arb_blocks(80)) {
+            let small = Ciip::from_blocks(geom, a.iter().map(|r| MemoryBlock::new(*r)));
+            let big = small.union(&Ciip::from_blocks(geom, grow.iter().map(|r| MemoryBlock::new(*r))));
+            let p_small = PackedFootprint::from_ciip(&small).expect("packs");
+            let p_big = PackedFootprint::from_ciip(&big).expect("packs");
+            prop_assert!(p_big.dominates(&p_small), "a superset footprint dominates");
+            let mb = PackedFootprint::from_ciip(
+                &Ciip::from_blocks(geom, probe.iter().map(|r| MemoryBlock::new(*r)))
+            ).expect("packs");
+            prop_assert!(p_big.overlap_bound(&mb) >= p_small.overlap_bound(&mb));
+        }
+    }
+}
+
 mod hierarchy_props {
     use super::*;
     use rtcache::{CacheHierarchy, LevelOutcome};

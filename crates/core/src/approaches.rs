@@ -91,18 +91,33 @@ pub fn reload_lines_with(
         "tasks analyzed under different cache geometries"
     );
     match approach {
-        CrpdApproach::AllPreemptingLines => preempting.all_blocks().line_bound(),
-        CrpdApproach::InterTask => preempted.all_blocks().overlap_bound(preempting.all_blocks()),
+        CrpdApproach::AllPreemptingLines => match preempting.all_blocks_packed() {
+            // The packed artifact carries the line bound as a field.
+            Some(packed) => packed.line_bound(),
+            None => preempting.all_blocks().line_bound(),
+        },
+        CrpdApproach::InterTask => {
+            match (preempted.all_blocks_packed(), preempting.all_blocks_packed()) {
+                // The tree path also records per-set contributions into an
+                // installed recorder; keep it when one is listening so the
+                // overlap counters stay as rich as before.
+                (Some(a), Some(b)) if !rtobs::enabled() => a.overlap_bound(b),
+                _ => preempted.all_blocks().overlap_bound(preempting.all_blocks()),
+            }
+        }
         CrpdApproach::UsefulBlocks => match method {
             UsefulMethod::TraceExact => preempted.useful_line_bound(),
             UsefulMethod::Dataflow(df) => df.max_line_bound(),
         },
         CrpdApproach::Combined => {
-            let per_path = |mb: &rtcache::Ciip| match method {
-                UsefulMethod::TraceExact => preempted.max_useful_overlap(mb),
-                UsefulMethod::Dataflow(df) => df.max_overlap_bound(mb),
+            let per_path = |p: &crate::task::AnalyzedPath| match method {
+                UsefulMethod::TraceExact => match p.packed.as_ref() {
+                    Some(mb) => preempted.max_useful_overlap_packed(mb),
+                    None => preempted.max_useful_overlap(&p.blocks),
+                },
+                UsefulMethod::Dataflow(df) => df.max_overlap_bound(&p.blocks),
             };
-            preempting.paths().iter().map(|p| per_path(&p.blocks)).max().unwrap_or(0)
+            preempting.paths().iter().map(per_path).max().unwrap_or(0)
         }
     }
 }
@@ -130,22 +145,32 @@ pub fn combined_overlap_breakdown(
         preempting.geometry(),
         "tasks analyzed under different cache geometries"
     );
-    let mut best: Option<(usize, &crate::task::AnalyzedPath, usize, &rtcache::Ciip)> = None;
+    type Pair<'a> = (usize, &'a crate::task::AnalyzedPath, &'a crate::task::AnalyzedPath);
+    let mut best: Option<Pair<'_>> = None;
     for preempting_path in preempting.paths() {
         for own in preempted.paths() {
-            let (bound, pos) = own.trace.max_overlap_bound(&preempting_path.blocks);
+            // Pair selection runs on the packed kernel (same bound values
+            // as the sweep); only the winning pair re-runs exactly below.
+            let bound = match preempting_path.packed.as_ref() {
+                Some(mb) => own.trace.max_packed_overlap(mb),
+                None => own.trace.max_overlap_bound(&preempting_path.blocks).0,
+            };
             // Strict `>` keeps the first maximum in path order, so the
             // result is deterministic.
             if best.is_none_or(|(b, ..)| bound > b) {
-                best = Some((bound, own, pos, &preempting_path.blocks));
+                best = Some((bound, own, preempting_path));
             }
         }
     }
-    let Some((bound, own, pos, mb)) = best else { return Vec::new() };
+    let Some((bound, own, preempting_path)) = best else { return Vec::new() };
     if bound == 0 {
         return Vec::new();
     }
-    let mut contributions = own.trace.useful_at(pos).overlap_contributions(mb);
+    // The skyline discards execution points, so the exact sweep recovers
+    // the maximizing position — for one pair instead of all of them —
+    // keeping the per-set attribution bit-identical to the tree path.
+    let (_, pos) = own.trace.max_overlap_bound(&preempting_path.blocks);
+    let mut contributions = own.trace.useful_at(pos).overlap_contributions(&preempting_path.blocks);
     contributions.sort_by_key(|c| (std::cmp::Reverse(c.lines), c.set));
     contributions
 }
@@ -431,6 +456,77 @@ mod tests {
         assert_eq!((cache.misses(), cache.len()), (2, 2));
         // …and the cached matrix matches the uncached one byte-for-byte.
         assert_eq!(CrpdMatrix::compute(CrpdApproach::Combined, &tasks), m1);
+    }
+
+    /// The pre-PackedFootprint formulation of every approach, straight
+    /// off the tree-structured artifacts — the reference side of the
+    /// packed/tree differential tests.
+    fn tree_reload_lines(
+        approach: CrpdApproach,
+        preempted: &AnalyzedTask,
+        preempting: &AnalyzedTask,
+    ) -> usize {
+        match approach {
+            CrpdApproach::AllPreemptingLines => preempting.all_blocks().line_bound(),
+            CrpdApproach::InterTask => {
+                preempted.all_blocks().overlap_bound(preempting.all_blocks())
+            }
+            CrpdApproach::UsefulBlocks => {
+                preempted.paths().iter().map(|p| p.trace.max_line_bound().0).max().unwrap_or(0)
+            }
+            CrpdApproach::Combined => preempting
+                .paths()
+                .iter()
+                .map(|pp| {
+                    preempted
+                        .paths()
+                        .iter()
+                        .map(|own| own.trace.max_overlap_bound(&pp.blocks).0)
+                        .max()
+                        .unwrap_or(0)
+                })
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    #[test]
+    fn packed_pipeline_matches_tree_reference_on_workload_suite() {
+        let tasks = [
+            analyze(&rtworkloads::adpcm_decoder(), 1),
+            analyze(&rtworkloads::edge_detection_with_dim(10), 3),
+            analyze(&rtworkloads::mobile_robot(), 2),
+            analyze(&rtworkloads::ofdm_transmitter_with_points(16), 4),
+        ];
+        for preempted in &tasks {
+            for preempting in &tasks {
+                for approach in CrpdApproach::ALL {
+                    assert_eq!(
+                        reload_lines(approach, preempted, preempting),
+                        tree_reload_lines(approach, preempted, preempting),
+                        "{approach}: {} <- {}",
+                        preempted.name(),
+                        preempting.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reload_lines_is_unchanged_by_an_installed_recorder() {
+        // The recorder-on path takes the tree kernel (for per-set
+        // counters) while the recorder-off path takes the packed kernel,
+        // so this doubles as a packed/tree differential check.
+        let _serial = crate::obs_test_lock();
+        let (ed, mr) = small_pair();
+        let plain: Vec<usize> =
+            CrpdApproach::ALL.iter().map(|a| reload_lines(*a, &ed, &mr)).collect();
+        let session = rtobs::begin();
+        let recorded: Vec<usize> =
+            CrpdApproach::ALL.iter().map(|a| reload_lines(*a, &ed, &mr)).collect();
+        drop(session);
+        assert_eq!(plain, recorded);
     }
 
     #[test]

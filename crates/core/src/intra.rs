@@ -23,13 +23,51 @@
 //!   fidelity to \[21\] and for tightness ablations.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use rtcache::{CacheGeometry, CacheSim, Ciip, MemoryBlock, SetIndex};
+use rtcache::{CacheGeometry, CacheSim, Ciip, MemoryBlock, PackedFootprint, SetIndex};
 use rtprogram::cfg::{BlockId, Cfg};
 use rtprogram::sim::Trace;
 use rtprogram::Program;
 
 use crate::AnalysisError;
+
+/// Process-wide skyline pruning totals, independent of any `rtobs`
+/// session so that long-running servers can expose pruning
+/// effectiveness without an ambient recorder. Write-only from analysis
+/// code; read by [`skyline_stats`].
+static SKYLINE_KEPT: AtomicU64 = AtomicU64::new(0);
+static SKYLINE_PRUNED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(kept, pruned)` totals over every useful-trace skyline
+/// built since startup (the `ciip_pack` stage). Monotonic counters for
+/// metrics exposition; never read back by the analysis itself.
+pub fn skyline_stats() -> (u64, u64) {
+    (SKYLINE_KEPT.load(Ordering::Relaxed), SKYLINE_PRUNED.load(Ordering::Relaxed))
+}
+
+/// Safety valve for pathological traces: beyond this many surviving
+/// Pareto points the skyline is abandoned (the exact sweep remains as
+/// fallback) so construction cost stays bounded.
+const MAX_SKYLINE_POINTS: usize = 1024;
+
+/// Upper bound on candidate peaks examined before giving up, bounding
+/// worst-case build cost at `MAX_SKYLINE_CANDIDATES * MAX_SKYLINE_POINTS`
+/// byte-vector comparisons.
+const MAX_SKYLINE_CANDIDATES: usize = 1 << 16;
+
+/// The dominance-pruned Pareto front of a trace's per-point saturated
+/// useful-count vectors: every execution point's packed vector is
+/// element-wise `<=` some retained point, so maximizing any monotone
+/// per-set objective (Eq. 3's `S(useful(t), Mb)` for *every* preemptor
+/// `Mb`) over the retained points equals maximizing over all points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Skyline {
+    /// Pareto-maximal packed vectors, in (deterministic) build order.
+    points: Vec<PackedFootprint>,
+    /// Candidate peaks the build examined, including pruned ones.
+    candidates: usize,
+}
 
 /// A memory trace reduced to block granularity with per-access hit flags
 /// from a cold-cache LRU simulation.
@@ -38,6 +76,11 @@ pub struct UsefulTrace {
     geometry: CacheGeometry,
     /// `(block, next-run-is-hit)` per access, in program order.
     accesses: Vec<(MemoryBlock, bool)>,
+    /// Dominance-pruned packed vectors for the fast Eq. 3 maximum;
+    /// `None` when the geometry does not pack (`L > 255`) or the trace
+    /// blew the skyline size caps — callers fall back to the exact
+    /// sweep. A deterministic function of `(geometry, accesses)`.
+    skyline: Option<Skyline>,
 }
 
 impl UsefulTrace {
@@ -56,7 +99,97 @@ impl UsefulTrace {
             })
             .collect();
         cache.flush_set_stats();
-        UsefulTrace { geometry, accesses }
+        let mut trace = UsefulTrace { geometry, accesses, skyline: None };
+        trace.skyline = trace.build_skyline();
+        trace
+    }
+
+    /// Builds the dominance-pruned skyline of the trace's per-point
+    /// saturated useful-count vectors in one extra backward sweep.
+    ///
+    /// Only "peaks" — vectors about to lose a line, plus the final state
+    /// — are candidates: between two peaks the vector only grows, so
+    /// every interior point is dominated by the peak that follows it in
+    /// sweep order. Each candidate is then checked against the retained
+    /// front (with a line-bound-sum prefilter) and dominated retained
+    /// points are evicted in turn.
+    fn build_skyline(&self) -> Option<Skyline> {
+        let _span = rtobs::span("ciip_pack");
+        let ways = usize::try_from(self.geometry.ways()).ok().filter(|w| *w <= 255)?;
+        let mut current = vec![0u8; self.geometry.sets() as usize];
+        let mut sum = 0usize;
+        // `true` while `current` has grown since the last emitted peak.
+        let mut dirty = false;
+        let mut candidates = 0usize;
+        let mut points: Vec<PackedFootprint> = Vec::new();
+        // Line bounds of `points`, kept alongside as the cheap dominance
+        // prefilter (element-wise dominance implies sum dominance).
+        let mut sums: Vec<usize> = Vec::new();
+        let mut overflow = false;
+        let mut emit = |current: &[u8], sum: usize, candidates: &mut usize| {
+            *candidates += 1;
+            if *candidates > MAX_SKYLINE_CANDIDATES {
+                return false;
+            }
+            let dominated = points.iter().zip(&sums).any(|(p, s)| {
+                *s >= sum && p.counts().iter().zip(current).all(|(have, new)| have >= new)
+            });
+            if dominated {
+                return true;
+            }
+            let mut i = 0;
+            while i < points.len() {
+                let beaten = sums[i] <= sum
+                    && points[i].counts().iter().zip(current).all(|(have, new)| have <= new);
+                if beaten {
+                    points.swap_remove(i);
+                    sums.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            let indexed =
+                current.iter().enumerate().map(|(r, c)| (SetIndex::new(r as u32), *c as usize));
+            points.push(
+                PackedFootprint::from_counts(self.geometry, indexed)
+                    .expect("ways checked to fit u8 above"),
+            );
+            sums.push(sum);
+            points.len() <= MAX_SKYLINE_POINTS
+        };
+        self.sweep(|_pos, set, old, new| {
+            if overflow {
+                return;
+            }
+            let sold = old.min(ways);
+            let snew = new.min(ways);
+            if snew == sold {
+                return;
+            }
+            if snew > sold {
+                dirty = true;
+            } else if dirty {
+                // About to shrink a grown vector: it is a Pareto peak.
+                overflow = !emit(&current, sum, &mut candidates);
+                dirty = false;
+            }
+            current[set.as_usize()] = snew as u8;
+            sum = sum + snew - sold;
+        });
+        if !overflow && dirty {
+            overflow = !emit(&current, sum, &mut candidates);
+        }
+        if overflow {
+            return None;
+        }
+        let kept = points.len();
+        let pruned = candidates - kept;
+        SKYLINE_KEPT.fetch_add(kept as u64, Ordering::Relaxed);
+        SKYLINE_PRUNED.fetch_add(pruned as u64, Ordering::Relaxed);
+        if rtobs::enabled() {
+            rtobs::record_skyline_points(kept as u64, pruned as u64);
+        }
+        Some(Skyline { points, candidates })
     }
 
     /// The geometry the trace was simulated under.
@@ -147,6 +280,50 @@ impl UsefulTrace {
             }
         });
         best
+    }
+
+    /// The maximum Eq. 3/4 bound `max_t S(useful(t), mb)` against a
+    /// packed preempting footprint — identical to
+    /// [`UsefulTrace::max_overlap_bound`]`.0` for the footprint `mb` was
+    /// packed from, but evaluated over the dominance-pruned skyline
+    /// instead of the full backward sweep. Traces without a skyline (the
+    /// build blew its size caps) run the exact sweep against `mb`'s
+    /// saturated per-set counts, which is all the sweep ever reads.
+    ///
+    /// Note the skyline carries no execution points: callers needing the
+    /// maximizing *position* (per-set attribution, MUMBS extraction) must
+    /// use [`UsefulTrace::max_overlap_bound`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb` was packed for a different geometry.
+    pub fn max_packed_overlap(&self, mb: &PackedFootprint) -> usize {
+        assert_eq!(self.geometry, mb.geometry(), "geometry mismatch");
+        if let Some(skyline) = &self.skyline {
+            return skyline.points.iter().map(|p| p.overlap_bound(mb)).max().unwrap_or(0);
+        }
+        // Exact fallback: same arithmetic as `max_overlap_bound`, whose
+        // per-set limit `min(|m̂b,r|, L)` is exactly `mb`'s stored count.
+        let mut total = 0usize;
+        let mut best = 0usize;
+        self.sweep(|_pos, set, old, new| {
+            let limit = mb.count(set) as usize;
+            total = total - old.min(limit) + new.min(limit);
+            best = best.max(total);
+        });
+        best
+    }
+
+    /// Number of Pareto-maximal points the skyline retained, if one was
+    /// built.
+    pub fn skyline_kept(&self) -> Option<usize> {
+        self.skyline.as_ref().map(|s| s.points.len())
+    }
+
+    /// Number of candidate peaks the skyline build examined (kept +
+    /// pruned), if one was built.
+    pub fn skyline_candidates(&self) -> Option<usize> {
+        self.skyline.as_ref().map(|s| s.candidates)
     }
 
     /// Materializes the useful-block set at execution point `pos` (just
@@ -473,6 +650,58 @@ mod tests {
         let t = UsefulTrace::from_trace(&trace_of(&blocks, g), g);
         let mb = Ciip::from_blocks(g, (0..20u64).map(MemoryBlock::new));
         assert!(t.max_overlap_bound(&mb).0 <= t.max_line_bound().0);
+    }
+
+    #[test]
+    fn skyline_matches_exact_overlap_on_many_footprints() {
+        let g = geom(8, 2);
+        // A trace with interleaved reuse so the useful set rises and falls.
+        let blocks: Vec<u64> = (0..60).map(|i| (i * 13 + i / 7) % 24).collect();
+        let t = UsefulTrace::from_trace(&trace_of(&blocks, g), g);
+        assert!(t.skyline_kept().is_some(), "small geometry must pack");
+        for seed in 0..16u64 {
+            let mb = Ciip::from_blocks(g, (0..10).map(|i| MemoryBlock::new((i * seed + i) % 32)));
+            let packed = PackedFootprint::from_ciip(&mb).unwrap();
+            assert_eq!(t.max_packed_overlap(&packed), t.max_overlap_bound(&mb).0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn skyline_prunes_monotone_traces_to_one_point() {
+        // A B A B ...: the useful set only grows during the backward
+        // sweep, so a single Pareto peak covers every execution point.
+        let g = geom(1, 2);
+        let t = UsefulTrace::from_trace(&trace_of(&[0, 1, 0, 1, 0, 1], g), g);
+        assert_eq!(t.skyline_kept(), Some(1));
+        assert!(t.skyline_candidates().unwrap() >= 1);
+        let ciip = Ciip::from_blocks(g, [MemoryBlock::new(7)]);
+        let mb = PackedFootprint::from_ciip(&ciip).unwrap();
+        assert_eq!(t.max_packed_overlap(&mb), t.max_overlap_bound(&ciip).0);
+    }
+
+    #[test]
+    fn empty_and_useless_traces_have_empty_skylines() {
+        let g = geom(4, 2);
+        let empty = UsefulTrace::from_trace(&trace_of(&[], g), g);
+        assert_eq!(empty.skyline_kept(), Some(0));
+        let mb = PackedFootprint::from_ciip(&Ciip::from_blocks(g, [MemoryBlock::new(0)])).unwrap();
+        assert_eq!(empty.max_packed_overlap(&mb), 0);
+        // All-miss thrashing: nothing useful, no peaks.
+        let thrash = UsefulTrace::from_trace(&trace_of(&[0, 4, 8, 0, 4, 8], g), g);
+        assert_eq!(thrash.skyline_kept(), Some(0));
+        assert_eq!(thrash.max_packed_overlap(&mb), 0);
+    }
+
+    #[test]
+    fn skyline_stats_accumulate() {
+        let before = skyline_stats();
+        let g = geom(8, 2);
+        let blocks: Vec<u64> = (0..40).map(|i| (i * 7) % 12).collect();
+        let t = UsefulTrace::from_trace(&trace_of(&blocks, g), g);
+        let after = skyline_stats();
+        assert!(after.0 >= before.0 + t.skyline_kept().unwrap() as u64);
+        let expect_pruned = (t.skyline_candidates().unwrap() - t.skyline_kept().unwrap()) as u64;
+        assert!(after.1 >= before.1 + expect_pruned);
     }
 
     #[test]

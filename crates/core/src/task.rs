@@ -16,7 +16,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use rtcache::{CacheGeometry, Ciip};
+use rtcache::{CacheGeometry, Ciip, PackedFootprint};
 use rtprogram::Program;
 use rtwcet::{estimate_wcet, TimingModel};
 
@@ -110,6 +110,9 @@ pub struct AnalyzedProgram {
     paths: Vec<AnalyzedPath>,
     /// Union footprint over all paths (`Ma`).
     all_blocks: Ciip,
+    /// `all_blocks` packed for the dense Eq. 2 kernel; `None` only when
+    /// the geometry does not pack (`L > 255`).
+    all_packed: Option<PackedFootprint>,
 }
 
 /// One feasible path's artifacts.
@@ -121,6 +124,9 @@ pub struct AnalyzedPath {
     pub trace: UsefulTrace,
     /// The path's footprint (`M^k` in §VI).
     pub blocks: Ciip,
+    /// `blocks` packed for the dense Eq. 3 kernel; `None` only when the
+    /// geometry does not pack (`L > 255`).
+    pub packed: Option<PackedFootprint>,
 }
 
 impl AnalyzedProgram {
@@ -160,7 +166,8 @@ impl AnalyzedProgram {
                         })?;
                     let trace = UsefulTrace::from_trace(&trace, geometry);
                     let blocks = trace.all_blocks();
-                    Ok(AnalyzedPath { name: variant.name.clone(), trace, blocks })
+                    let packed = PackedFootprint::from_ciip(&blocks);
+                    Ok(AnalyzedPath { name: variant.name.clone(), trace, blocks, packed })
                 })
             },
         );
@@ -173,6 +180,10 @@ impl AnalyzedProgram {
             all_blocks = all_blocks.union(&path.blocks);
             paths.push(path);
         }
+        let all_packed = {
+            let _pack = rtobs::span_labeled("ciip_pack", || program.name().to_string());
+            PackedFootprint::from_ciip(&all_blocks)
+        };
         drop(ciip_span);
         Ok(AnalyzedProgram {
             name: program.name().to_string(),
@@ -182,6 +193,7 @@ impl AnalyzedProgram {
             fingerprint: program_fingerprint(program, geometry, model),
             paths,
             all_blocks,
+            all_packed,
         })
     }
 
@@ -223,6 +235,12 @@ impl AnalyzedProgram {
         &self.all_blocks
     }
 
+    /// The union footprint packed for the dense Eq. 2 kernel, when the
+    /// geometry packs (`L <= 255`). Built once at analysis time.
+    pub fn all_blocks_packed(&self) -> Option<&PackedFootprint> {
+        self.all_packed.as_ref()
+    }
+
     /// Approach 3's per-task reload count: the maximum over feasible paths
     /// and execution points of `Σ_r min(|useful_r|, L)` (Definition 4
     /// evaluated per path).
@@ -245,9 +263,31 @@ impl AnalyzedProgram {
     /// The combined bound of §V–VI against a preempting footprint `mb`:
     /// maximum over this program's paths and execution points of
     /// `S(useful(t), mb)`.
+    ///
+    /// Packs `mb` once and searches each path's dominance-pruned skyline
+    /// when available; traces without a skyline fall back to the exact
+    /// backward sweep. The result is identical either way.
     pub fn max_useful_overlap(&self, mb: &Ciip) -> usize {
+        match PackedFootprint::from_ciip(mb) {
+            Some(packed) => self.max_useful_overlap_packed(&packed),
+            None => {
+                let _span = rtobs::span_labeled("mumbs", || format!("{}: overlap", self.name));
+                self.paths.iter().map(|p| p.trace.max_overlap_bound(mb).0).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// [`AnalyzedProgram::max_useful_overlap`] against an already-packed
+    /// preempting footprint, skipping the per-call packing — the hot form
+    /// used by the Approach 4 matrix loop, where the preemptor's per-path
+    /// footprints are packed once at analysis time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb` was packed for a different geometry.
+    pub fn max_useful_overlap_packed(&self, mb: &PackedFootprint) -> usize {
         let _span = rtobs::span_labeled("mumbs", || format!("{}: overlap", self.name));
-        self.paths.iter().map(|p| p.trace.max_overlap_bound(mb).0).max().unwrap_or(0)
+        self.paths.iter().map(|p| p.trace.max_packed_overlap(mb)).max().unwrap_or(0)
     }
 }
 
@@ -329,6 +369,12 @@ impl AnalyzedTask {
         self.program.all_blocks()
     }
 
+    /// The union footprint packed for the dense Eq. 2 kernel, when the
+    /// geometry packs (`L <= 255`).
+    pub fn all_blocks_packed(&self) -> Option<&PackedFootprint> {
+        self.program.all_blocks_packed()
+    }
+
     /// Approach 3's per-task reload count: the maximum over feasible paths
     /// and execution points of `Σ_r min(|useful_r|, L)` (Definition 4
     /// evaluated per path).
@@ -347,6 +393,16 @@ impl AnalyzedTask {
     /// `S(useful(t), mb)`.
     pub fn max_useful_overlap(&self, mb: &Ciip) -> usize {
         self.program.max_useful_overlap(mb)
+    }
+
+    /// [`AnalyzedTask::max_useful_overlap`] against an already-packed
+    /// preempting footprint (no per-call packing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb` was packed for a different geometry.
+    pub fn max_useful_overlap_packed(&self, mb: &PackedFootprint) -> usize {
+        self.program.max_useful_overlap_packed(mb)
     }
 }
 

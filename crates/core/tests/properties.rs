@@ -70,6 +70,23 @@ proptest! {
         prop_assert_eq!(t.max_overlap_bound(&Ciip::empty(geom)).0, 0);
     }
 
+    /// Skyline pruning never changes the Eq. 3 maximum: the packed
+    /// skyline search returns exactly `max_overlap_bound` for arbitrary
+    /// traces and preemptor footprints (the tentpole's equivalence
+    /// contract), and the pruned front is never larger than what it
+    /// pruned from.
+    #[test]
+    fn skyline_preserves_max_overlap_bound(geom in arb_geometry(),
+                                           blocks in prop::collection::vec(0u64..96, 1..300),
+                                           mb in prop::collection::vec(0u64..96, 0..80)) {
+        let t = UsefulTrace::from_trace(&trace_of(&blocks, geom), geom);
+        prop_assert!(t.skyline_kept().is_some(), "small geometries always build a skyline");
+        prop_assert!(t.skyline_kept() <= t.skyline_candidates());
+        let ciip = Ciip::from_blocks(geom, mb.iter().map(|b| MemoryBlock::new(*b)));
+        let packed = rtcache::PackedFootprint::from_ciip(&ciip).expect("ways <= 4 packs");
+        prop_assert_eq!(t.max_packed_overlap(&packed), t.max_overlap_bound(&ciip).0);
+    }
+
     /// A single-pass (no-reuse) trace has no useful blocks at all.
     #[test]
     fn streaming_traces_have_no_useful_blocks(geom in arb_geometry(), len in 1usize..200) {

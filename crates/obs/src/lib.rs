@@ -175,6 +175,17 @@ pub struct OverlapTally {
     pub capped_by_ways: u64,
 }
 
+/// Tally of useful-trace skyline pruning: how many candidate Pareto
+/// points the packed-footprint builds saw, and how many survived
+/// dominance pruning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkylineTally {
+    /// Pareto-maximal points kept across all skyline builds.
+    pub kept: u64,
+    /// Candidate points discarded as dominated.
+    pub pruned: u64,
+}
+
 /// Hit/miss tallies of one content-addressed artifact-cache stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageLookupTally {
@@ -206,6 +217,9 @@ pub struct Counters {
     /// Artifact-cache lookups keyed by pipeline stage (`"assemble"`,
     /// `"analyze"`, `"crpd_cell"`, …): stage hits vs. recomputes.
     pub stage_lookups: BTreeMap<&'static str, StageLookupTally>,
+    /// Useful-trace skyline pruning effectiveness across all packed
+    /// footprint builds (`ciip_pack` stage).
+    pub skyline: SkylineTally,
 }
 
 /// Thread-safe store for spans and counters. Created by [`begin`];
@@ -370,7 +384,11 @@ fn write_counters_json(out: &mut String, counters: &Counters) {
             tally.misses
         );
     }
-    out.push_str("]}");
+    let _ = write!(
+        out,
+        "],\"skyline\":{{\"kept\":{},\"pruned\":{}}}}}",
+        counters.skyline.kept, counters.skyline.pruned
+    );
 }
 
 /// Minimal JSON string escaping (control characters, quotes, backslash).
@@ -498,6 +516,16 @@ pub fn record_wcrt_iterations(context: &str, task: usize, values: &[u64]) {
     inner.counters.wcrt_iterations.insert((context.to_string(), task), values.to_vec());
 }
 
+/// Records the outcome of one useful-trace skyline build: how many
+/// Pareto-maximal points were kept and how many candidates were pruned
+/// as dominated.
+pub fn record_skyline_points(kept: u64, pruned: u64) {
+    let Some(recorder) = active() else { return };
+    let mut inner = recorder.lock();
+    inner.counters.skyline.kept += kept;
+    inner.counters.skyline.pruned += pruned;
+}
+
 /// Records one lookup against a content-addressed pipeline-stage cache:
 /// `hit` means the artifact was reused, `!hit` means the stage re-ran.
 pub fn record_stage_lookup(stage: &'static str, hit: bool) {
@@ -617,6 +645,19 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("{\"stage\":\"crpd_cell\",\"hits\":0,\"misses\":1}"), "{json}");
+    }
+
+    #[test]
+    fn skyline_tallies_accumulate_and_render() {
+        let _serial = test_lock();
+        record_skyline_points(5, 100); // silently dropped: no session
+        let session = begin();
+        record_skyline_points(3, 40);
+        record_skyline_points(2, 10);
+        let counters = session.recorder().counters();
+        assert_eq!(counters.skyline, SkylineTally { kept: 5, pruned: 50 });
+        let json = session.recorder().chrome_trace_json();
+        assert!(json.contains("\"skyline\":{\"kept\":5,\"pruned\":50}"), "{json}");
     }
 
     #[test]

@@ -229,6 +229,17 @@ impl Metrics {
             "Work items stolen by background pool workers.",
             pool.items_stolen,
         );
+        let (skyline_kept, skyline_pruned) = crpd::skyline_stats();
+        counter(
+            "rtserver_skyline_points_kept_total",
+            "Pareto-maximal useful-footprint points kept by skyline pruning.",
+            skyline_kept,
+        );
+        counter(
+            "rtserver_skyline_points_pruned_total",
+            "Dominated useful-footprint points discarded by skyline pruning.",
+            skyline_pruned,
+        );
         // Per-stage DAG counters, labelled by pipeline stage.
         let stages = store.stage_stats();
         for (name, help, value) in [
@@ -392,6 +403,8 @@ mod tests {
             "rtserver_stage_cache_misses_total",
             "rtserver_stage_cache_entries",
             "rtserver_stage_single_flight_waits_total",
+            "rtserver_skyline_points_kept_total",
+            "rtserver_skyline_points_pruned_total",
         ] {
             assert!(text.contains(&format!("# HELP {family} ")), "missing HELP for {family}");
             assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
