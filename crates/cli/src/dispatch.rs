@@ -11,21 +11,28 @@ use crate::{
 };
 
 /// The usage line printed on bad invocations and `--help`.
-pub const USAGE: &str = "trisc <asm|disasm|run|wcet|footprint|crpd|wcrt|sim|serve> ... \
-     (wcrt/crpd take --trace-out TRACE.json; wcrt takes --explain)";
+pub const USAGE: &str = "trisc <asm|disasm|run|wcet|footprint|crpd|wcrt|sim|explore|serve> ... \
+     (wcrt/crpd/explore take --trace-out TRACE.json; wcrt takes --explain)";
 
 /// A fully parsed `trisc` invocation.
 ///
 /// Most subcommands run to completion inside [`parse`] and yield their
-/// output text; `serve` cannot (the daemon lives in the `rtserver` crate,
-/// which depends on this one), so it is returned as data for the binary
-/// to act on.
+/// output text; `serve` and `explore` cannot (the daemon and the sweep
+/// engine live in crates that depend on this one), so they are returned
+/// as data for the binary to act on.
 #[derive(Debug)]
 pub enum Invocation {
     /// A one-shot command that already ran; print this and exit.
     Output(String),
     /// `trisc serve`: start the analysis daemon with these options.
     Serve(ServeOptions),
+    /// `trisc explore GRID`: run a design-space sweep over the grid file.
+    Explore {
+        /// Path to the grid file declaring the swept axes.
+        grid: String,
+        /// Chrome-trace output path from `--trace-out`, if given.
+        trace_out: Option<String>,
+    },
 }
 
 /// Parses one `trisc` invocation (`args` excludes the program name),
@@ -45,6 +52,14 @@ pub fn parse(mut args: Vec<String>) -> Result<Invocation, CliError> {
             )));
         }
         return Ok(Invocation::Serve(opts));
+    }
+    if args.first().map(String::as_str) == Some("explore") {
+        args.remove(0);
+        let trace_out = take_flag_value(&mut args, "--trace-out")?;
+        let [grid] = args.as_slice() else {
+            return Err(CliError::Usage("trisc explore GRID [--trace-out TRACE.json]".into()));
+        };
+        return Ok(Invocation::Explore { grid: grid.clone(), trace_out });
     }
     dispatch(args).map(Invocation::Output)
 }
@@ -191,6 +206,9 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
         "serve" => {
             Err(CliError::Usage("serve is long-running; use `parse` and the rtserver crate".into()))
         }
+        "explore" => Err(CliError::Usage(
+            "explore runs in the rtexplore crate; use `parse` and the trisc binary".into(),
+        )),
         other => Err(CliError::Usage(format!("unknown command `{other}`; {USAGE}"))),
     }
 }
@@ -319,6 +337,29 @@ mod tests {
         assert!(matches!(parse(argv(&["serve", "leftover"])), Err(CliError::Usage(_))));
         // `dispatch` itself points serve users at the daemon crate.
         assert!(matches!(dispatch(argv(&["serve"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_recognizes_explore() {
+        match parse(argv(&["explore", "sweep.grid"])).unwrap() {
+            Invocation::Explore { grid, trace_out } => {
+                assert_eq!(grid, "sweep.grid");
+                assert_eq!(trace_out, None);
+            }
+            other => panic!("expected Explore, got {other:?}"),
+        }
+        match parse(argv(&["explore", "--trace-out", "t.json", "sweep.grid"])).unwrap() {
+            Invocation::Explore { grid, trace_out } => {
+                assert_eq!(grid, "sweep.grid");
+                assert_eq!(trace_out.as_deref(), Some("t.json"));
+            }
+            other => panic!("expected Explore, got {other:?}"),
+        }
+        // Missing or extra operands are usage errors.
+        assert!(matches!(parse(argv(&["explore"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse(argv(&["explore", "a.grid", "b.grid"])), Err(CliError::Usage(_))));
+        // `dispatch` itself points explore users at the sweep crate.
+        assert!(matches!(dispatch(argv(&["explore"])), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -537,6 +537,49 @@ mod tests {
     }
 
     #[test]
+    fn unpackable_geometry_falls_back_to_the_tree_walk() {
+        // A 300-way geometry cannot pack (saturated counts exceed a byte),
+        // so `PackedFootprint::from_ciip` declines and every approach must
+        // take the exact tree-structured path. The packed/tree parity
+        // check degenerates gracefully: there is no packed side, and the
+        // tree side still agrees with the reference formulation.
+        use rtworkloads::synthetic::{synthetic_task, SyntheticSpec};
+        let g = CacheGeometry::new(4, 300, 16).unwrap();
+        assert!(g.ways() > 255, "the fallback only triggers for L > 255");
+        let mk = |name: &str, prio: u32, code: u64, data: u64| {
+            let mut s = SyntheticSpec::new(name, code, data);
+            s.data_words = 128;
+            AnalyzedTask::analyze(
+                &synthetic_task(&s),
+                TaskParams { period: 1_000_000 * u64::from(prio), priority: prio },
+                g,
+                TimingModel::default(),
+            )
+            .unwrap()
+        };
+        let lo = mk("wide-lo", 2, 0x0001_0000, 0x0010_0000);
+        let hi = mk("wide-hi", 1, 0x0001_4000, 0x0010_4000);
+        // No artifact packed: union and per-path footprints all fell back.
+        for t in [&lo, &hi] {
+            assert!(t.all_blocks_packed().is_none(), "{}: L > 255 must not pack", t.name());
+            assert!(t.paths().iter().all(|p| p.packed.is_none()));
+        }
+        for approach in CrpdApproach::ALL {
+            let bound = reload_lines(approach, &lo, &hi);
+            assert_eq!(
+                bound,
+                tree_reload_lines(approach, &lo, &hi),
+                "{approach}: tree fallback must match the reference formulation"
+            );
+            assert_eq!(bound, reload_lines(approach, &lo, &hi), "fallback is deterministic");
+        }
+        // The tightest bound ordering holds on the fallback path too.
+        let a4 = reload_lines(CrpdApproach::Combined, &lo, &hi);
+        assert!(a4 <= reload_lines(CrpdApproach::InterTask, &lo, &hi));
+        assert!(a4 <= reload_lines(CrpdApproach::UsefulBlocks, &lo, &hi));
+    }
+
+    #[test]
     fn disjoint_tasks_have_zero_combined_cost() {
         // Build two synthetic tasks whose data AND code live in disjoint
         // index ranges; approaches 2 and 4 must report zero (the paper's

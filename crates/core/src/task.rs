@@ -328,6 +328,28 @@ impl AnalyzedTask {
         AnalyzedTask { program: Arc::clone(&self.program), params }
     }
 
+    /// Binds one parameter set per artifact in index order — the batch
+    /// entry point for parameter sweeps, where a sweep point supplies a
+    /// fresh `TaskParams` vector over the same cached
+    /// [`AnalyzedProgram`]s. O(n) `Arc` clones; no pipeline stage
+    /// re-runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn bind_all(programs: &[Arc<AnalyzedProgram>], params: &[TaskParams]) -> Vec<AnalyzedTask> {
+        assert_eq!(
+            programs.len(),
+            params.len(),
+            "bind_all needs exactly one parameter set per program"
+        );
+        programs
+            .iter()
+            .zip(params)
+            .map(|(program, params)| AnalyzedTask::bind(Arc::clone(program), params.clone()))
+            .collect()
+    }
+
     /// The shared params-free analysis artifact.
     pub fn program(&self) -> &Arc<AnalyzedProgram> {
         &self.program
@@ -515,6 +537,32 @@ mod tests {
         assert_eq!(t1.wcet(), t2.wcet());
         assert_eq!(t1.fingerprint(), t2.fingerprint());
         assert_eq!(t1.params().period, 1_000_000, "the original binding is untouched");
+    }
+
+    #[test]
+    fn bind_all_shares_artifacts_in_index_order() {
+        let mr = analyze(&rtworkloads::mobile_robot());
+        let ed = analyze(&rtworkloads::edge_detection_with_dim(8));
+        let programs = vec![Arc::clone(mr.program()), Arc::clone(ed.program())];
+        let params = vec![
+            TaskParams { period: 100_000, priority: 2 },
+            TaskParams { period: 800_000, priority: 3 },
+        ];
+        let bound = AnalyzedTask::bind_all(&programs, &params);
+        assert_eq!(bound.len(), 2);
+        for (i, task) in bound.iter().enumerate() {
+            assert!(Arc::ptr_eq(task.program(), &programs[i]), "bind_all must share artifacts");
+            assert_eq!(task.params(), &params[i]);
+        }
+        assert_eq!(bound[0].name(), mr.name());
+        assert_eq!(bound[1].name(), ed.name());
+    }
+
+    #[test]
+    #[should_panic(expected = "one parameter set per program")]
+    fn bind_all_rejects_mismatched_lengths() {
+        let mr = analyze(&rtworkloads::mobile_robot());
+        AnalyzedTask::bind_all(&[Arc::clone(mr.program())], &[]);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! The streamed Pareto front over sweep-point outcomes.
+
+use crpd::WcrtResult;
+
+use crate::PointConfig;
+
+/// Everything the sweep records about one evaluated point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// The point's resolved configuration (carries the index).
+    pub config: PointConfig,
+    /// `true` when every task converged at or below its deadline under
+    /// the point's approach.
+    pub schedulable: bool,
+    /// Total task-set utilization `Σ C_i / P_i` at the point's periods.
+    pub utilization: f64,
+    /// Total cache capacity in bytes (`sets * ways * line`).
+    pub cache_bytes: u64,
+    /// Worst WCRT slack across tasks: `min_i (P_i - R_i)`, negative when
+    /// some task overruns its deadline.
+    pub min_slack: i64,
+    /// Per-task WCRT results, in task order.
+    pub wcrt: Vec<WcrtResult>,
+}
+
+impl PointOutcome {
+    /// The objective vector the Pareto dominance rule compares.
+    fn objectives(&self) -> (bool, u64, f64, i64) {
+        (self.schedulable, self.cache_bytes, self.utilization, self.min_slack)
+    }
+}
+
+/// `true` when `a` weakly dominates `b` on every objective — schedulable
+/// and slack maximized, cache bytes and utilization minimized — and
+/// strictly improves at least one.
+pub fn dominates(a: &PointOutcome, b: &PointOutcome) -> bool {
+    let (a_sched, a_bytes, a_util, a_slack) = a.objectives();
+    let (b_sched, b_bytes, b_util, b_slack) = b.objectives();
+    let weakly =
+        (a_sched || !b_sched) && a_bytes <= b_bytes && a_util <= b_util && a_slack >= b_slack;
+    weakly && ((a_sched && !b_sched) || a_bytes < b_bytes || a_util < b_util || a_slack > b_slack)
+}
+
+/// The set of non-dominated outcomes seen so far, kept in point-index
+/// order. Offering points in index order keeps the front — membership
+/// *and* ordering — independent of how the sweep was parallelized.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFront {
+    members: Vec<PointOutcome>,
+}
+
+impl ParetoFront {
+    /// Offers one outcome: rejected if any current member dominates it
+    /// (or ties it exactly — the earlier point wins), otherwise admitted
+    /// after evicting every member it dominates. Returns `true` when the
+    /// point joined the front.
+    pub fn offer(&mut self, candidate: &PointOutcome) -> bool {
+        if self
+            .members
+            .iter()
+            .any(|m| dominates(m, candidate) || m.objectives() == candidate.objectives())
+        {
+            return false;
+        }
+        self.members.retain(|m| !dominates(candidate, m));
+        // Offers arrive in index order, so pushing keeps the order.
+        self.members.push(candidate.clone());
+        true
+    }
+
+    /// The current front, in point-index order.
+    pub fn members(&self) -> &[PointOutcome] {
+        &self.members
+    }
+
+    /// Number of points on the front.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no point has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crpd::CrpdApproach;
+    use rtcache::CacheGeometry;
+
+    fn outcome(index: usize, schedulable: bool, bytes: u64, util: f64, slack: i64) -> PointOutcome {
+        PointOutcome {
+            config: PointConfig {
+                index,
+                approach: CrpdApproach::Combined,
+                geometry: CacheGeometry::new(64, 2, 16).unwrap(),
+                cmiss: 20,
+                ccs: 50,
+                period_scale: 1.0,
+                priority_rot: 0,
+            },
+            schedulable,
+            utilization: util,
+            cache_bytes: bytes,
+            min_slack: slack,
+            wcrt: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dominance_requires_weak_everywhere_and_strict_somewhere() {
+        let a = outcome(0, true, 1024, 0.5, 100);
+        let b = outcome(1, true, 2048, 0.6, 50);
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        // Equal vectors dominate in neither direction.
+        assert!(!dominates(&a, &outcome(2, true, 1024, 0.5, 100)));
+        // Trade-offs (cheaper cache vs. more slack) are incomparable.
+        let cheap = outcome(3, true, 512, 0.5, 10);
+        let roomy = outcome(4, true, 4096, 0.5, 500);
+        assert!(!dominates(&cheap, &roomy));
+        assert!(!dominates(&roomy, &cheap));
+        // Schedulability is the first-class objective.
+        assert!(dominates(&outcome(5, true, 1024, 0.5, 100), &outcome(6, false, 1024, 0.5, 100)));
+    }
+
+    #[test]
+    fn front_admits_evicts_and_preserves_index_order() {
+        let mut front = ParetoFront::default();
+        assert!(front.is_empty());
+        assert!(front.offer(&outcome(0, true, 2048, 0.6, 50)));
+        assert!(front.offer(&outcome(1, true, 512, 0.7, 10))); // cheaper: incomparable
+                                                               // Dominated by point 0: rejected.
+        assert!(!front.offer(&outcome(2, true, 4096, 0.8, 20)));
+        // An exact objective tie keeps the earlier point.
+        assert!(!front.offer(&outcome(3, true, 2048, 0.6, 50)));
+        // Dominates point 0: evicts it, front stays index-ordered.
+        assert!(front.offer(&outcome(4, true, 1024, 0.5, 100)));
+        let indices: Vec<usize> = front.members().iter().map(|m| m.config.index).collect();
+        assert_eq!(indices, [1, 4]);
+        assert_eq!(front.len(), 2);
+    }
+}

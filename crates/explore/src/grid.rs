@@ -1,0 +1,198 @@
+//! The grid file format for `trisc explore`.
+//!
+//! A grid declares the swept axes of a design-space exploration over one
+//! base system spec:
+//!
+//! ```text
+//! # sweep the paper's Experiment I system across cache shapes
+//! spec system.spec
+//! sets 64 128 256 512
+//! ways 1 2 4
+//! line 16
+//! cmiss 20 40
+//! ccs 50 376
+//! period-scale 0.5 1 2
+//! priority-rot 0 1
+//! approach all
+//! ```
+//!
+//! Every directive is optional except that the CLI path needs `spec`
+//! (the server supplies the spec inline instead). Absent axes inherit a
+//! single value from the base spec: its cache shape, `cmiss`, and `ccs`;
+//! `period-scale` defaults to `[1.0]`, `priority-rot` to `[0]`, and
+//! `approach` to `[4]` (the combined bound). The sweep enumerates the
+//! full cross product of all axes.
+
+use std::path::PathBuf;
+
+use crpd::CrpdApproach;
+use rtcli::CliError;
+
+/// A parsed grid declaration: the swept axes, each possibly empty
+/// (= inherit one value from the base spec).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Grid {
+    /// Path to the base system spec, resolved against the grid file's
+    /// directory by the CLI. `None` when the spec arrives out of band
+    /// (the server inlines it in the request).
+    pub spec: Option<PathBuf>,
+    /// Cache set counts to sweep (powers of two).
+    pub sets: Vec<u32>,
+    /// Way (associativity) counts to sweep.
+    pub ways: Vec<u32>,
+    /// Line sizes in bytes to sweep (powers of two >= 4).
+    pub line: Vec<u32>,
+    /// Cache miss penalties (`Cmiss`) in cycles to sweep.
+    pub cmiss: Vec<u64>,
+    /// Context-switch costs (`Ccs`) in cycles to sweep.
+    pub ccs: Vec<u64>,
+    /// Period scaling factors applied to every task (must be > 0).
+    pub period_scale: Vec<f64>,
+    /// Priority rotations: rotation `k` gives task `i` the base priority
+    /// of task `(i + k) mod n`, permuting — never duplicating — the
+    /// priority levels.
+    pub priority_rot: Vec<u32>,
+    /// CRPD approaches to sweep.
+    pub approach: Vec<CrpdApproach>,
+}
+
+impl Grid {
+    /// Parses grid text. `#` starts a comment; blank lines are ignored;
+    /// repeating a directive replaces its earlier value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Spec`] with the offending line for malformed
+    /// input.
+    pub fn parse(text: &str) -> Result<Grid, CliError> {
+        let mut grid = Grid::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = lineno + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = content.split_whitespace().collect();
+            let bad = |msg: String| CliError::Spec(format!("grid line {line}: {msg}"));
+            let values = &fields[1..];
+            if fields[0] != "spec" && values.is_empty() {
+                return Err(bad(format!("`{}` needs at least one value", fields[0])));
+            }
+            match fields[0] {
+                "spec" => {
+                    let [path] = values else {
+                        return Err(bad("expected `spec PATH`".into()));
+                    };
+                    grid.spec = Some(PathBuf::from(path));
+                }
+                "sets" => grid.sets = parse_list(values, "sets", line)?,
+                "ways" => grid.ways = parse_list(values, "ways", line)?,
+                "line" => grid.line = parse_list(values, "line size", line)?,
+                "cmiss" => grid.cmiss = parse_list(values, "cmiss", line)?,
+                "ccs" => grid.ccs = parse_list(values, "ccs", line)?,
+                "period-scale" => {
+                    grid.period_scale = values
+                        .iter()
+                        .map(|v| match v.parse::<f64>() {
+                            Ok(scale) if scale > 0.0 && scale.is_finite() => Ok(scale),
+                            _ => Err(bad(format!("bad period scale `{v}` (need finite > 0)"))),
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "priority-rot" => {
+                    grid.priority_rot = parse_list(values, "priority rotation", line)?
+                }
+                "approach" => {
+                    if values == ["all"] {
+                        grid.approach = CrpdApproach::ALL.to_vec();
+                    } else {
+                        grid.approach = values
+                            .iter()
+                            .map(|v| match *v {
+                                "1" => Ok(CrpdApproach::AllPreemptingLines),
+                                "2" => Ok(CrpdApproach::InterTask),
+                                "3" => Ok(CrpdApproach::UsefulBlocks),
+                                "4" => Ok(CrpdApproach::Combined),
+                                other => Err(bad(format!(
+                                    "bad approach `{other}` (expected 1-4 or all)"
+                                ))),
+                            })
+                            .collect::<Result<_, _>>()?;
+                    }
+                }
+                other => return Err(bad(format!("unknown directive `{other}`"))),
+            }
+        }
+        Ok(grid)
+    }
+}
+
+/// Parses a whitespace-separated list of unsigned integers.
+fn parse_list<T: std::str::FromStr>(
+    values: &[&str],
+    what: &str,
+    line: usize,
+) -> Result<Vec<T>, CliError> {
+    values
+        .iter()
+        .map(|v| {
+            v.parse::<T>()
+                .map_err(|_| CliError::Spec(format!("grid line {line}: bad {what} `{v}`")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_directive() {
+        let g = Grid::parse(
+            "# comment\nspec sys.spec\nsets 64 128\nways 1 2 4\nline 16 32\n\
+             cmiss 20 40\nccs 50\nperiod-scale 0.5 1 2\npriority-rot 0 1\napproach 2 4\n",
+        )
+        .unwrap();
+        assert_eq!(g.spec.as_deref(), Some(std::path::Path::new("sys.spec")));
+        assert_eq!(g.sets, [64, 128]);
+        assert_eq!(g.ways, [1, 2, 4]);
+        assert_eq!(g.line, [16, 32]);
+        assert_eq!(g.cmiss, [20, 40]);
+        assert_eq!(g.ccs, [50]);
+        assert_eq!(g.period_scale, [0.5, 1.0, 2.0]);
+        assert_eq!(g.priority_rot, [0, 1]);
+        assert_eq!(g.approach, [CrpdApproach::InterTask, CrpdApproach::Combined]);
+    }
+
+    #[test]
+    fn approach_all_expands() {
+        let g = Grid::parse("approach all\n").unwrap();
+        assert_eq!(g.approach, CrpdApproach::ALL);
+    }
+
+    #[test]
+    fn empty_grid_inherits_everything() {
+        let g = Grid::parse("# nothing swept\n").unwrap();
+        assert_eq!(g, Grid::default());
+        assert!(g.spec.is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "sets\n",
+            "sets x\n",
+            "period-scale 0\n",
+            "period-scale -1\n",
+            "period-scale nan\n",
+            "approach 5\n",
+            "approach\n",
+            "spec a b\n",
+            "frobnicate 1\n",
+        ] {
+            let err = Grid::parse(bad).unwrap_err();
+            assert!(matches!(err, CliError::Spec(_)), "{bad}");
+            assert!(err.to_string().contains("grid line 1"), "{bad}: {err}");
+        }
+    }
+}

@@ -186,6 +186,16 @@ pub struct SkylineTally {
     pub pruned: u64,
 }
 
+/// Tally of one design-space exploration sweep: how many grid points were
+/// evaluated and how large the final Pareto front was.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreTally {
+    /// Sweep points evaluated across all explore runs.
+    pub points: u64,
+    /// Size of the most recently recorded Pareto front.
+    pub front_size: u64,
+}
+
 /// Hit/miss tallies of one content-addressed artifact-cache stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageLookupTally {
@@ -220,6 +230,9 @@ pub struct Counters {
     /// Useful-trace skyline pruning effectiveness across all packed
     /// footprint builds (`ciip_pack` stage).
     pub skyline: SkylineTally,
+    /// Design-space exploration progress (`explore` stage): points
+    /// evaluated plus the latest Pareto front size.
+    pub explore: ExploreTally,
 }
 
 /// Thread-safe store for spans and counters. Created by [`begin`];
@@ -386,8 +399,12 @@ fn write_counters_json(out: &mut String, counters: &Counters) {
     }
     let _ = write!(
         out,
-        "],\"skyline\":{{\"kept\":{},\"pruned\":{}}}}}",
-        counters.skyline.kept, counters.skyline.pruned
+        "],\"skyline\":{{\"kept\":{},\"pruned\":{}}},\
+         \"explore\":{{\"points\":{},\"frontSize\":{}}}}}",
+        counters.skyline.kept,
+        counters.skyline.pruned,
+        counters.explore.points,
+        counters.explore.front_size
     );
 }
 
@@ -526,6 +543,22 @@ pub fn record_skyline_points(kept: u64, pruned: u64) {
     inner.counters.skyline.pruned += pruned;
 }
 
+/// Records a batch of evaluated design-space exploration points
+/// (accumulates across batches and runs).
+pub fn record_explore_points(points: u64) {
+    let Some(recorder) = active() else { return };
+    let mut inner = recorder.lock();
+    inner.counters.explore.points += points;
+}
+
+/// Records the current Pareto front size of a design-space exploration
+/// (stores the latest value — the front only matters at its final size).
+pub fn record_explore_front(size: u64) {
+    let Some(recorder) = active() else { return };
+    let mut inner = recorder.lock();
+    inner.counters.explore.front_size = size;
+}
+
 /// Records one lookup against a content-addressed pipeline-stage cache:
 /// `hit` means the artifact was reused, `!hit` means the stage re-ran.
 pub fn record_stage_lookup(stage: &'static str, hit: bool) {
@@ -658,6 +691,21 @@ mod tests {
         assert_eq!(counters.skyline, SkylineTally { kept: 5, pruned: 50 });
         let json = session.recorder().chrome_trace_json();
         assert!(json.contains("\"skyline\":{\"kept\":5,\"pruned\":50}"), "{json}");
+    }
+
+    #[test]
+    fn explore_tallies_accumulate_points_and_track_the_latest_front() {
+        let _serial = test_lock();
+        record_explore_points(9); // silently dropped: no session
+        let session = begin();
+        record_explore_points(128);
+        record_explore_points(72);
+        record_explore_front(11);
+        record_explore_front(7);
+        let counters = session.recorder().counters();
+        assert_eq!(counters.explore, ExploreTally { points: 200, front_size: 7 });
+        let json = session.recorder().chrome_trace_json();
+        assert!(json.contains("\"explore\":{\"points\":200,\"frontSize\":7}"), "{json}");
     }
 
     #[test]

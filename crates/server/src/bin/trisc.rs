@@ -1,5 +1,7 @@
-//! The `trisc` binary: one-shot analysis commands plus `trisc serve`.
+//! The `trisc` binary: one-shot analysis commands plus `trisc serve`
+//! and `trisc explore`.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -19,10 +21,34 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Ok(rtcli::Invocation::Explore { grid, trace_out }) => match run_explore(&grid, trace_out) {
+            Ok(output) => {
+                print!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(error) => {
+                eprintln!("trisc explore: {error}");
+                ExitCode::from(2)
+            }
+        },
         Err(error) => {
             eprintln!("trisc: {error}");
             eprintln!("{}", rtcli::USAGE);
             ExitCode::from(2)
         }
     }
+}
+
+/// `trisc explore GRID [--trace-out TRACE.json]`: run the sweep in
+/// process, optionally flushing a Chrome trace of the whole run.
+fn run_explore(grid: &str, trace_out: Option<String>) -> Result<String, rtcli::CliError> {
+    let session = trace_out.as_deref().map(|_| rtobs::begin());
+    let output = rtexplore::cmd_explore(Path::new(grid))?;
+    if let (Some(session), Some(path)) = (session, trace_out.as_deref()) {
+        session
+            .recorder()
+            .write_chrome_trace(Path::new(path))
+            .map_err(|e| rtcli::CliError::Io(format!("{path}: {e}")))?;
+    }
+    Ok(output)
 }

@@ -8,6 +8,7 @@
 //! footprint per endpoint and O(1) recording cost.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -79,11 +80,20 @@ struct EndpointStats {
 pub struct Metrics {
     started: Instant,
     endpoints: Mutex<BTreeMap<&'static str, EndpointStats>>,
+    /// Sweep points evaluated by `explore` requests, cumulative.
+    explore_points: AtomicU64,
+    /// Pareto-front size of the most recent completed `explore` sweep.
+    explore_front_size: AtomicU64,
 }
 
 impl Default for Metrics {
     fn default() -> Self {
-        Metrics { started: Instant::now(), endpoints: Mutex::new(BTreeMap::new()) }
+        Metrics {
+            started: Instant::now(),
+            endpoints: Mutex::new(BTreeMap::new()),
+            explore_points: AtomicU64::new(0),
+            explore_front_size: AtomicU64::new(0),
+        }
     }
 }
 
@@ -102,6 +112,13 @@ impl Metrics {
     /// Seconds since the server started.
     pub fn uptime_secs(&self) -> u64 {
         self.started.elapsed().as_secs()
+    }
+
+    /// Records one completed `explore` sweep: `points` accumulate, the
+    /// front size tracks the latest sweep.
+    pub fn record_explore(&self, points: u64, front_size: u64) {
+        self.explore_points.fetch_add(points, Ordering::Relaxed);
+        self.explore_front_size.store(front_size, Ordering::Relaxed);
     }
 
     /// Snapshots everything — uptime, per-endpoint counters and latency
@@ -159,6 +176,13 @@ impl Metrics {
             ),
             ("stages", Json::Obj(stages)),
             (
+                "explore",
+                Json::obj([
+                    ("points_total", Json::from(self.explore_points.load(Ordering::Relaxed))),
+                    ("front_size", Json::from(self.explore_front_size.load(Ordering::Relaxed))),
+                ]),
+            ),
+            (
                 "analysis_pool",
                 Json::obj([
                     ("threads", Json::from(analysis_threads as u64)),
@@ -207,6 +231,11 @@ impl Metrics {
             "Fraction of analysis work items stolen by background workers.",
             &format_args!("{:.6}", pool.worker_utilization()),
         );
+        gauge(
+            "rtserver_explore_front_size",
+            "Pareto-front size of the most recent explore sweep.",
+            &self.explore_front_size.load(Ordering::Relaxed),
+        );
         let mut counter = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
@@ -239,6 +268,11 @@ impl Metrics {
             "rtserver_skyline_points_pruned_total",
             "Dominated useful-footprint points discarded by skyline pruning.",
             skyline_pruned,
+        );
+        counter(
+            "rtserver_explore_points_total",
+            "Design-space sweep points evaluated by explore requests.",
+            self.explore_points.load(Ordering::Relaxed),
         );
         // Per-stage DAG counters, labelled by pipeline stage.
         let stages = store.stage_stats();
@@ -375,6 +409,12 @@ mod tests {
             assert!(s.get("single_flight_waits").unwrap().as_u64().is_some());
         }
         assert!(snap.get("uptime_secs").unwrap().as_u64().is_some());
+        metrics.record_explore(64, 5);
+        metrics.record_explore(36, 3);
+        let snap = metrics.snapshot(&store, 4, 3);
+        let explore = snap.get("explore").unwrap();
+        assert_eq!(explore.get("points_total").unwrap().as_u64(), Some(100));
+        assert_eq!(explore.get("front_size").unwrap().as_u64(), Some(3), "latest sweep wins");
         let pool = snap.get("analysis_pool").unwrap();
         assert_eq!(pool.get("threads").unwrap().as_u64(), Some(4));
         assert_eq!(pool.get("background_workers").unwrap().as_u64(), Some(3));
@@ -386,6 +426,7 @@ mod tests {
         let store = ArtifactStore::default();
         metrics.record("wcrt", true, Duration::from_micros(300));
         metrics.record("wcrt", false, Duration::from_micros(700));
+        metrics.record_explore(200, 7);
         let pool = rtpar::Pool::new(1);
         pool.install(|| rtpar::par_map_range(4, |i| i));
         let text = metrics.prometheus(&store, &pool.stats());
@@ -405,12 +446,16 @@ mod tests {
             "rtserver_stage_single_flight_waits_total",
             "rtserver_skyline_points_kept_total",
             "rtserver_skyline_points_pruned_total",
+            "rtserver_explore_points_total",
+            "rtserver_explore_front_size",
         ] {
             assert!(text.contains(&format!("# HELP {family} ")), "missing HELP for {family}");
             assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
         }
         assert!(text.contains("rtserver_requests_total{endpoint=\"wcrt\"} 2"), "{text}");
         assert!(text.contains("rtserver_request_errors_total{endpoint=\"wcrt\"} 1"), "{text}");
+        assert!(text.contains("rtserver_explore_points_total 200"), "{text}");
+        assert!(text.contains("rtserver_explore_front_size 7"), "{text}");
         assert!(text.contains("rtserver_analysis_pool_items_inline_total 4"), "{text}");
         for stage in ["assemble", "analyze", "crpd_cell"] {
             assert!(

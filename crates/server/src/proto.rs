@@ -14,6 +14,7 @@
 //! | `crpd`     | `spec` with exactly two tasks             | `trisc crpd` text   |
 //! | `wcrt`     | `spec`                                    | `trisc wcrt` text   |
 //! | `sim`      | `spec` (+ optional `horizon` in cycles)   | `trisc sim` text    |
+//! | `explore`  | `spec` + `grid` (grid-file text)          | streamed frames (see below) |
 //! | `metrics`  | —                                         | `"metrics": {...}`  |
 //! | `metrics_prom` | —                                     | Prometheus text exposition |
 //! | `shutdown` | —                                         | ack, then drain     |
@@ -37,6 +38,16 @@
 //! for the metrics command). Failure: `{"id": 1, "ok": false, "error":
 //! "..."}`. The `id` is echoed verbatim when the request carried one, so
 //! clients may pipeline requests over one connection.
+//!
+//! `explore` is the one *streaming* command: it answers with several
+//! NDJSON frames sharing the request's `id` — one
+//! `{"ok": true, "event": "points", "points": [...]}` frame per
+//! evaluated batch (each point carries `index`, `schedulable` and its
+//! rendered `row`), then a final `{"ok": true, "event": "done",
+//! "points_total": N, "front": [indices], "front_size": F,
+//! "output": "..."}` frame whose `output` holds the explained Pareto
+//! front. Clients read frames until they see `event == "done"` (or
+//! `ok == false`).
 //!
 //! [`SystemSpec`]: rtcli::SystemSpec
 
@@ -78,6 +89,16 @@ pub enum Command {
         /// Simulation horizon in cycles (default: the CLI's).
         horizon: Option<u64>,
     },
+    /// Design-space sweep over the spec; streams per-batch point frames
+    /// and a final Pareto-front frame.
+    Explore {
+        /// The base task system the grid perturbs.
+        payload: SpecPayload,
+        /// Grid-file text declaring the swept axes (the same format
+        /// `trisc explore` reads from disk; any `spec` directive inside
+        /// it is ignored — the base system is this request's `spec`).
+        grid: String,
+    },
 }
 
 impl Command {
@@ -92,6 +113,7 @@ impl Command {
             Command::Crpd(_) => "crpd",
             Command::Wcrt(_) => "wcrt",
             Command::Sim { .. } => "sim",
+            Command::Explore { .. } => "explore",
         }
     }
 }
@@ -135,9 +157,17 @@ impl Request {
                 };
                 Command::Sim { payload: spec_payload(&doc)?, horizon }
             }
+            "explore" => {
+                let grid = doc
+                    .get("grid")
+                    .and_then(Json::as_str)
+                    .ok_or("missing string field `grid`")?
+                    .to_string();
+                Command::Explore { payload: spec_payload(&doc)?, grid }
+            }
             other => {
                 return Err(format!(
-                    "unknown cmd `{other}` (expected ping|wcet|crpd|wcrt|sim|metrics|metrics_prom|shutdown)"
+                    "unknown cmd `{other}` (expected ping|wcet|crpd|wcrt|sim|explore|metrics|metrics_prom|shutdown)"
                 ))
             }
         };
@@ -211,6 +241,12 @@ mod tests {
         let r = Request::parse(r#"{"cmd":"metrics_prom"}"#).unwrap();
         assert_eq!(r.cmd, Command::MetricsProm);
         assert_eq!(r.cmd.endpoint(), "metrics_prom");
+
+        let r = Request::parse(r#"{"cmd":"explore","spec":"s","grid":"sets 32 64\n"}"#).unwrap();
+        assert_eq!(r.cmd.endpoint(), "explore");
+        let Command::Explore { payload, grid } = r.cmd else { panic!("expected explore") };
+        assert_eq!(payload.spec, "s");
+        assert_eq!(grid, "sets 32 64\n");
     }
 
     #[test]
@@ -223,6 +259,8 @@ mod tests {
             (r#"{"cmd":"wcrt","spec":"s","sources":[1]}"#, "`sources`"),
             (r#"{"cmd":"wcrt","spec":"s","sources":{"a.s":7}}"#, "a.s"),
             (r#"{"cmd":"sim","spec":"s","horizon":-1}"#, "`horizon`"),
+            (r#"{"cmd":"explore","spec":"s"}"#, "`grid`"),
+            (r#"{"cmd":"explore","grid":"g"}"#, "`spec`"),
             (r#"{"spec":"s"}"#, "`cmd`"),
         ] {
             let err = Request::parse(line).unwrap_err();

@@ -27,6 +27,7 @@ use rtcli::{
     cmd_crpd_with, cmd_sim_with, cmd_wcet, cmd_wcrt_cached, CliError, ServeOptions, SystemSpec,
 };
 
+use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::pool::WorkerPool;
 use crate::proto::{err_response, ok_response, ok_response_with, Command, Request, SpecPayload};
@@ -254,6 +255,12 @@ fn handle_request(state: &ServerState, line: &str) -> (String, bool) {
         Command::Crpd(payload) => finish(id, run_crpd(state, payload)),
         Command::Wcrt(payload) => finish(id, run_wcrt(state, payload)),
         Command::Sim { payload, horizon } => finish(id, run_sim(payload, *horizon)),
+        // The one streaming command: on success the "response" is several
+        // newline-separated frames, written to the client as one block.
+        Command::Explore { payload, grid } => match run_explore(state, id, payload, grid) {
+            Ok(frames) => (frames, true, false),
+            Err(error) => (err_response(id, &error.to_string()), false, false),
+        },
     };
     state.metrics.record(endpoint, ok, started.elapsed());
     (response, shutdown)
@@ -347,6 +354,72 @@ fn run_sim(payload: &SpecPayload, horizon: Option<u64>) -> Result<String, CliErr
     let spec = parse_spec(payload)?;
     let programs = spec.programs_with(&mut |task| resolve_source(payload, task))?;
     cmd_sim_with(&spec, &programs, horizon)
+}
+
+/// Runs a design-space sweep against the server's shared artifact store
+/// and returns the streamed NDJSON frames (one per evaluated batch plus
+/// the final front frame) as a newline-separated block.
+///
+/// The sweep's analysis provider is [`ArtifactStore::analyzed_program`],
+/// so points share `assemble`/`analyze` artifacts — and `crpd_cell`
+/// entries — with every other request the server has served, with
+/// single-flight deduplication across concurrent sweeps.
+fn run_explore(
+    state: &ServerState,
+    id: Option<u64>,
+    payload: &SpecPayload,
+    grid_text: &str,
+) -> Result<String, CliError> {
+    let spec = parse_spec(payload)?;
+    let grid = rtexplore::Grid::parse(grid_text)?;
+    let plan = rtexplore::Plan::new(&spec, &grid)?;
+    let sources: Vec<(String, String)> = spec
+        .tasks
+        .iter()
+        .map(|task| Ok((task.name.clone(), resolve_source(payload, task)?)))
+        .collect::<Result<_, CliError>>()?;
+    let provider = |task: usize, geometry, model| {
+        let (name, source) = &sources[task];
+        state.store.analyzed_program(name, source, geometry, model)
+    };
+    let id_json = || id.map_or(Json::Null, Json::from);
+    let mut frames = String::new();
+    let outcome = rtexplore::run_sweep(&plan, &provider, state.store.cells(), |batch, front| {
+        let points: Vec<Json> = batch
+            .iter()
+            .map(|point| {
+                Json::obj([
+                    ("index", Json::from(point.config.index as u64)),
+                    ("schedulable", Json::Bool(point.schedulable)),
+                    ("row", Json::from(rtexplore::render_point(point).as_str())),
+                ])
+            })
+            .collect();
+        let frame = Json::obj([
+            ("id", id_json()),
+            ("ok", Json::Bool(true)),
+            ("event", Json::from("points")),
+            ("points", Json::Arr(points)),
+            ("front_size", Json::from(front.len() as u64)),
+        ]);
+        frames.push_str(&frame.encode());
+        frames.push('\n');
+    })?;
+    state.metrics.record_explore(outcome.points as u64, outcome.front.len() as u64);
+    let output = rtexplore::explain_front(&plan, &provider, state.store.cells(), &outcome.front)?;
+    let front: Vec<Json> =
+        outcome.front.members().iter().map(|m| Json::from(m.config.index as u64)).collect();
+    let done = Json::obj([
+        ("id", id_json()),
+        ("ok", Json::Bool(true)),
+        ("event", Json::from("done")),
+        ("points_total", Json::from(outcome.points as u64)),
+        ("front", Json::Arr(front)),
+        ("front_size", Json::from(outcome.front.len() as u64)),
+        ("output", Json::from(output.as_str())),
+    ]);
+    frames.push_str(&done.encode());
+    Ok(frames)
 }
 
 #[cfg(test)]
@@ -450,6 +523,79 @@ mod tests {
         assert_eq!(cache.get("misses").unwrap().as_u64(), Some(2));
         let wcrt = metrics.get("endpoints").unwrap().get("wcrt").unwrap();
         assert_eq!(wcrt.get("requests").unwrap().as_u64(), Some(2));
+        shutdown_and_join(handle);
+    }
+
+    #[test]
+    fn explore_streams_point_frames_then_a_front() {
+        let handle = spawn();
+        let request = Json::obj([
+            ("id", Json::from(9u64)),
+            ("cmd", Json::from("explore")),
+            (
+                "spec",
+                Json::from(
+                    "cache 64 2 16\ncmiss 20\nccs 50\ntask hi a.s 5000 1\ntask lo b.s 50000 2\n",
+                ),
+            ),
+            ("grid", Json::from("sets 32 64\nways 1 2\napproach all\n")),
+            ("sources", Json::obj([("a.s", Json::from(TASK_A)), ("b.s", Json::from(TASK_B))])),
+        ])
+        .encode();
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "{request}").and_then(|()| writer.flush()).expect("send");
+        // Read frames until the terminal `done` frame.
+        let mut point_count = 0;
+        let done = loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("recv");
+            let frame = Json::parse(line.trim_end()).expect("frame is json");
+            assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true), "{line}");
+            assert_eq!(frame.get("id").unwrap().as_u64(), Some(9));
+            match frame.get("event").unwrap().as_str().unwrap() {
+                "points" => {
+                    let Some(Json::Arr(points)) = frame.get("points") else {
+                        panic!("points frame without points: {line}")
+                    };
+                    for point in points {
+                        assert_eq!(point.get("index").unwrap().as_u64(), Some(point_count));
+                        assert!(point
+                            .get("row")
+                            .unwrap()
+                            .as_str()
+                            .unwrap()
+                            .starts_with(&format!("point {point_count} ")));
+                        point_count += 1;
+                    }
+                }
+                "done" => break frame,
+                other => panic!("unexpected event `{other}`"),
+            }
+        };
+        assert_eq!(done.get("points_total").unwrap().as_u64(), Some(16));
+        assert_eq!(point_count, 16, "every point streamed before done");
+        let front_size = done.get("front_size").unwrap().as_u64().unwrap();
+        assert!(front_size >= 1);
+        let output = done.get("output").unwrap().as_str().unwrap();
+        assert!(output.contains("Pareto front ("), "{output}");
+        assert!(output.contains("binding task `"), "{output}");
+
+        // The sweep shows up in the metrics snapshot, and its artifacts
+        // landed in the shared store (4 geometries x 2 tasks analyses).
+        writeln!(writer, r#"{{"cmd":"metrics"}}"#).and_then(|()| writer.flush()).expect("send");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("recv");
+        let metrics = Json::parse(line.trim_end()).unwrap();
+        let explore = metrics.get("metrics").unwrap().get("explore").unwrap();
+        assert_eq!(explore.get("points_total").unwrap().as_u64(), Some(16));
+        assert_eq!(explore.get("front_size").unwrap().as_u64(), Some(front_size));
+        let stages = metrics.get("metrics").unwrap().get("stages").unwrap();
+        assert_eq!(stages.get("analyze").unwrap().get("entries").unwrap().as_u64(), Some(8));
+        assert_eq!(stages.get("assemble").unwrap().get("entries").unwrap().as_u64(), Some(2));
+        drop(writer);
+        drop(reader);
         shutdown_and_join(handle);
     }
 

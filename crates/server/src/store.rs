@@ -272,17 +272,39 @@ impl ArtifactStore {
         geometry: CacheGeometry,
         model: TimingModel,
     ) -> Result<AnalyzedTask, CliError> {
+        Ok(AnalyzedTask::bind(self.analyzed_program(name, source, geometry, model)?, params))
+    }
+
+    /// The params-free half of [`analyzed`]: the memoized
+    /// [`AnalyzedProgram`] for `(name, source, geometry, model)`. This is
+    /// the provider surface `explore` sweeps bind against — every sweep
+    /// point rebinds these shared artifacts with its own scheduling
+    /// parameters, so the whole grid shares one `assemble`/`analyze` run
+    /// per unique key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Asm`] or [`CliError::Analysis`] from the
+    /// underlying pipeline; errors are never cached.
+    ///
+    /// [`analyzed`]: ArtifactStore::analyzed
+    pub fn analyzed_program(
+        &self,
+        name: &str,
+        source: &str,
+        geometry: CacheGeometry,
+        model: TimingModel,
+    ) -> Result<Arc<AnalyzedProgram>, CliError> {
         let hash = program_hash(name, source);
         let program = self.programs.get_or_compute(hash, || {
             let _span = rtobs::span_labeled("assemble", || name.to_string());
             rtprogram::asm::assemble(name, source).map_err(|e| CliError::Asm(e.to_string()))
         })?;
         let key = AnalysisKey { program_hash: hash, geometry, model };
-        let analyzed = self.analyses.get_or_compute(key, || {
+        self.analyses.get_or_compute(key, || {
             AnalyzedProgram::analyze(&program, geometry, model)
                 .map_err(|e| CliError::Analysis(e.to_string()))
-        })?;
-        Ok(AnalyzedTask::bind(analyzed, params))
+        })
     }
 
     /// The memoized `assemble` stage.

@@ -147,8 +147,97 @@ fn arb_system() -> impl Strategy<Value = [TaskParams; 2]> {
     )
 }
 
+/// Strategy for a randomized sweep grid plus a point-picking seed: each
+/// axis draws a small value list (cache shape, miss penalty, period
+/// scaling, priority rotation), and every grid sweeps all four CRPD
+/// approaches and two context-switch costs.
+fn arb_sweep_grid() -> impl Strategy<Value = (rtexplore::Grid, u64)> {
+    (
+        prop::sample::select(vec![vec![32u32], vec![32, 64], vec![64, 128]]),
+        prop::sample::select(vec![vec![1u32], vec![1, 2], vec![2, 4]]),
+        prop::sample::select(vec![vec![10u64], vec![20, 40]]),
+        prop::sample::select(vec![vec![1.0f64], vec![0.5, 2.0]]),
+        prop::sample::select(vec![vec![0u32], vec![0, 1]]),
+        0u64..1_000_000,
+    )
+        .prop_map(|(sets, ways, cmiss, period_scale, priority_rot, seed)| {
+            let grid = rtexplore::Grid {
+                sets,
+                ways,
+                cmiss,
+                period_scale,
+                priority_rot,
+                ccs: vec![50, 150],
+                approach: crpd::CrpdApproach::ALL.to_vec(),
+                ..rtexplore::Grid::default()
+            };
+            (grid, seed)
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite: rebinding a random point of a randomized sweep grid
+    /// through the warmed artifact DAG is bit-identical to a fresh
+    /// from-scratch analysis of that point — same WCRT vector, same
+    /// schedulability — and re-evaluating the point stays bit-identical.
+    #[test]
+    fn sweep_point_rebind_matches_fresh_analysis(case in arb_sweep_grid()) {
+        let _serial = obs_lock();
+        let (grid, seed) = case;
+        let spec = spec();
+        let plan = rtexplore::Plan::new(&spec, &grid).unwrap();
+        let index = (seed % plan.len() as u64) as usize;
+
+        // Warm the DAG at the base configuration first, like a server
+        // that has already served plain `wcrt` traffic for this system.
+        let store = ArtifactStore::default();
+        tasks_via_store(&store, &spec, [
+            TaskParams { period: 5_000, priority: 1 },
+            TaskParams { period: 50_000, priority: 2 },
+        ]);
+
+        // The sweep point, evaluated by rebinding through the DAG.
+        let tasks = [("hi", TASK_HI), ("lo", TASK_LO)];
+        let provider = |task: usize, geometry, model| {
+            let (name, source) = tasks[task];
+            store.analyzed_program(name, source, geometry, model)
+        };
+        let outcome =
+            rtexplore::evaluate_point(&plan, &provider, store.cells(), index).unwrap();
+
+        // The same point, analyzed from scratch with no store anywhere.
+        let config = plan.point(index);
+        let params = plan.params_for(&config);
+        let fresh: Vec<AnalyzedTask> = tasks
+            .iter()
+            .zip(&params)
+            .map(|((name, source), p)| {
+                AnalyzedTask::analyze(
+                    &rtprogram::asm::assemble(name, source).unwrap(),
+                    p.clone(),
+                    config.geometry,
+                    config.model(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let matrix = crpd::CrpdMatrix::compute(config.approach, &fresh);
+        let wcrt = crpd::analyze_all(&fresh, &matrix, &crpd::WcrtParams {
+            miss_penalty: config.cmiss,
+            ctx_switch: config.ccs,
+            max_iterations: 10_000,
+        });
+        prop_assert_eq!(&outcome.wcrt, &wcrt,
+            "DAG-rebound point {} must match a from-scratch analysis", index);
+
+        // A second evaluation through the (now fully warm) DAG changes
+        // nothing — not the WCRT vector, not the derived objectives.
+        let again =
+            rtexplore::evaluate_point(&plan, &provider, store.cells(), index).unwrap();
+        prop_assert_eq!(outcome, again);
+    }
 
     /// Satellite: analyzing under params P1 and rebinding the cached
     /// `AnalyzedProgram`s to P2 yields a report byte-identical to a

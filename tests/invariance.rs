@@ -115,6 +115,55 @@ fn cli_wcrt_report_is_byte_identical_at_any_pool_size() {
     }
 }
 
+/// The full `trisc explore` sweep (grid file -> plan -> batched parallel
+/// evaluation -> streamed rows, Pareto front and explanations) under one
+/// explicit pool.
+fn explore_report(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("rt-inv-explore-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::write(
+        dir.join("hi.s"),
+        ".data 0x100000\nbuf: .word 1,2,3,4\n.text 0x1000\nstart: li r1, buf\nli r3, 4\n\
+         loop: ld r2, 0(r1)\naddi r1, r1, 4\naddi r3, r3, -1\nbne r3, r0, loop\n\
+         .bound loop, 4\nhalt\n",
+    )
+    .expect("write hi.s");
+    std::fs::write(
+        dir.join("lo.s"),
+        ".data 0x100400\nbuf: .word 7,8\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\n\
+         ld r4, 4(r1)\nadd r2, r2, r4\nhalt\n",
+    )
+    .expect("write lo.s");
+    std::fs::write(
+        dir.join("system.spec"),
+        "cache 64 2 16\ncmiss 20\nccs 50\ntask hi hi.s 5000 1\ntask lo lo.s 50000 2\n",
+    )
+    .expect("write spec");
+    std::fs::write(
+        dir.join("sweep.grid"),
+        "spec system.spec\nsets 32 64\nways 1 2\ncmiss 20 40\nperiod-scale 0.5 1\n\
+         priority-rot 0 1\napproach all\n",
+    )
+    .expect("write grid");
+    let report = rtexplore::cmd_explore(&dir.join("sweep.grid")).expect("sweep succeeds");
+    std::fs::remove_dir_all(&dir).ok();
+    report
+}
+
+/// Satellite: the sweep's entire output — every per-point row, the
+/// Pareto-front membership and ordering, and the binding-constraint
+/// explanations — is byte-identical at 1, 2 and 8 threads.
+#[test]
+fn explore_report_is_byte_identical_at_any_pool_size() {
+    let reference = rtpar::Pool::new(1).install(|| explore_report("ref"));
+    assert!(reference.contains("explore: 128 points"), "report looks wrong: {reference}");
+    assert!(reference.contains("Pareto front ("), "report looks wrong: {reference}");
+    for threads in POOL_SIZES {
+        let report = rtpar::Pool::new(threads).install(|| explore_report(&threads.to_string()));
+        assert_eq!(report, reference, "pool of {threads} threads changed the explore report");
+    }
+}
+
 /// Repeating the *same* analysis on the *same* multi-threaded pool is
 /// also stable run-to-run (no scheduling-order leak into the artifacts).
 #[test]
