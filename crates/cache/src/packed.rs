@@ -225,6 +225,50 @@ mod tests {
     }
 
     #[test]
+    fn single_set_geometry_packs_and_matches_tree() {
+        // 1 set: every block collides; the packed kernel is a single
+        // saturating min against the way count.
+        let g = CacheGeometry::new(1, 4, 16).unwrap();
+        let a = Ciip::from_blocks(g, (0..7u64).map(crate::MemoryBlock::new));
+        let b = Ciip::from_blocks(g, (5..8u64).map(crate::MemoryBlock::new));
+        let pa = PackedFootprint::from_ciip(&a).unwrap();
+        let pb = PackedFootprint::from_ciip(&b).unwrap();
+        assert_eq!(pa.count(SetIndex::new(0)), 4, "7 blocks saturate at 4 ways");
+        assert_eq!(pa.overlap_bound(&pb), a.overlap_bound(&b));
+        assert_eq!(pa.overlap_bound(&pb), 3, "min(4, 3, L=4)");
+    }
+
+    #[test]
+    fn way_count_boundary_is_exactly_u8() {
+        // 255 ways is the last packable width: counts fit u8 unsaturated
+        // and the packed bound still equals the tree walk.
+        let g = CacheGeometry::new(2, 255, 16).unwrap();
+        let a = Ciip::from_blocks(g, (0..300u64).map(crate::MemoryBlock::new));
+        let b = Ciip::from_blocks(g, (100..500u64).map(crate::MemoryBlock::new));
+        let pa = PackedFootprint::from_ciip(&a).unwrap();
+        let pb = PackedFootprint::from_ciip(&b).unwrap();
+        assert_eq!(pa.overlap_bound(&pb), a.overlap_bound(&b));
+        // 256 ways no longer fits a u8 lane: packing declines, the tree
+        // walk remains the only kernel.
+        let g = CacheGeometry::new(2, 256, 16).unwrap();
+        let wide = Ciip::from_blocks(g, (0..300u64).map(crate::MemoryBlock::new));
+        assert!(PackedFootprint::from_ciip(&wide).is_none());
+        assert!(wide.overlap_bound(&wide) > 0, "the tree bound still works at 256 ways");
+    }
+
+    #[test]
+    fn zero_footprint_overlaps_nothing_both_ways() {
+        let g = geom();
+        let empty = PackedFootprint::from_ciip(&Ciip::empty(g)).unwrap();
+        let full = PackedFootprint::from_ciip(&example3()).unwrap();
+        assert_eq!(empty.overlap_bound(&full), 0);
+        assert_eq!(full.overlap_bound(&empty), 0);
+        assert_eq!(empty.overlap_bound(&empty), 0);
+        assert_eq!(empty.line_bound(), 0);
+        assert!(full.dominates(&empty), "anything dominates the zero footprint");
+    }
+
+    #[test]
     fn dominance_is_elementwise() {
         let g = geom();
         let small = PackedFootprint::from_ciip(&Ciip::from_addrs(g, [0x000u64, 0x010])).unwrap();

@@ -1,0 +1,200 @@
+//! The soundness-fuzzing farm driver.
+//!
+//! ```text
+//! cargo run --release -p rtfuzz --bin fuzzfarm -- --seconds 30
+//! fuzzfarm --points 100000 --seed 0 --json-out BENCH_fuzz.json
+//! fuzzfarm --replay tests/corpus            # regression corpus replay
+//! fuzzfarm --inject-scale 9/10 --points 5000 --corpus-out repro/
+//! fuzzfarm --emit-corpus 4 --corpus-out tests/corpus --seed 100
+//! ```
+//!
+//! A campaign evaluates seeded points (`--seed` upward) in parallel
+//! batches on an [`rtpar`] pool (`--threads`), bounded by `--points`
+//! and/or `--seconds`, and publishes stats to `BENCH_fuzz.json`. Any
+//! oracle violation is shrunk to a minimal reproducer; with
+//! `--corpus-out DIR` the reproducer `.spec` files are written there so
+//! they can be committed to `tests/corpus/`. The process exits non-zero
+//! if any violation was found (or, for `--replay`, if any corpus file
+//! fails), so CI can gate on it.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rtfuzz::oracle::Injection;
+use rtfuzz::{replay_corpus, run_campaign, CampaignOptions};
+
+struct Options {
+    points: Option<u64>,
+    seconds: Option<u64>,
+    seed: u64,
+    threads: usize,
+    json_out: String,
+    corpus_out: Option<PathBuf>,
+    replay: Option<PathBuf>,
+    inject_scale: Option<(u64, u64)>,
+    emit_corpus: Option<u64>,
+    stop_after: usize,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        points: None,
+        seconds: None,
+        seed: 0,
+        threads: 8,
+        json_out: "BENCH_fuzz.json".to_string(),
+        corpus_out: None,
+        replay: None,
+        inject_scale: None,
+        emit_corpus: None,
+        stop_after: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--points" => opts.points = Some(num(&value(&mut args, "--points")?)?),
+            "--seconds" => opts.seconds = Some(num(&value(&mut args, "--seconds")?)?),
+            "--seed" => opts.seed = num(&value(&mut args, "--seed")?)?,
+            "--threads" => opts.threads = num(&value(&mut args, "--threads")?)?.max(1) as usize,
+            "--json-out" => opts.json_out = value(&mut args, "--json-out")?,
+            "--corpus-out" => opts.corpus_out = Some(value(&mut args, "--corpus-out")?.into()),
+            "--replay" => opts.replay = Some(value(&mut args, "--replay")?.into()),
+            "--stop-after" => {
+                opts.stop_after = num(&value(&mut args, "--stop-after")?)?.max(1) as usize
+            }
+            "--inject-scale" => {
+                let raw = value(&mut args, "--inject-scale")?;
+                let (num_s, den_s) = raw.split_once('/').ok_or("--inject-scale expects NUM/DEN")?;
+                opts.inject_scale = Some((num(num_s)?, num(den_s)?.max(1)));
+            }
+            "--emit-corpus" => opts.emit_corpus = Some(num(&value(&mut args, "--emit-corpus")?)?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn num(text: &str) -> Result<u64, String> {
+    text.trim().parse::<u64>().map_err(|_| format!("`{text}` is not a non-negative integer"))
+}
+
+fn replay(dir: &Path, json_out: &str) -> Result<ExitCode, String> {
+    let report = replay_corpus(dir)?;
+    println!(
+        "fuzzfarm replay: {} spec(s), {} crpd records, {} wcrt tasks, {} kernel pairs",
+        report.files.len(),
+        report.counts.crpd_records,
+        report.counts.wcrt_tasks,
+        report.counts.kernel_pairs
+    );
+    for (path, violation) in &report.failures {
+        eprintln!("FAIL {}: [{}] {}", path.display(), violation.kind.label(), violation.detail);
+    }
+    let json = rtserver::json::Json::obj([
+        ("mode", rtserver::json::Json::from("replay")),
+        ("files", rtserver::json::Json::from(report.files.len() as u64)),
+        ("failures", rtserver::json::Json::from(report.failures.len() as u64)),
+    ]);
+    std::fs::write(json_out, json.encode() + "\n").map_err(|e| format!("{json_out}: {e}"))?;
+    Ok(if report.failures.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn emit_corpus(count: u64, seed: u64, dir: &Path) -> Result<ExitCode, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for k in 0..count {
+        let spec = rtfuzz::generate(seed + k);
+        let outcome = rtfuzz::check(&spec, None);
+        let verdict = match &outcome.violation {
+            None => "ok".to_string(),
+            Some(v) => format!("VIOLATION {}", v.kind.label()),
+        };
+        let path = dir.join(format!("seed-{:08}.spec", seed + k));
+        std::fs::write(&path, spec.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote {} ({verdict})", path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    if let Some(dir) = &opts.replay {
+        return replay(dir, &opts.json_out);
+    }
+    if let Some(count) = opts.emit_corpus {
+        let dir = opts.corpus_out.as_deref().ok_or("--emit-corpus needs --corpus-out DIR")?;
+        return emit_corpus(count, opts.seed, dir);
+    }
+    rtpar::configure_global(opts.threads);
+    let campaign = CampaignOptions {
+        base_seed: opts.seed,
+        // With only a time budget, run until the clock stops the farm.
+        max_points: opts.points.unwrap_or(if opts.seconds.is_some() {
+            u64::MAX / 2
+        } else {
+            1_000
+        }),
+        time_limit: opts.seconds.map(Duration::from_secs),
+        injection: opts.inject_scale.map(|(num, den)| Injection::ScaleCrpd { num, den }),
+        stop_after: opts.stop_after,
+        ..CampaignOptions::default()
+    };
+    let report = run_campaign(&campaign);
+    println!(
+        "fuzzfarm: {} points in {:.2}s ({:.0} points/s), {} violation(s); \
+         oracle checks: {} crpd records, {} wcrt tasks, {} kernel pairs, {} preemptions",
+        report.points,
+        report.elapsed.as_secs_f64(),
+        report.points_per_sec(),
+        report.violations.len(),
+        report.counts.crpd_records,
+        report.counts.wcrt_tasks,
+        report.counts.kernel_pairs,
+        report.counts.preemptions
+    );
+    for v in &report.violations {
+        eprintln!(
+            "VIOLATION seed {}: [{}] {} (shrunk {} -> {} tasks in {} steps)",
+            v.seed,
+            v.violation.kind.label(),
+            v.violation.detail,
+            v.original.tasks.len(),
+            v.shrunk.tasks.len(),
+            v.shrink_steps
+        );
+        if let Some(dir) = &opts.corpus_out {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let path = dir.join(format!("seed-{:08}-{}.spec", v.seed, v.violation.kind.label()));
+            let body = format!("# {}\n{}", v.violation.detail, v.shrunk.render());
+            std::fs::write(&path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!("reproducer written to {}", path.display());
+        }
+    }
+    std::fs::write(&opts.json_out, report.to_json().encode() + "\n")
+        .map_err(|e| format!("{}: {e}", opts.json_out))?;
+    Ok(if report.violations.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("fuzzfarm: {e}");
+            eprintln!(
+                "usage: fuzzfarm [--points N] [--seconds S] [--seed BASE] [--threads N] \
+                 [--json-out PATH] [--corpus-out DIR] [--stop-after N] \
+                 [--inject-scale NUM/DEN] [--replay DIR] [--emit-corpus N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("fuzzfarm: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

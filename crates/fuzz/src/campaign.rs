@@ -1,0 +1,258 @@
+//! The campaign engine: seeded batches of points fanned out over the
+//! current [`rtpar`] pool, index-ordered aggregation (so a campaign's
+//! counts and violation list depend only on its seed range, never the
+//! thread count), shrinking of every violation, and the corpus replay
+//! path the regression suite runs on every `cargo test`.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use rtserver::json::Json;
+
+use crate::oracle::{check, CheckOutcome, Injection, OracleCounts, Violation};
+use crate::reduce::shrink_spec;
+use crate::spec::{generate, FuzzSpec};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// First point seed; the campaign runs seeds `base_seed..`.
+    pub base_seed: u64,
+    /// Maximum points to evaluate.
+    pub max_points: u64,
+    /// Optional wall-clock budget, checked between batches.
+    pub time_limit: Option<Duration>,
+    /// Known-unsound mutation to inject (self-test mode).
+    pub injection: Option<Injection>,
+    /// Stop after this many violations have been found and shrunk.
+    pub stop_after: usize,
+    /// Shrink-step budget per violation.
+    pub shrink_steps: usize,
+    /// Points per parallel batch.
+    pub batch: usize,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            base_seed: 0,
+            max_points: 1_000,
+            time_limit: None,
+            injection: None,
+            stop_after: 1,
+            shrink_steps: 200,
+            batch: 64,
+        }
+    }
+}
+
+/// A violation with its shrunk reproducer.
+#[derive(Debug, Clone)]
+pub struct ShrunkViolation {
+    /// The generator seed of the failing point.
+    pub seed: u64,
+    /// The failure as observed on the original point.
+    pub violation: Violation,
+    /// The original generated spec.
+    pub original: FuzzSpec,
+    /// The minimized reproducer (still failing some oracle).
+    pub shrunk: FuzzSpec,
+    /// Accepted shrink steps between the two.
+    pub shrink_steps: usize,
+}
+
+/// The campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// First seed evaluated.
+    pub base_seed: u64,
+    /// Points evaluated.
+    pub points: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Aggregated oracle statistics, in seed order.
+    pub counts: OracleCounts,
+    /// Violations found, in seed order, each shrunk.
+    pub violations: Vec<ShrunkViolation>,
+}
+
+impl CampaignReport {
+    /// Points per second of wall-clock time.
+    pub fn points_per_sec(&self) -> f64 {
+        self.points as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The report as JSON (the `BENCH_fuzz.json` schema).
+    pub fn to_json(&self) -> Json {
+        let violations: Vec<Json> = self
+            .violations
+            .iter()
+            .map(|v| {
+                Json::obj([
+                    ("seed", Json::from(v.seed)),
+                    ("kind", Json::from(v.violation.kind.label())),
+                    ("detail", Json::from(v.violation.detail.as_str())),
+                    ("shrink_steps", Json::from(v.shrink_steps as u64)),
+                    ("tasks_before", Json::from(v.original.tasks.len() as u64)),
+                    ("tasks_after", Json::from(v.shrunk.tasks.len() as u64)),
+                    ("reproducer", Json::from(v.shrunk.render().as_str())),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("base_seed", Json::from(self.base_seed)),
+            ("points", Json::from(self.points)),
+            ("elapsed_secs", Json::Num(self.elapsed.as_secs_f64())),
+            ("points_per_sec", Json::Num(self.points_per_sec())),
+            ("violations_found", Json::from(self.violations.len() as u64)),
+            (
+                "oracles",
+                Json::obj([
+                    ("crpd_records", Json::from(self.counts.crpd_records)),
+                    ("wcrt_tasks", Json::from(self.counts.wcrt_tasks)),
+                    ("kernel_pairs", Json::from(self.counts.kernel_pairs)),
+                    ("preemptions", Json::from(self.counts.preemptions)),
+                ]),
+            ),
+            ("violations", Json::Arr(violations)),
+        ])
+    }
+}
+
+/// Runs a campaign: generates `base_seed + k` for consecutive `k`,
+/// checks each point in parallel batches on the ambient pool, and
+/// shrinks every violation (serially, outside the pool fan-out, so
+/// shrinking is deterministic too).
+pub fn run_campaign(opts: &CampaignOptions) -> CampaignReport {
+    let started = Instant::now();
+    let mut counts = OracleCounts::default();
+    let mut violations: Vec<ShrunkViolation> = Vec::new();
+    let mut points = 0u64;
+    let stop_after = opts.stop_after.max(1);
+    while points < opts.max_points && violations.len() < stop_after {
+        if opts.time_limit.is_some_and(|limit| started.elapsed() >= limit) {
+            break;
+        }
+        let n = opts.batch.max(1).min((opts.max_points - points) as usize);
+        let first = opts.base_seed + points;
+        let outcomes: Vec<(u64, FuzzSpec, CheckOutcome)> = rtpar::par_map_range(n, |k| {
+            let seed = first + k as u64;
+            let spec = generate(seed);
+            let outcome = check(&spec, opts.injection.as_ref());
+            (seed, spec, outcome)
+        });
+        for (seed, spec, outcome) in outcomes {
+            counts.add(&outcome.counts);
+            if let Some(violation) = outcome.violation {
+                if violations.len() < stop_after {
+                    let (shrunk, shrink_steps) =
+                        shrink_spec(&spec, opts.injection.as_ref(), opts.shrink_steps);
+                    violations.push(ShrunkViolation {
+                        seed,
+                        violation,
+                        original: spec,
+                        shrunk,
+                        shrink_steps,
+                    });
+                }
+            }
+        }
+        points += n as u64;
+    }
+    CampaignReport {
+        base_seed: opts.base_seed,
+        points,
+        elapsed: started.elapsed(),
+        counts,
+        violations,
+    }
+}
+
+/// The outcome of replaying a corpus directory.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// The `.spec` files replayed, in name order.
+    pub files: Vec<PathBuf>,
+    /// Aggregated oracle statistics.
+    pub counts: OracleCounts,
+    /// Files that failed, with the oracle evidence.
+    pub failures: Vec<(PathBuf, Violation)>,
+}
+
+/// Replays every `.spec` file in `dir` (sorted by name) through the full
+/// oracle check.
+///
+/// # Errors
+///
+/// Returns a message if the directory cannot be read or a file fails to
+/// parse — a corrupt corpus is a test failure, not a skip.
+pub fn replay_corpus(dir: &Path) -> Result<ReplayReport, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "spec"))
+        .collect();
+    files.sort();
+    let mut report = ReplayReport {
+        files: files.clone(),
+        counts: OracleCounts::default(),
+        failures: Vec::new(),
+    };
+    for path in files {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let spec = FuzzSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let outcome = check(&spec, None);
+        report.counts.add(&outcome.counts);
+        if let Some(violation) = outcome.violation {
+            report.failures.push((path, violation));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let opts = CampaignOptions { max_points: 8, batch: 4, ..CampaignOptions::default() };
+        let report = rtpar::Pool::new(2).install(|| run_campaign(&opts));
+        assert_eq!(report.points, 8);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.counts.kernel_pairs > 0);
+        let again = rtpar::Pool::new(1).install(|| run_campaign(&opts));
+        assert_eq!(again.counts, report.counts);
+        let json = report.to_json().encode();
+        assert!(json.contains("\"points\":8"), "{json}");
+    }
+
+    #[test]
+    fn time_limit_stops_the_campaign() {
+        let opts = CampaignOptions {
+            max_points: u64::MAX / 2,
+            batch: 2,
+            time_limit: Some(Duration::from_millis(1)),
+            ..CampaignOptions::default()
+        };
+        let report = run_campaign(&opts);
+        assert!(report.points < 1_000_000);
+    }
+
+    #[test]
+    fn replay_reports_missing_dir_and_bad_files() {
+        let err = replay_corpus(Path::new("/nonexistent/corpus")).unwrap_err();
+        assert!(err.contains("corpus"), "{err}");
+        let dir = std::env::temp_dir().join(format!("rtfuzz-corpus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.spec"), "not a spec\n").unwrap();
+        let err = replay_corpus(&dir).unwrap_err();
+        assert!(err.contains("bad.spec"), "{err}");
+        std::fs::write(dir.join("bad.spec"), crate::spec::generate(3).render()).unwrap();
+        let report = replay_corpus(&dir).unwrap();
+        assert_eq!(report.files.len(), 1);
+        assert!(report.failures.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,38 @@
+//! rtfuzz: the continuous soundness-fuzzing farm.
+//!
+//! The analysis pipeline's central claims — analyzed CRPD dominates
+//! ground-truth reloads, Eq. 7 WCRTs dominate measured response times,
+//! and the packed Eq. 2/3 kernel is bit-equivalent to the exact tree
+//! walk — are re-proven here on *randomly generated* systems instead of
+//! a handful of hand-written ones:
+//!
+//! - [`spec::generate`] derives a complete multi-task system from a seed
+//!   (data layout, loop shape, WCET-relative periods, cache geometry
+//!   4–64 sets × 1–8 ways, all four CRPD approaches, 1/8 analysis
+//!   threads);
+//! - [`oracle::check`] runs the full `AnalyzedProgram` → `CrpdMatrix` →
+//!   WCRT pipeline and the scheduler co-simulation, and compares;
+//! - [`reduce::shrink_spec`] minimizes failures (drop tasks, halve
+//!   footprints, shrink loops, reduce the cache) to a committed `.spec`
+//!   reproducer;
+//! - [`campaign::run_campaign`] fans points out over [`rtpar`] with
+//!   index-ordered, seed-reproducible reporting, and
+//!   [`campaign::replay_corpus`] replays `tests/corpus/` on every
+//!   `cargo test`.
+//!
+//! The farm self-tests by injecting a known-unsound mutation
+//! ([`oracle::Injection::ScaleCrpd`]) and asserting the campaign finds
+//! and shrinks it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod oracle;
+pub mod reduce;
+pub mod spec;
+
+pub use campaign::{replay_corpus, run_campaign, CampaignOptions, CampaignReport, ReplayReport};
+pub use oracle::{check, CheckOutcome, Injection, OracleCounts, Violation, ViolationKind};
+pub use reduce::shrink_spec;
+pub use spec::{generate, FuzzSpec, TaskSpec};

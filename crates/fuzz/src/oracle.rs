@@ -1,0 +1,489 @@
+//! The three per-point oracles, checked against the scheduler
+//! co-simulation ground truth:
+//!
+//! 1. **CRPD dominance**: no simulated preemption reloads more lines
+//!    than the analyzed matrix admits for the victim. Nested preemptions
+//!    attribute every eviction in the victim's out-of-CPU window to the
+//!    direct preemptor's record, so the sound per-record bound is the sum
+//!    of the victim's matrix row over all higher-priority tasks (which
+//!    collapses to the exact pairwise cell for two-task systems).
+//! 2. **WCRT dominance**: no simulated response time exceeds a converged
+//!    Eq. 7 fixpoint computed from the *sound reference* preemption cost
+//!    ([`sound_preemption_lines`]), plus the release-blocking slack
+//!    (`cpi + 2·Cmiss + 2·Ccs`) the paper does not model: a release can
+//!    land during one in-flight instruction or during the resume-time
+//!    double context-switch charge. On the subdomain where the paper's
+//!    per-pair bound is tight — two tasks on a direct-mapped cache — the
+//!    *shipped* Eq. 7 fixpoint is checked directly.
+//!
+//!    The reference cost exists because the farm found (and the corpus
+//!    pins) two gaps between the paper's model and LRU reality:
+//!
+//!    - **LRU aging** (Burguière/Cullmann/Reineke, WCET 2009 — five
+//!      years after the paper): on a set-associative LRU cache a
+//!      preemptor that loads even one line into a set *ages* every
+//!      victim line there, so the victim's own later accesses can evict
+//!      lines the preemption never displaced. The per-set damage is
+//!      bounded by *all* of the victim's useful lines in any set the
+//!      preemptor touches, not by `min(|m̂a,r|, |m̂b,r|, L)` (Eq. 2).
+//!    - **Intermediate victims**: Eq. 7 charges each release of `Tj`
+//!      inside `Ti`'s busy window with `Cpre(Ti, Tj)`, but the job that
+//!      release actually preempts may be any task of priority between
+//!      the two, and reloading *its* lines lengthens `Ti`'s busy window
+//!      just the same.
+//! 3. **Kernel equivalence**: the packed Eq. 2/3 min-sum kernel computes
+//!    bit-identical bounds to the exact tree walk / backward sweep, for
+//!    both the union-footprint overlap and the per-path useful-block
+//!    maxima.
+
+use crpd::{analyze_all, AnalyzedTask, CrpdMatrix, TaskParams, WcrtParams};
+use rtcache::{CacheGeometry, Ciip, PackedFootprint};
+use rtprogram::Program;
+use rtsched::{simulate, CacheMode, SchedConfig, SchedTask, VariantPolicy};
+use rtwcet::TimingModel;
+use rtworkloads::synthetic::{synthetic_task, SyntheticSpec};
+
+use crate::spec::FuzzSpec;
+
+/// Simulation horizon cap, bounding the cost of one point.
+const HORIZON_CAP: u64 = 3_000_000;
+
+/// Which oracle a point failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A simulated preemption reloaded more lines than analyzed (oracle 1).
+    CrpdUnderestimate,
+    /// A simulated response time exceeded a converged WCRT (oracle 2).
+    WcrtUnderestimate,
+    /// Packed kernel output diverged from the exact tree walk (oracle 3).
+    KernelMismatch,
+    /// The pipeline itself failed (geometry, analysis or simulation
+    /// error) — a generator bug, but still a reproducer worth shrinking.
+    Pipeline,
+}
+
+impl ViolationKind {
+    /// Stable lowercase label for reports and corpus file names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::CrpdUnderestimate => "crpd-underestimate",
+            ViolationKind::WcrtUnderestimate => "wcrt-underestimate",
+            ViolationKind::KernelMismatch => "kernel-mismatch",
+            ViolationKind::Pipeline => "pipeline-error",
+        }
+    }
+}
+
+/// One oracle failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which oracle fired.
+    pub kind: ViolationKind,
+    /// Human-readable evidence (measured vs analyzed numbers).
+    pub detail: String,
+}
+
+/// What a clean check exercised, for campaign statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleCounts {
+    /// Preemption records checked against the CRPD bound.
+    pub crpd_records: u64,
+    /// Converged WCRT results checked against measured responses.
+    pub wcrt_tasks: u64,
+    /// Ordered task pairs whose packed kernels were replayed exactly.
+    pub kernel_pairs: u64,
+    /// Total simulated preemptions across all points.
+    pub preemptions: u64,
+}
+
+impl OracleCounts {
+    /// Accumulates another point's counts.
+    pub fn add(&mut self, other: &OracleCounts) {
+        self.crpd_records += other.crpd_records;
+        self.wcrt_tasks += other.wcrt_tasks;
+        self.kernel_pairs += other.kernel_pairs;
+        self.preemptions += other.preemptions;
+    }
+}
+
+/// The outcome of checking one point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// What the oracles exercised before the first failure (if any).
+    pub counts: OracleCounts,
+    /// The first oracle failure, if the point is unsound.
+    pub violation: Option<Violation>,
+}
+
+/// A known-unsound mutation injected into the pipeline, for self-testing
+/// that the farm actually catches and shrinks bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Scales every CRPD matrix cell by `num/den` (rounding down) before
+    /// the WCRT fixpoint — unsound whenever `num < den`.
+    ScaleCrpd {
+        /// Numerator.
+        num: u64,
+        /// Denominator.
+        den: u64,
+    },
+}
+
+impl Injection {
+    /// Applies the mutation to a computed matrix.
+    pub fn apply(&self, matrix: &mut CrpdMatrix) {
+        match *self {
+            Injection::ScaleCrpd { num, den } => {
+                for row in &mut matrix.lines {
+                    for cell in row.iter_mut() {
+                        *cell = (*cell as u64 * num / den.max(1)) as usize;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A spec built into concrete artifacts: programs, WCET-derived periods
+/// and analyzed tasks (priorities = task index + 1).
+pub struct BuiltSystem {
+    /// The point's cache geometry.
+    pub geometry: CacheGeometry,
+    /// The point's timing model.
+    pub model: TimingModel,
+    /// The generated programs, highest priority first.
+    pub programs: Vec<Program>,
+    /// WCET-derived periods, per task.
+    pub periods: Vec<u64>,
+    /// The analyzed tasks.
+    pub analyzed: Vec<AnalyzedTask>,
+}
+
+/// Builds a spec's system: synthesizes each task's program, probes its
+/// solo WCET to size the period (`wcet × period_mul`) and runs the full
+/// analysis.
+///
+/// # Errors
+///
+/// Returns a message if the geometry is invalid or a program fails to
+/// analyze — [`check`] converts this into a
+/// [`ViolationKind::Pipeline`].
+pub fn build(spec: &FuzzSpec) -> Result<BuiltSystem, String> {
+    let geometry = CacheGeometry::new(spec.sets, spec.ways, spec.line)
+        .map_err(|e| format!("geometry: {e}"))?;
+    let model = TimingModel::default();
+    let mut programs = Vec::with_capacity(spec.tasks.len());
+    let mut periods = Vec::with_capacity(spec.tasks.len());
+    let mut analyzed = Vec::with_capacity(spec.tasks.len());
+    for (i, t) in spec.tasks.iter().enumerate() {
+        let program = synthetic_task(&SyntheticSpec {
+            name: format!("fz{i}"),
+            code_base: 0x0001_0000 + 0x0800 * i as u64,
+            data_base: 0x0010_0000 + 0x0140 * i as u64 + 16 * u64::from(t.data_nudge),
+            data_words: t.data_words as usize,
+            outer_iters: t.outer_iters,
+            inner_iters: t.inner_iters,
+            stride_words: t.stride_words as usize,
+            two_paths: t.two_paths,
+            padding_instrs: 16,
+            seed: t.seed,
+        });
+        let wcet = rtwcet::estimate_wcet(&program, geometry, model)
+            .map_err(|e| format!("wcet fz{i}: {e}"))?
+            .cycles;
+        let period = wcet.max(1) * u64::from(t.period_mul);
+        let task = AnalyzedTask::analyze(
+            &program,
+            TaskParams { period, priority: i as u32 + 1 },
+            geometry,
+            model,
+        )
+        .map_err(|e| format!("analyze fz{i}: {e}"))?;
+        programs.push(program);
+        periods.push(period);
+        analyzed.push(task);
+    }
+    Ok(BuiltSystem { geometry, model, programs, periods, analyzed })
+}
+
+/// Sound per-preemption reload bound for LRU (in lines): every useful
+/// block of `victim` in any cache set `preemptor` may touch. Once a
+/// block is reloaded after the preemption it is most-recently-used in
+/// both the preempted and the isolated run, and the two runs see the
+/// same distinct accesses from there on — so each useful block pays at
+/// most one extra miss per preemption, but (unlike Eq. 2's
+/// `min(|m̂a,r|, |m̂b,r|, L)`) *all* useful blocks in a touched set may
+/// pay it, even ones the preemptor never displaced.
+pub fn sound_preemption_lines(victim_useful: &Ciip, preemptor_footprint: &Ciip) -> usize {
+    victim_useful
+        .iter()
+        .filter(|(set, _)| preemptor_footprint.subset_len(*set) > 0)
+        .map(|(_, blocks)| blocks.len())
+        .sum()
+}
+
+thread_local! {
+    /// One 8-way analysis pool per checking thread, reused across points
+    /// so the `threads = 8` dimension does not pay a pool spawn per point.
+    static POOL8: rtpar::Pool = rtpar::Pool::new(8);
+}
+
+/// Runs `f` under the pool size a point requests: `Pool::new(1)` costs
+/// nothing (no threads spawned), and 8-way points share one pool per
+/// checking thread.
+pub fn with_point_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    if threads <= 1 {
+        rtpar::Pool::new(1).install(f)
+    } else {
+        POOL8.with(|pool| pool.install(f))
+    }
+}
+
+/// Checks one point against all three oracles, under the point's pool
+/// size. Returns the first violation (with the oracle counts gathered up
+/// to that moment) or the clean counts.
+pub fn check(spec: &FuzzSpec, injection: Option<&Injection>) -> CheckOutcome {
+    with_point_pool(spec.threads, || check_inner(spec, injection))
+}
+
+fn fail(counts: OracleCounts, kind: ViolationKind, detail: String) -> CheckOutcome {
+    CheckOutcome { counts, violation: Some(Violation { kind, detail }) }
+}
+
+fn check_inner(spec: &FuzzSpec, injection: Option<&Injection>) -> CheckOutcome {
+    let mut counts = OracleCounts::default();
+    let built = match build(spec) {
+        Ok(b) => b,
+        Err(e) => return fail(counts, ViolationKind::Pipeline, e),
+    };
+    let mut matrix = CrpdMatrix::compute(spec.approach(), &built.analyzed);
+    if let Some(injection) = injection {
+        injection.apply(&mut matrix);
+    }
+    let params = WcrtParams {
+        miss_penalty: built.model.miss_penalty,
+        ctx_switch: spec.ctx_switch,
+        max_iterations: 10_000,
+    };
+    let results = analyze_all(&built.analyzed, &matrix, &params);
+    let config = SchedConfig {
+        geometry: built.geometry,
+        model: built.model,
+        ctx_switch: spec.ctx_switch,
+        horizon: built
+            .periods
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .saturating_mul(3)
+            .min(HORIZON_CAP),
+        variant_policy: VariantPolicy::Worst,
+        cache_mode: CacheMode::Shared,
+        replacement: Default::default(),
+        l2: None,
+    };
+    let sched: Vec<SchedTask> = built
+        .programs
+        .iter()
+        .zip(&built.periods)
+        .enumerate()
+        .map(|(i, (p, period))| SchedTask::new(p.clone(), *period, i as u32 + 1))
+        .collect();
+    let report = match simulate(&sched, &config) {
+        Ok(r) => r,
+        Err(e) => return fail(counts, ViolationKind::Pipeline, format!("simulate: {e}")),
+    };
+
+    // Oracle 1: analyzed CRPD dominates every simulated reload record.
+    for p in &report.preemptions {
+        let bound: usize = (0..p.preempted).map(|j| matrix.reload(p.preempted, j)).sum();
+        counts.crpd_records += 1;
+        if p.reloaded_lines > bound {
+            return fail(
+                counts,
+                ViolationKind::CrpdUnderestimate,
+                format!(
+                    "task {} preempted by {}: {} lines reloaded > {} analyzed ({})",
+                    p.preempted,
+                    p.preempting,
+                    p.reloaded_lines,
+                    bound,
+                    spec.approach()
+                ),
+            );
+        }
+    }
+    counts.preemptions += report.tasks.iter().map(|t| t.preemptions).sum::<u64>();
+
+    // Oracle 2: converged WCRTs dominate every measured response time.
+    // The reference fixpoint charges each release of `Tj` with the worst
+    // sound LRU damage it can do to *any* possible victim in the busy
+    // window, never less than the (possibly injected) shipped cell; the
+    // shipped fixpoint itself is checked where the paper's model is
+    // tight (two tasks, direct-mapped). The release-blocking slack
+    // covers what Eq. 7 (like the paper) does not model: a release
+    // takes effect at an instruction boundary, so a releasing task can
+    // wait out one in-flight instruction (`cpi + 2·Cmiss`) — and,
+    // because the simulator charges both switches of a preemption to
+    // the global clock when the preempted job *resumes*, a release
+    // landing inside that charge also waits out the `2·Ccs`.
+    let slack = built.model.cpi + 2 * built.model.miss_penalty + 2 * spec.ctx_switch;
+    let n = built.analyzed.len();
+    let wcets: Vec<u64> = built.analyzed.iter().map(|t| t.wcet()).collect();
+    let priorities: Vec<u32> = (0..n).map(|i| i as u32 + 1).collect();
+    let useful: Vec<Ciip> = built.analyzed.iter().map(|t| t.mumbs()).collect();
+    let sound_lines: Vec<Vec<usize>> = (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|j| {
+                    if j < k {
+                        sound_preemption_lines(&useful[k], built.analyzed[j].all_blocks())
+                            .max(matrix.reload(k, j))
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let cpre = |i: usize, j: usize| -> u64 {
+        let lines = (j + 1..=i).map(|k| sound_lines[k][j]).max().unwrap_or(0);
+        lines as u64 * params.miss_penalty + 2 * params.ctx_switch
+    };
+    let paper_is_tight = n == 2 && spec.ways == 1;
+    for (i, r) in results.iter().enumerate() {
+        let reference = crpd::response_time_generic(
+            &wcets,
+            &built.periods,
+            &priorities,
+            &cpre,
+            i,
+            params.max_iterations,
+        );
+        if !reference.schedulable {
+            continue;
+        }
+        counts.wcrt_tasks += 1;
+        if report.tasks[i].max_response > reference.cycles + slack {
+            return fail(
+                counts,
+                ViolationKind::WcrtUnderestimate,
+                format!(
+                    "task {i}: measured response {} > sound reference WCRT {} (+slack {slack}, \
+                     {} WCRT {})",
+                    report.tasks[i].max_response,
+                    reference.cycles,
+                    spec.approach(),
+                    r.cycles
+                ),
+            );
+        }
+        if paper_is_tight && r.schedulable && report.tasks[i].max_response > r.cycles + slack {
+            return fail(
+                counts,
+                ViolationKind::WcrtUnderestimate,
+                format!(
+                    "task {i}: measured response {} > {} WCRT {} (+slack {slack}) on the \
+                     tight subdomain (2 tasks, direct-mapped)",
+                    report.tasks[i].max_response,
+                    spec.approach(),
+                    r.cycles
+                ),
+            );
+        }
+    }
+
+    // Oracle 3: the packed min-sum kernel equals the exact tree walk,
+    // for the union-footprint overlap (Eq. 2) and every per-path
+    // useful-block maximum (Eq. 3/4).
+    for i in 0..built.analyzed.len() {
+        for j in 0..built.analyzed.len() {
+            if i == j {
+                continue;
+            }
+            counts.kernel_pairs += 1;
+            let (a, b) = (&built.analyzed[i], &built.analyzed[j]);
+            let tree = a.all_blocks().overlap_bound(b.all_blocks());
+            match (a.all_blocks_packed(), b.all_blocks_packed()) {
+                (Some(pa), Some(pb)) => {
+                    let packed = pa.overlap_bound(pb);
+                    if packed != tree {
+                        return fail(
+                            counts,
+                            ViolationKind::KernelMismatch,
+                            format!("union overlap {i}<-{j}: packed {packed} != tree {tree}"),
+                        );
+                    }
+                }
+                _ => {
+                    return fail(
+                        counts,
+                        ViolationKind::KernelMismatch,
+                        format!("pair {i}<-{j}: packed footprint missing at {} ways", spec.ways),
+                    )
+                }
+            }
+            let mb = b.mumbs();
+            if let Some(pmb) = PackedFootprint::from_ciip(&mb) {
+                for path in a.paths() {
+                    let tree = path.trace.max_overlap_bound(&mb).0;
+                    let packed = path.trace.max_packed_overlap(&pmb);
+                    if packed != tree {
+                        return fail(
+                            counts,
+                            ViolationKind::KernelMismatch,
+                            format!(
+                                "useful overlap {i}<-{j} path `{}`: packed {packed} != tree {tree}",
+                                path.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    CheckOutcome { counts, violation: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::generate;
+
+    #[test]
+    fn clean_points_pass_all_oracles() {
+        for seed in [0u64, 1, 2, 3] {
+            let spec = generate(seed);
+            let outcome = check(&spec, None);
+            assert_eq!(outcome.violation, None, "seed {seed}: {:?}", outcome.violation);
+            assert!(outcome.counts.kernel_pairs > 0);
+            assert!(outcome.counts.wcrt_tasks > 0 || outcome.counts.preemptions > 0);
+        }
+    }
+
+    #[test]
+    fn checks_are_deterministic() {
+        let spec = generate(11);
+        let first = check(&spec, None);
+        assert_eq!(check(&spec, None), first);
+    }
+
+    #[test]
+    fn zeroed_crpd_injection_trips_an_oracle() {
+        // Scaling the matrix to zero is maximally unsound: some seed in a
+        // small deterministic range must trip oracle 1 or 2.
+        let injection = Injection::ScaleCrpd { num: 0, den: 1 };
+        let tripped = (0..32u64).any(|seed| {
+            let outcome = check(&generate(seed), Some(&injection));
+            outcome.violation.as_ref().is_some_and(|v| {
+                matches!(
+                    v.kind,
+                    ViolationKind::CrpdUnderestimate | ViolationKind::WcrtUnderestimate
+                )
+            })
+        });
+        assert!(tripped, "zeroed CRPD matrix survived 32 points");
+    }
+}

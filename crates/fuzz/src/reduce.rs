@@ -1,0 +1,103 @@
+//! Greedy reproducer shrinking: once a point fails an oracle, minimize
+//! it — drop tasks, halve data footprints, shrink iteration counts,
+//! reduce sets/ways — while it keeps failing, using the
+//! `proptest-lite` shrinking primitives ([`proptest::shrink`]).
+
+use proptest::shrink;
+
+use crate::oracle::{check, Injection};
+use crate::spec::FuzzSpec;
+
+/// Candidate shrinks of `spec`, most aggressive first. Every candidate
+/// is sanitized and strictly different from `spec`, so the greedy driver
+/// can only move downhill.
+pub fn candidates(spec: &FuzzSpec) -> Vec<FuzzSpec> {
+    let mut out = Vec::new();
+    let mut push = |mut candidate: FuzzSpec| {
+        candidate.sanitize();
+        if candidate != *spec && !out.contains(&candidate) {
+            out.push(candidate);
+        }
+    };
+
+    // Drop tasks (subsequence shrinking, keeping at least a pair).
+    for tasks in shrink::subsequences(&spec.tasks, 2) {
+        push(FuzzSpec { tasks, ..spec.clone() });
+    }
+
+    // Reduce the cache: halve sets toward 4, shrink ways toward 1.
+    for sets in shrink::int_toward(u64::from(spec.sets), 4) {
+        push(FuzzSpec { sets: sets as u32, ..spec.clone() });
+    }
+    for ways in shrink::int_toward(u64::from(spec.ways), 1) {
+        push(FuzzSpec { ways: ways as u32, ..spec.clone() });
+    }
+
+    // Per-task: halve data footprints, shrink loop shape toward minimal.
+    for (i, task) in spec.tasks.iter().enumerate() {
+        let mut field = |apply: &dyn Fn(&mut FuzzSpec, u32), candidates: Vec<u64>| {
+            for v in candidates {
+                let mut candidate = spec.clone();
+                apply(&mut candidate, v as u32);
+                push(candidate);
+            }
+        };
+        field(&|s, v| s.tasks[i].data_words = v, shrink::int_toward(u64::from(task.data_words), 2));
+        field(
+            &|s, v| s.tasks[i].inner_iters = v,
+            shrink::int_toward(u64::from(task.inner_iters), 1),
+        );
+        field(
+            &|s, v| s.tasks[i].outer_iters = v,
+            shrink::int_toward(u64::from(task.outer_iters), 1),
+        );
+        field(
+            &|s, v| s.tasks[i].stride_words = v,
+            shrink::int_toward(u64::from(task.stride_words), 1),
+        );
+        field(&|s, v| s.tasks[i].data_nudge = v, shrink::int_toward(u64::from(task.data_nudge), 0));
+        if task.two_paths {
+            let mut candidate = spec.clone();
+            candidate.tasks[i].two_paths = false;
+            push(candidate);
+        }
+    }
+    out
+}
+
+/// Shrinks a failing spec to a (locally) minimal reproducer that still
+/// fails *some* oracle under the same injection. Returns the minimized
+/// spec and the number of accepted shrink steps.
+pub fn shrink_spec(
+    spec: &FuzzSpec,
+    injection: Option<&Injection>,
+    max_steps: usize,
+) -> (FuzzSpec, usize) {
+    shrink::minimize(spec.clone(), max_steps, candidates, |candidate| {
+        check(candidate, injection).violation.is_some()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::generate;
+
+    #[test]
+    fn candidates_are_sanitized_and_distinct() {
+        let spec = generate(17);
+        let all = candidates(&spec);
+        assert!(!all.is_empty());
+        for c in &all {
+            assert_ne!(*c, spec);
+            let mut again = c.clone();
+            again.sanitize();
+            assert_eq!(again, *c, "candidate not sanitized: {c:?}");
+            assert!(c.tasks.len() >= 2);
+        }
+        // The most aggressive task-drop candidate leads.
+        if spec.tasks.len() > 2 {
+            assert!(all[0].tasks.len() < spec.tasks.len());
+        }
+    }
+}

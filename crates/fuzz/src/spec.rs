@@ -1,0 +1,356 @@
+//! The fuzz point model: a [`FuzzSpec`] describes one complete synthetic
+//! multi-task system plus the analysis dimensions it is checked under,
+//! and round-trips through a deterministic text format so shrunk
+//! reproducers can live in a committed corpus.
+
+use crpd::CrpdApproach;
+
+/// One task of a fuzz point, in the units of
+/// [`rtworkloads::synthetic::SyntheticSpec`]. Code and data base
+/// addresses are derived from the task index (the same per-index stagger
+/// the soundness suite uses), with `data_nudge` shifting the data base by
+/// whole cache lines so footprints collide at varied set indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Buffer size in words.
+    pub data_words: u32,
+    /// Outer loop iterations.
+    pub outer_iters: u32,
+    /// Inner loop iterations.
+    pub inner_iters: u32,
+    /// Scan stride in words.
+    pub stride_words: u32,
+    /// Extra data-base offset in 16-byte cache lines.
+    pub data_nudge: u32,
+    /// Period as a multiple of the task's solo WCET at the point's
+    /// geometry.
+    pub period_mul: u32,
+    /// Whether the task has an input-selected two-path scan.
+    pub two_paths: bool,
+    /// Buffer-content seed.
+    pub seed: u64,
+}
+
+/// One complete fuzz point: a task system plus the cache geometry, CRPD
+/// approach and pool size it is analyzed under. Task index = priority
+/// (task 0 is the highest-priority preemptor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzSpec {
+    /// The generator seed that produced this point (0 for hand-written
+    /// corpus entries).
+    pub seed: u64,
+    /// Cache sets (power of two, 4–64).
+    pub sets: u32,
+    /// Cache ways (1–8).
+    pub ways: u32,
+    /// Line size in bytes (always 16).
+    pub line: u32,
+    /// Paper approach number, 1–4.
+    pub approach: u32,
+    /// Context-switch cost in cycles (both simulated and analyzed).
+    pub ctx_switch: u64,
+    /// Analysis pool size for this point (1 or 8).
+    pub threads: usize,
+    /// The tasks, highest priority first.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl FuzzSpec {
+    /// The [`CrpdApproach`] for the spec's paper approach number.
+    pub fn approach(&self) -> CrpdApproach {
+        CrpdApproach::ALL[(self.approach as usize - 1).min(3)]
+    }
+
+    /// Clamps every field into the range the generator and the program
+    /// builder support, so any mutation (random or shrinking) yields a
+    /// buildable system. Idempotent.
+    pub fn sanitize(&mut self) {
+        self.line = 16;
+        self.sets = self.sets.next_power_of_two().clamp(4, 64);
+        self.ways = self.ways.clamp(1, 8);
+        self.approach = self.approach.clamp(1, 4);
+        self.ctx_switch = self.ctx_switch.min(1_000);
+        self.threads = if self.threads > 1 { 8 } else { 1 };
+        for t in &mut self.tasks {
+            t.stride_words = t.stride_words.clamp(1, 4);
+            t.period_mul = t.period_mul.clamp(2, 64);
+            t.outer_iters = t.outer_iters.clamp(1, 8);
+            t.data_nudge %= 64;
+            // The buffer must hold at least one stride per scan arm.
+            let arms = if t.two_paths { 2 } else { 1 };
+            t.data_words = t.data_words.clamp((t.stride_words * arms).max(2), 4096);
+            // The scan must stay inside its arm's span.
+            let span = t.data_words / arms;
+            t.inner_iters = t.inner_iters.clamp(1, 64).min((span / t.stride_words).max(1));
+        }
+    }
+
+    /// Renders the spec in the corpus text format. [`FuzzSpec::parse`]
+    /// inverts this exactly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("rtfuzz v1\n");
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("cache {} {} {}\n", self.sets, self.ways, self.line));
+        out.push_str(&format!("approach {}\n", self.approach));
+        out.push_str(&format!("ccs {}\n", self.ctx_switch));
+        out.push_str(&format!("threads {}\n", self.threads));
+        for t in &self.tasks {
+            out.push_str(&format!(
+                "task dw={} outer={} inner={} stride={} nudge={} pmul={} paths={} seed={}\n",
+                t.data_words,
+                t.outer_iters,
+                t.inner_iters,
+                t.stride_words,
+                t.data_nudge,
+                t.period_mul,
+                if t.two_paths { 2 } else { 1 },
+                t.seed,
+            ));
+        }
+        out
+    }
+
+    /// Parses the corpus text format (`#` comments and blank lines are
+    /// ignored). The parsed spec is [`sanitize`](FuzzSpec::sanitize)d, so
+    /// a hand-edited corpus file cannot crash the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for version/field
+    /// mismatches, malformed numbers or a system of fewer than two tasks.
+    pub fn parse(text: &str) -> Result<FuzzSpec, String> {
+        let mut lines =
+            text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some("rtfuzz v1") => {}
+            other => return Err(format!("expected `rtfuzz v1` header, got {other:?}")),
+        }
+        let mut spec = FuzzSpec {
+            seed: 0,
+            sets: 64,
+            ways: 2,
+            line: 16,
+            approach: 4,
+            ctx_switch: 0,
+            threads: 1,
+            tasks: Vec::new(),
+        };
+        for line in lines {
+            let (key, rest) = line.split_once(' ').ok_or_else(|| format!("bare key `{line}`"))?;
+            match key {
+                "seed" => spec.seed = num(rest)?,
+                "cache" => {
+                    let parts = fields(rest, 3).map_err(|e| format!("cache: {e}"))?;
+                    spec.sets = num(parts[0])? as u32;
+                    spec.ways = num(parts[1])? as u32;
+                    spec.line = num(parts[2])? as u32;
+                }
+                "approach" => spec.approach = num(rest)? as u32,
+                "ccs" => spec.ctx_switch = num(rest)?,
+                "threads" => spec.threads = num(rest)? as usize,
+                "task" => spec.tasks.push(parse_task(rest)?),
+                other => return Err(format!("unknown directive `{other}`")),
+            }
+        }
+        if spec.tasks.len() < 2 {
+            return Err(format!(
+                "a fuzz system needs at least two tasks, got {}",
+                spec.tasks.len()
+            ));
+        }
+        spec.sanitize();
+        Ok(spec)
+    }
+}
+
+fn num(text: &str) -> Result<u64, String> {
+    text.trim().parse::<u64>().map_err(|_| format!("`{text}` is not a non-negative integer"))
+}
+
+fn fields(rest: &str, n: usize) -> Result<Vec<&str>, String> {
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    if parts.len() == n {
+        Ok(parts)
+    } else {
+        Err(format!("expected {n} fields, got {}", parts.len()))
+    }
+}
+
+fn parse_task(rest: &str) -> Result<TaskSpec, String> {
+    let mut t = TaskSpec {
+        data_words: 64,
+        outer_iters: 2,
+        inner_iters: 8,
+        stride_words: 1,
+        data_nudge: 0,
+        period_mul: 4,
+        two_paths: true,
+        seed: 0,
+    };
+    for field in rest.split_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("task field `{field}` is not key=value"))?;
+        let v = num(value)?;
+        match key {
+            "dw" => t.data_words = v as u32,
+            "outer" => t.outer_iters = v as u32,
+            "inner" => t.inner_iters = v as u32,
+            "stride" => t.stride_words = v as u32,
+            "nudge" => t.data_nudge = v as u32,
+            "pmul" => t.period_mul = v as u32,
+            "paths" => t.two_paths = v >= 2,
+            "seed" => t.seed = v,
+            other => return Err(format!("unknown task field `{other}`")),
+        }
+    }
+    Ok(t)
+}
+
+/// The self-seeding generator PRNG (SplitMix64, as used across the test
+/// suite), so points reproduce from their seed alone.
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform-ish draw in `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        self.next_u64() % span.max(1)
+    }
+
+    /// A uniform-ish draw in `lo..=hi`.
+    pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+}
+
+/// Generates the fuzz point for a seed: geometry 4–64 sets × 1–8 ways,
+/// 2–4 tasks, all four approaches, 1/8 analysis threads. A quarter of
+/// the seeds are *pressure* points — tiny caches, stride-1 whole-buffer
+/// scans sized at or above the cache capacity — where the CRPD bounds
+/// run tight against the ground truth, so an unsound analysis change is
+/// caught within few points.
+pub fn generate(seed: u64) -> FuzzSpec {
+    let mut rng = SplitMix64(seed ^ 0x5EED_F00D_CAFE_D00D);
+    let pressure = rng.below(4) == 0;
+    let (sets, ways) = if pressure {
+        (1 << rng.in_range(2, 3), rng.in_range(1, 2) as u32)
+    } else {
+        (1 << rng.in_range(2, 6), rng.in_range(1, 8) as u32)
+    };
+    let count = if pressure { 2 } else { rng.in_range(2, 4) };
+    let cache_lines = u64::from(sets * ways);
+    let mut spec = FuzzSpec {
+        seed,
+        sets,
+        ways,
+        line: 16,
+        approach: rng.in_range(1, 4) as u32,
+        ctx_switch: [0, 50, 300][rng.below(3) as usize],
+        threads: if rng.below(4) == 0 { 8 } else { 1 },
+        tasks: Vec::new(),
+    };
+    for i in 0..count {
+        let stride = if pressure { 1 } else { rng.in_range(1, 3) };
+        let two_paths = !pressure && rng.below(2) == 0;
+        // Buffer sized in cache lines (4 words each) relative to the
+        // cache capacity, so useful footprints regularly saturate it.
+        let buffer_lines = if pressure {
+            rng.in_range(cache_lines, 3 * cache_lines)
+        } else {
+            rng.in_range(cache_lines / 2 + 1, 2 * cache_lines + 8)
+        };
+        spec.tasks.push(TaskSpec {
+            data_words: (buffer_lines * 4) as u32,
+            outer_iters: rng.in_range(2, 6) as u32,
+            inner_iters: rng.in_range(8, 48) as u32,
+            stride_words: stride as u32,
+            data_nudge: rng.below(u64::from(sets)) as u32,
+            period_mul: (rng.in_range(2, 5) + 2 * i) as u32,
+            two_paths,
+            seed: rng.next_u64(),
+        });
+    }
+    spec.sanitize();
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sanitized() {
+        for seed in 0..200 {
+            let spec = generate(seed);
+            assert_eq!(spec, generate(seed), "seed {seed} not reproducible");
+            let mut again = spec.clone();
+            again.sanitize();
+            assert_eq!(again, spec, "seed {seed} not sanitized");
+            assert!((2..=4).contains(&spec.tasks.len()));
+            assert!(spec.sets.is_power_of_two() && (4..=64).contains(&spec.sets));
+            assert!((1..=8).contains(&spec.ways));
+            assert!((1..=4).contains(&spec.approach));
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        for seed in [0u64, 1, 7, 42, 1234, 99999] {
+            let spec = generate(seed);
+            let parsed = FuzzSpec::parse(&spec.render()).expect("round-trips");
+            assert_eq!(parsed, spec, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_rejects_garbage() {
+        let text = "# a reproducer\nrtfuzz v1\nseed 3\n\ncache 8 2 16\napproach 2\nccs 50\n\
+                    threads 8\ntask dw=64 outer=2 inner=8 stride=1 nudge=3 pmul=4 paths=2 seed=9\n\
+                    task dw=32 outer=1 inner=4 stride=1 nudge=0 pmul=6 paths=1 seed=11\n";
+        let spec = FuzzSpec::parse(text).expect("parses");
+        assert_eq!(spec.sets, 8);
+        assert_eq!(spec.threads, 8);
+        assert_eq!(spec.tasks.len(), 2);
+        assert!(spec.tasks[0].two_paths && !spec.tasks[1].two_paths);
+        for (bad, needle) in [
+            ("nonsense", "header"),
+            ("rtfuzz v1\nfrob 3\n", "unknown directive"),
+            ("rtfuzz v1\ncache 8 2\n", "cache"),
+            ("rtfuzz v1\nseed x\n", "not a non-negative integer"),
+            ("rtfuzz v1\nseed 1\n", "at least two tasks"),
+            ("rtfuzz v1\ntask dw\ntask dw=1\n", "not key=value"),
+            ("rtfuzz v1\ntask zz=1\ntask dw=1\n", "unknown task field"),
+        ] {
+            let err = FuzzSpec::parse(bad).unwrap_err();
+            assert!(err.contains(needle), "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
+    fn sanitize_repairs_wild_values() {
+        let mut spec = generate(5);
+        spec.sets = 1000;
+        spec.ways = 99;
+        spec.approach = 9;
+        spec.tasks[0].data_words = 1;
+        spec.tasks[0].inner_iters = 100_000;
+        spec.tasks[0].stride_words = 40;
+        spec.sanitize();
+        assert_eq!(spec.sets, 64);
+        assert_eq!(spec.ways, 8);
+        assert_eq!(spec.approach, 4);
+        let t = spec.tasks[0];
+        let arms = if t.two_paths { 2 } else { 1 };
+        assert!(t.inner_iters * t.stride_words <= t.data_words / arms);
+    }
+}

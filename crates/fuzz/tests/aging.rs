@@ -1,0 +1,83 @@
+//! Pins the farm's first real finding: on a set-associative LRU cache
+//! the paper's Eq. 2 min-intersection CRPD bound can undercut the
+//! simulator, because a preemptor *ages* victim lines it never displaces
+//! (Burguière/Cullmann/Reineke, WCET 2009 — five years after the
+//! paper). The committed `tests/corpus/lru-aging-8x2.spec` reproducer
+//! must (a) still exhibit the gap against the shipped Eq. 7 fixpoint,
+//! and (b) stay inside the oracle's sound reference bound. If (a) ever
+//! fails the shipped analysis has become aging-aware and this test —
+//! plus the oracle's reference construction — should be revisited; if
+//! (b) fails the reference bound has regressed.
+
+use std::path::Path;
+
+use rtfuzz::oracle::sound_preemption_lines;
+use rtfuzz::spec::FuzzSpec;
+
+fn corpus_spec() -> FuzzSpec {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus/lru-aging-8x2.spec");
+    let text = std::fs::read_to_string(&path).expect("read corpus spec");
+    FuzzSpec::parse(&text).expect("parse corpus spec")
+}
+
+#[test]
+fn paper_bound_undercuts_lru_aging_but_reference_holds() {
+    let spec = corpus_spec();
+    assert_eq!((spec.sets, spec.ways), (8, 2), "reproducer geometry changed");
+
+    let built = rtfuzz::oracle::build(&spec).unwrap();
+    let matrix = crpd::CrpdMatrix::compute(spec.approach(), &built.analyzed);
+    let params = crpd::WcrtParams {
+        miss_penalty: built.model.miss_penalty,
+        ctx_switch: spec.ctx_switch,
+        max_iterations: 10_000,
+    };
+    let shipped = crpd::analyze_all(&built.analyzed, &matrix, &params);
+    let config = rtsched::SchedConfig {
+        geometry: built.geometry,
+        model: built.model,
+        ctx_switch: spec.ctx_switch,
+        horizon: built.periods.iter().copied().max().unwrap().saturating_mul(3),
+        variant_policy: rtsched::VariantPolicy::Worst,
+        cache_mode: rtsched::CacheMode::Shared,
+        replacement: Default::default(),
+        l2: None,
+    };
+    let sched: Vec<rtsched::SchedTask> = built
+        .programs
+        .iter()
+        .zip(&built.periods)
+        .enumerate()
+        .map(|(i, (p, period))| rtsched::SchedTask::new(p.clone(), *period, i as u32 + 1))
+        .collect();
+    let report = rtsched::simulate(&sched, &config).unwrap();
+
+    // The aging gap: every preemption displaces no more lines than the
+    // paper admits (the farm's oracle 1), yet the measured response
+    // still beats the paper's fixpoint by more than the release slack.
+    let slack = built.model.cpi + 2 * built.model.miss_penalty + 2 * spec.ctx_switch;
+    for p in &report.preemptions {
+        assert!(p.reloaded_lines <= matrix.reload(p.preempted, p.preempting));
+    }
+    assert!(shipped[1].schedulable);
+    assert!(
+        report.tasks[1].max_response > shipped[1].cycles + slack,
+        "the aging gap closed: measured {} vs shipped WCRT {} (+{slack}) — \
+         has the analysis become aging-aware?",
+        report.tasks[1].max_response,
+        shipped[1].cycles
+    );
+
+    // The sound per-preemption bound really is larger than Eq. 2 here,
+    // and large enough: damage per window never exceeds it.
+    let aging = sound_preemption_lines(&built.analyzed[1].mumbs(), built.analyzed[0].all_blocks());
+    assert!(
+        aging > matrix.reload(1, 0),
+        "aging bound {aging} should exceed Eq. 2 cell {}",
+        matrix.reload(1, 0)
+    );
+
+    // And the full oracle (sound reference WCRT) accepts the point.
+    let outcome = rtfuzz::check(&spec, None);
+    assert_eq!(outcome.violation, None, "{:?}", outcome.violation);
+}

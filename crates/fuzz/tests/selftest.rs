@@ -1,0 +1,44 @@
+//! The farm's self-test: inject a known-unsound mutation into the CRPD
+//! matrix and assert that a bounded campaign (a) notices and (b) shrinks
+//! the failure to a small deterministic reproducer. If this test fails,
+//! the fuzzer has lost its ability to detect real soundness bugs.
+
+use rtfuzz::oracle::Injection;
+use rtfuzz::{run_campaign, CampaignOptions, FuzzSpec};
+
+/// Scaling every CRPD cell to 90% makes the analyzed bound undercut the
+/// simulator on cache-pressure points; the campaign must find one within
+/// a small fixed seed budget (seed 6 trips it, verified deterministic)
+/// and shrink it to at most 3 tasks.
+#[test]
+fn injected_crpd_shave_is_found_and_shrunk() {
+    let opts = CampaignOptions {
+        base_seed: 0,
+        max_points: 64,
+        batch: 16,
+        injection: Some(Injection::ScaleCrpd { num: 9, den: 10 }),
+        ..CampaignOptions::default()
+    };
+    let report = run_campaign(&opts);
+    assert_eq!(report.violations.len(), 1, "campaign missed the injected bug");
+    let v = &report.violations[0];
+    assert!(
+        v.shrunk.tasks.len() <= 3,
+        "reproducer not minimal: {} tasks\n{}",
+        v.shrunk.tasks.len(),
+        v.shrunk.render()
+    );
+    assert!(v.shrunk.tasks.len() <= v.original.tasks.len());
+
+    // The reproducer must still fail under the injection after a render/
+    // parse round trip — i.e. the committed artifact, not just the
+    // in-memory value, reproduces the bug.
+    let reparsed = FuzzSpec::parse(&v.shrunk.render()).expect("reproducer parses");
+    let outcome = rtfuzz::check(&reparsed, Some(&Injection::ScaleCrpd { num: 9, den: 10 }));
+    assert!(outcome.violation.is_some(), "round-tripped reproducer no longer fails");
+
+    // And it must be clean without the injection: the bug is in the
+    // (mutated) analysis, not in the generated system.
+    let clean = rtfuzz::check(&reparsed, None);
+    assert!(clean.violation.is_none(), "{:?}", clean.violation);
+}

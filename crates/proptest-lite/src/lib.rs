@@ -12,9 +12,11 @@
 //!
 //! Differences from upstream, by design:
 //!
-//! * **No shrinking.** A failing case panics with the generated inputs in
-//!   the assertion message (via the usual `assert!` formatting); it is not
-//!   minimized first.
+//! * **No automatic shrinking.** A failing case panics with the generated
+//!   inputs in the assertion message (via the usual `assert!` formatting);
+//!   it is not minimized first. Consumers that minimize failing inputs
+//!   themselves can build on the [`shrink`] candidate generators and
+//!   greedy driver instead.
 //! * **Deterministic seeding.** Each test derives its RNG seed from its
 //!   module path and name, so failures reproduce exactly across runs.
 //! * **Simple rejection handling.** `prop_assume!` discards the case; a
@@ -317,9 +319,114 @@ pub mod prop {
     }
 }
 
+/// Integrated shrinking primitives.
+///
+/// The [`proptest!`] runner itself deliberately does not shrink (failing
+/// cases panic with their inputs), but consumers that minimize failing
+/// inputs themselves — notably the rtfuzz reducer — share these
+/// candidate generators and the greedy [`minimize`](shrink::minimize)
+/// driver instead of re-inventing them.
+pub mod shrink {
+    /// Candidate replacements for an integer, most aggressive first:
+    /// `min` itself, then values binary-searching up from `min` toward
+    /// `v` (`v - Δ/2`, `v - Δ/4`, …, `v - 1`). Returns an empty vector
+    /// when `v` is already minimal.
+    ///
+    /// ```
+    /// assert_eq!(proptest_lite::shrink::int_toward(12, 0), [0, 6, 9, 11]);
+    /// assert_eq!(proptest_lite::shrink::int_toward(3, 3), []);
+    /// ```
+    pub fn int_toward(v: u64, min: u64) -> Vec<u64> {
+        if v <= min {
+            return Vec::new();
+        }
+        let mut out = vec![min];
+        let mut delta = (v - min) / 2;
+        while delta > 0 {
+            let candidate = v - delta;
+            if candidate != *out.last().expect("seeded with min") {
+                out.push(candidate);
+            }
+            delta /= 2;
+        }
+        out
+    }
+
+    /// Candidate replacements shrinking toward zero — [`int_toward`] with
+    /// `min = 0`.
+    pub fn int_toward_zero(v: u64) -> Vec<u64> {
+        int_toward(v, 0)
+    }
+
+    /// Subsequence candidates for a vector, most aggressive first: drop
+    /// contiguous chunks of half the length, then quarters, …, down to
+    /// single-element removals. Candidates that would leave fewer than
+    /// `min_len` elements are not produced, and the input order of the
+    /// surviving elements is preserved.
+    pub fn subsequences<T: Clone>(v: &[T], min_len: usize) -> Vec<Vec<T>> {
+        let mut out = Vec::new();
+        if v.len() <= min_len {
+            return out;
+        }
+        let mut chunk = v.len() / 2;
+        while chunk >= 1 {
+            for start in (0..v.len()).step_by(chunk) {
+                let end = (start + chunk).min(v.len());
+                if v.len() - (end - start) < min_len {
+                    continue;
+                }
+                let mut candidate = Vec::with_capacity(v.len() - (end - start));
+                candidate.extend_from_slice(&v[..start]);
+                candidate.extend_from_slice(&v[end..]);
+                out.push(candidate);
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        out
+    }
+
+    /// Greedy fixpoint minimizer: repeatedly asks `candidates` for
+    /// smaller variants of the current value and accepts the first one
+    /// `keep` approves (for a fuzz reducer: "still fails the oracle"),
+    /// until no candidate is accepted or `max_steps` acceptances have
+    /// happened. Returns the minimized value and the number of accepted
+    /// shrink steps.
+    ///
+    /// Termination is the caller's contract: every accepted candidate
+    /// must be strictly smaller under whatever measure `candidates`
+    /// shrinks, which all generators in this module guarantee.
+    pub fn minimize<T, C, K>(
+        mut current: T,
+        max_steps: usize,
+        candidates: C,
+        mut keep: K,
+    ) -> (T, usize)
+    where
+        C: Fn(&T) -> Vec<T>,
+        K: FnMut(&T) -> bool,
+    {
+        let mut steps = 0;
+        'outer: while steps < max_steps {
+            for candidate in candidates(&current) {
+                if keep(&candidate) {
+                    current = candidate;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (current, steps)
+    }
+}
+
 /// Everything a property-test file needs in scope.
 pub mod prelude {
     pub use crate::prop;
+    pub use crate::shrink;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy,
         ProptestConfig, Strategy, TestCaseError, TestRng,
@@ -498,5 +605,54 @@ mod tests {
         fn macro_without_config(flag in prop_oneof![0u8..1, 1u8..2]) {
             prop_assert!(flag <= 1);
         }
+    }
+
+    #[test]
+    fn int_candidates_shrink_strictly_and_lead_with_min() {
+        assert_eq!(shrink::int_toward_zero(12), [0, 6, 9, 11]);
+        assert_eq!(shrink::int_toward(12, 4), [4, 8, 10, 11]);
+        assert_eq!(shrink::int_toward(5, 4), [4]);
+        assert!(shrink::int_toward(4, 4).is_empty());
+        assert!(shrink::int_toward_zero(0).is_empty());
+        for v in 1u64..200 {
+            let candidates = shrink::int_toward_zero(v);
+            assert_eq!(candidates[0], 0);
+            assert!(candidates.iter().all(|c| *c < v), "{v}: {candidates:?}");
+            assert!(candidates.windows(2).all(|w| w[0] < w[1]), "{v}: {candidates:?}");
+        }
+    }
+
+    #[test]
+    fn subsequences_preserve_order_and_min_len() {
+        let v = [1, 2, 3, 4];
+        let candidates = shrink::subsequences(&v, 1);
+        // Most aggressive first: halves before single removals.
+        assert_eq!(candidates[0], vec![3, 4]);
+        assert_eq!(candidates[1], vec![1, 2]);
+        for c in &candidates {
+            assert!(c.len() < v.len() && !c.is_empty());
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "order broken: {c:?}");
+        }
+        // Single removals are all present.
+        for drop in 0..v.len() {
+            let expect: Vec<i32> = v.iter().copied().filter(|x| *x != v[drop]).collect();
+            assert!(candidates.contains(&expect), "missing {expect:?}");
+        }
+        assert!(shrink::subsequences(&v, 4).is_empty());
+        assert!(shrink::subsequences(&v, 5).is_empty());
+    }
+
+    #[test]
+    fn minimize_reaches_a_fixpoint() {
+        // Minimize an integer that must stay >= 17: the greedy driver
+        // should land exactly on 17.
+        let (min, steps) =
+            shrink::minimize(1000u64, 64, |v| shrink::int_toward_zero(*v), |v| *v >= 17);
+        assert_eq!(min, 17);
+        assert!(steps > 0);
+        // A budget of zero steps returns the input untouched.
+        let (same, steps) =
+            shrink::minimize(1000u64, 0, |v| shrink::int_toward_zero(*v), |v| *v >= 17);
+        assert_eq!((same, steps), (1000, 0));
     }
 }

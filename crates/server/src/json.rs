@@ -293,13 +293,16 @@ impl Parser<'_> {
                 }
                 Some(&b) if b < 0x20 => return Err(self.err("raw control byte in string")),
                 Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so
-                    // boundaries are valid by construction).
+                    // Consume the maximal run of plain bytes in one append
+                    // (the input is a &str and the run ends at an ASCII
+                    // byte, so both cut points are valid UTF-8 boundaries).
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = s.chars().next().expect("non-empty by match");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\' || b < 0x20)
+                        .unwrap_or(rest.len());
+                    out.push_str(std::str::from_utf8(&rest[..run]).expect("subslice of a &str"));
+                    self.pos += run;
                 }
             }
         }
@@ -400,6 +403,19 @@ mod tests {
     fn surrogate_pairs_decode() {
         assert_eq!(Json::parse(r#""🦀""#).unwrap().as_str(), Some("🦀"));
         assert!(Json::parse(r#""\ud83e""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn megabyte_strings_parse_in_linear_time() {
+        // A spec at the protocol's size limit must parse as one run, not
+        // one whole-input UTF-8 validation per character.
+        let body = "x".repeat(1 << 20);
+        let doc = format!("{{\"spec\":\"{body}\"}}");
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("spec").unwrap().as_str(), Some(body.as_str()));
+        // Escapes still split runs correctly.
+        let mixed = format!("\"{body}\\n{body}\"");
+        assert_eq!(Json::parse(&mixed).unwrap().as_str().unwrap().len(), (2 << 20) + 1);
     }
 
     #[test]

@@ -175,20 +175,33 @@ impl Request {
     }
 }
 
+/// Upper bound on the combined `spec` + `sources` payload of one
+/// request. Typed rejection (instead of letting a multi-megabyte spec
+/// reach the assembler) keeps one hostile or buggy client from pinning
+/// a worker on parse work.
+pub const MAX_SPEC_BYTES: usize = 1 << 20;
+
 fn spec_payload(doc: &Json) -> Result<SpecPayload, String> {
     let spec =
         doc.get("spec").and_then(Json::as_str).ok_or("missing string field `spec`")?.to_string();
     let mut sources = BTreeMap::new();
+    let mut total = spec.len();
     match doc.get("sources") {
         None | Some(Json::Null) => {}
         Some(Json::Obj(map)) => {
             for (file, text) in map {
                 let text =
                     text.as_str().ok_or_else(|| format!("source `{file}` must be a string"))?;
+                total += file.len() + text.len();
                 sources.insert(file.clone(), text.to_string());
             }
         }
         Some(_) => return Err("`sources` must be an object of strings".to_string()),
+    }
+    if total > MAX_SPEC_BYTES {
+        return Err(format!(
+            "spec payload of {total} bytes exceeds the {MAX_SPEC_BYTES}-byte limit"
+        ));
     }
     Ok(SpecPayload { spec, sources })
 }
@@ -266,6 +279,25 @@ mod tests {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
         }
+    }
+
+    #[test]
+    fn rejects_oversized_spec_payloads() {
+        let big = "x".repeat(MAX_SPEC_BYTES + 1);
+        let line = format!(r#"{{"cmd":"wcrt","spec":"{big}"}}"#);
+        let err = Request::parse(&line).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+
+        // The limit covers spec + sources combined, and sits just above
+        // the boundary: an exactly-at-limit payload is accepted.
+        let spec = "task a a.s 1 1\n";
+        let source = "y".repeat(MAX_SPEC_BYTES);
+        let line = format!(r#"{{"cmd":"wcet","spec":"{spec}","sources":{{"a.s":"{source}"}}}}"#);
+        let err = Request::parse(&line.replace('\n', "\\n")).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+
+        let ok = format!(r#"{{"cmd":"wcrt","spec":"{}"}}"#, "z".repeat(MAX_SPEC_BYTES));
+        assert!(Request::parse(&ok).is_ok());
     }
 
     #[test]

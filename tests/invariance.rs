@@ -11,7 +11,7 @@ use preempt_wcrt::analysis::{
 };
 use preempt_wcrt::cache::CacheGeometry;
 use preempt_wcrt::wcet::TimingModel;
-use preempt_wcrt::workloads::synthetic::{synthetic_task, SyntheticSpec};
+use preempt_wcrt::workloads::synthetic::{system, SystemParams};
 
 const POOL_SIZES: [usize; 3] = [1, 2, 8];
 
@@ -23,19 +23,24 @@ const POOL_SIZES: [usize; 3] = [1, 2, 8];
 fn analysis_report() -> String {
     let geometry = CacheGeometry::new(64, 2, 16).unwrap();
     let model = TimingModel::default();
-    let tasks: Vec<AnalyzedTask> = (0..3usize)
-        .map(|i| {
-            let mut spec = SyntheticSpec::new(
-                format!("inv{i}"),
-                0x0001_0000 + 0x0800 * i as u64,
-                0x0010_0000 + 0x0140 * i as u64,
-            );
-            spec.seed = 0xBEEF + i as u64;
-            spec.data_words = 128 + 32 * i;
-            spec.outer_iters = 2 + i as u32;
-            let program = synthetic_task(&spec);
+    let params = SystemParams {
+        name_prefix: "inv".to_string(),
+        seed: 0xBEEF,
+        code_stride: 0x0800,
+        data_stride: 0x0140,
+        data_words_base: 128,
+        data_words_step: 32,
+        outer_base: 2,
+        inner_iters: 32,
+        stride_words: 2,
+        ..SystemParams::default()
+    };
+    let tasks: Vec<AnalyzedTask> = system(&params)
+        .iter()
+        .enumerate()
+        .map(|(i, program)| {
             AnalyzedTask::analyze(
-                &program,
+                program,
                 TaskParams { period: 200_000 << i, priority: 2 + i as u32 },
                 geometry,
                 model,

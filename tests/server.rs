@@ -263,6 +263,79 @@ fn metrics_prom_returns_consistent_prometheus_text() {
     handle.join().expect("clean exit");
 }
 
+/// Error paths must degrade per-request, never per-server: a malformed
+/// explore grid, an oversized spec payload and a client that vanishes
+/// mid-stream each produce a typed error (or nothing), while the same
+/// server keeps answering, and every failure is visible in the metrics
+/// error counters.
+#[test]
+fn error_paths_leave_the_server_serving() {
+    let opts =
+        rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 2, trace_out: None };
+    let handle = Server::spawn(&opts).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // A malformed explore grid (bogus axis) errors on that request only:
+    // the same connection then serves an explore with a good grid.
+    let bad_grid = Json::obj([
+        ("id", Json::from(1u64)),
+        ("cmd", Json::from("explore")),
+        ("spec", Json::from(SPEC)),
+        ("sources", Json::obj([("hi.s", Json::from(TASK_HI)), ("lo.s", Json::from(TASK_LO))])),
+        ("grid", Json::from("sets 32 64\nfrobnicate 1 2\n")),
+    ])
+    .encode();
+    let replies = roundtrip(addr, &[bad_grid, r#"{"id":2,"cmd":"ping"}"#.to_string()]);
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(false), "{:?}", replies[0]);
+    let error = replies[0].get("error").and_then(Json::as_str).expect("typed error");
+    assert!(error.contains("frobnicate"), "error should name the bad axis: {error}");
+    assert_eq!(replies[1].get("output").and_then(Json::as_str), Some("pong"));
+
+    // An oversized spec is rejected before any parsing or analysis work.
+    let oversized = Json::obj([
+        ("id", Json::from(3u64)),
+        ("cmd", Json::from("wcrt")),
+        ("spec", Json::from("x".repeat(rtserver::proto::MAX_SPEC_BYTES + 1).as_str())),
+    ])
+    .encode();
+    let replies = roundtrip(addr, &[oversized, r#"{"id":4,"cmd":"ping"}"#.to_string()]);
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(false));
+    let error = replies[0].get("error").and_then(Json::as_str).expect("typed error");
+    assert!(error.contains("exceeds"), "oversized spec must be rejected by size: {error}");
+    assert_eq!(replies[1].get("output").and_then(Json::as_str), Some("pong"));
+
+    // A client that writes half a request and disconnects mid-stream must
+    // not wedge the worker: new connections still get served.
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream);
+        write!(writer, r#"{{"id":5,"cmd":"wcrt","spec":"#).expect("partial write");
+        writer.flush().expect("flush");
+        // Drop without a newline: the connection dies with the request
+        // unterminated.
+    }
+    let replies = roundtrip(addr, &[r#"{"id":6,"cmd":"ping"}"#.to_string()]);
+    assert_eq!(replies[0].get("output").and_then(Json::as_str), Some("pong"));
+
+    // Both request failures are on the books, attributed per endpoint.
+    let replies = roundtrip(addr, &[r#"{"cmd":"metrics"}"#.to_string()]);
+    let endpoints =
+        replies[0].get("metrics").and_then(|m| m.get("endpoints")).expect("metrics endpoint stats");
+    let errors = |ep: &str| {
+        endpoints.get(ep).and_then(|e| e.get("errors")).and_then(Json::as_u64).unwrap_or(0)
+    };
+    assert_eq!(errors("explore"), 1, "the malformed grid counts as an explore error");
+    // The oversized spec never produces a `Command`, so it is booked
+    // under the parse-stage `invalid` endpoint — as is the disconnected
+    // client's unterminated half-request, which the worker reads at EOF,
+    // fails to parse, and then cannot answer.
+    assert_eq!(errors("invalid"), 2, "oversized spec + truncated request are parse-stage errors");
+
+    let replies = roundtrip(addr, &[r#"{"cmd":"shutdown"}"#.to_string()]);
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("server exits cleanly after the error traffic");
+}
+
 /// The wire spec format is the on-disk spec format: a spec that parses
 /// from disk must be accepted verbatim over the wire (with sources
 /// resolved from the server's filesystem as the fallback).

@@ -9,29 +9,16 @@ use preempt_wcrt::analysis::{
 use preempt_wcrt::cache::CacheGeometry;
 use preempt_wcrt::sched::{simulate, CacheMode, SchedConfig, SchedTask, VariantPolicy};
 use preempt_wcrt::wcet::TimingModel;
-use preempt_wcrt::workloads::synthetic::{synthetic_task, SyntheticSpec};
+use preempt_wcrt::workloads::synthetic::{synthetic_task, system, SyntheticSpec, SystemParams};
 
 /// Builds a three-task synthetic system with heavy index overlap (data
-/// bases staggered within one index period) and tight periods.
+/// bases staggered within one index period) and tight periods. The
+/// program family lives in `workloads::synthetic::system`; this wrapper
+/// probes solo WCETs to size the periods (hp shortest).
 fn synthetic_system(seed: u64) -> Vec<(preempt_wcrt::program::Program, u64, u32)> {
-    let mut programs = Vec::new();
-    for i in 0..3usize {
-        let mut spec = SyntheticSpec::new(
-            format!("syn{i}"),
-            0x0001_0000 + 0x0400 * i as u64,
-            0x0010_0000 + 0x0300 * i as u64,
-        );
-        spec.seed = seed.wrapping_add(i as u64);
-        spec.data_words = 192 + 64 * i;
-        spec.outer_iters = 3 + i as u32;
-        spec.inner_iters = 24;
-        spec.stride_words = 1;
-        programs.push(synthetic_task(&spec));
-    }
-    // Probe solo WCETs to size the periods (hp shortest).
     let g = CacheGeometry::new(64, 2, 16).unwrap();
     let model = TimingModel::default();
-    programs
+    system(&SystemParams { seed, ..SystemParams::default() })
         .into_iter()
         .enumerate()
         .map(|(i, p)| {
@@ -264,6 +251,28 @@ fn random_pairs_measured_reloads_never_exceed_analyzed_crpd() {
         total_preemptions += report.tasks[1].preemptions as usize;
     }
     assert!(total_preemptions > 0, "the random systems must actually preempt");
+}
+
+/// Every committed fuzz reproducer in `tests/corpus/` must replay clean
+/// through the farm's full oracle stack (CRPD dominance, sound-reference
+/// WCRT dominance, packed-kernel equivalence) on every `cargo test`.
+/// These are shrunk regression specs: each one once exposed — or guards
+/// against — a soundness gap.
+#[test]
+fn fuzz_corpus_replays_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let report = rtfuzz::replay_corpus(&dir).expect("corpus parses");
+    assert!(!report.files.is_empty(), "tests/corpus must not be empty");
+    assert!(
+        report.failures.is_empty(),
+        "corpus regressions: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|(p, v)| format!("{}: [{}] {}", p.display(), v.kind.label(), v.detail))
+            .collect::<Vec<_>>()
+    );
+    assert!(report.counts.crpd_records > 0, "corpus must exercise real preemptions");
 }
 
 /// Lee's RMB/LMB dataflow over-approximates the exact useful blocks *at
