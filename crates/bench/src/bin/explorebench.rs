@@ -131,7 +131,16 @@ fn run() -> Result<(), String> {
     let cells = CrpdCellCache::default();
     let provider = |task: usize, geometry, model| store.analyzed_program(task, geometry, model);
     let started = Instant::now();
-    let outcome = run_sweep(&plan, &provider, &cells, |_, _| {}).map_err(|e| e.to_string())?;
+    let mut heartbeat = rtobs::flight::Heartbeat::new(std::time::Duration::from_secs(5));
+    let mut done = 0u64;
+    let total = plan.len() as u64;
+    let outcome = run_sweep(&plan, &provider, &cells, |batch, _front| {
+        done += batch.len() as u64;
+        if let Some(line) = heartbeat.poll(done, Some(total)) {
+            eprintln!("explorebench: {line}");
+        }
+    })
+    .map_err(|e| e.to_string())?;
     let elapsed = started.elapsed();
     let points_per_sec = outcome.points as f64 / elapsed.as_secs_f64();
     println!(

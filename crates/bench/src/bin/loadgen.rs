@@ -331,7 +331,7 @@ fn run() -> Result<(), String> {
                 host: "127.0.0.1".to_string(),
                 port: 0,
                 threads: 4,
-                trace_out: None,
+                ..ServeOptions::default()
             };
             let handle = Server::spawn(&serve).map_err(|e| format!("spawn server: {e}"))?;
             (handle.addr().to_string(), Some(handle))

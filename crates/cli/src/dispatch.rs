@@ -3,7 +3,7 @@
 
 use std::path::Path;
 
-use crate::options::{CacheOptions, CliError, ServeOptions};
+use crate::options::{CacheOptions, CliError, ServeOptions, StatusOptions};
 use crate::spec::SystemSpec;
 use crate::{
     cmd_asm, cmd_crpd, cmd_disasm, cmd_footprint, cmd_run, cmd_sim, cmd_wcet, cmd_wcrt,
@@ -11,7 +11,8 @@ use crate::{
 };
 
 /// The usage line printed on bad invocations and `--help`.
-pub const USAGE: &str = "trisc <asm|disasm|run|wcet|footprint|crpd|wcrt|sim|explore|serve> ... \
+pub const USAGE: &str =
+    "trisc <asm|disasm|run|wcet|footprint|crpd|wcrt|sim|explore|serve|status> ... \
      (wcrt/crpd/explore take --trace-out TRACE.json; wcrt takes --explain)";
 
 /// A fully parsed `trisc` invocation.
@@ -26,6 +27,9 @@ pub enum Invocation {
     Output(String),
     /// `trisc serve`: start the analysis daemon with these options.
     Serve(ServeOptions),
+    /// `trisc status`: query a running daemon's statusz/journal endpoints
+    /// and render them for a terminal.
+    Status(StatusOptions),
     /// `trisc explore GRID`: run a design-space sweep over the grid file.
     Explore {
         /// Path to the grid file declaring the swept axes.
@@ -52,6 +56,17 @@ pub fn parse(mut args: Vec<String>) -> Result<Invocation, CliError> {
             )));
         }
         return Ok(Invocation::Serve(opts));
+    }
+    if args.first().map(String::as_str) == Some("status") {
+        args.remove(0);
+        let mut opts = StatusOptions::default();
+        opts.parse_from(&mut args)?;
+        if let Some(extra) = args.first() {
+            return Err(CliError::Usage(format!(
+                "unexpected argument `{extra}`; trisc status [--host HOST] [--port PORT] [--journal N]"
+            )));
+        }
+        return Ok(Invocation::Status(opts));
     }
     if args.first().map(String::as_str) == Some("explore") {
         args.remove(0);
@@ -206,6 +221,9 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
         "serve" => {
             Err(CliError::Usage("serve is long-running; use `parse` and the rtserver crate".into()))
         }
+        "status" => Err(CliError::Usage(
+            "status talks to a live daemon; use `parse` and the rtserver crate".into(),
+        )),
         "explore" => Err(CliError::Usage(
             "explore runs in the rtexplore crate; use `parse` and the trisc binary".into(),
         )),
@@ -337,6 +355,21 @@ mod tests {
         assert!(matches!(parse(argv(&["serve", "leftover"])), Err(CliError::Usage(_))));
         // `dispatch` itself points serve users at the daemon crate.
         assert!(matches!(dispatch(argv(&["serve"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_recognizes_status() {
+        match parse(argv(&["status", "--port", "9000", "--journal", "3"])).unwrap() {
+            Invocation::Status(opts) => {
+                assert_eq!(opts.host, "127.0.0.1");
+                assert_eq!(opts.port, 9000);
+                assert_eq!(opts.journal, 3);
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+        assert!(matches!(parse(argv(&["status", "leftover"])), Err(CliError::Usage(_))));
+        // `dispatch` itself points status users at the daemon crate.
+        assert!(matches!(dispatch(argv(&["status"])), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -47,7 +47,7 @@ use rtsched::{render_timeline, simulate, CacheMode, SchedConfig, SchedTask, Vari
 use rtwcet::{estimate_wcet, structural_wcet_bound};
 
 pub use dispatch::{dispatch, parse, Invocation, USAGE};
-pub use options::{CacheOptions, CliError, ServeOptions};
+pub use options::{CacheOptions, CliError, ServeOptions, StatusOptions};
 pub use spec::SystemSpec;
 
 /// `trisc asm`: assemble and summarize a program.

@@ -95,6 +95,14 @@ pub struct ServeOptions {
     /// Keep an `rtobs` recorder installed for the server's lifetime and
     /// write the Chrome trace of everything it served here on shutdown.
     pub trace_out: Option<String>,
+    /// Slow-request threshold in milliseconds (`--slow-ms`): any request
+    /// at least this slow has its full span tree captured into the
+    /// bounded black-box buffer served by the `flight` endpoint. `None`
+    /// disables capture.
+    pub slow_ms: Option<u64>,
+    /// Flight-recorder ring capacity (`--flight-capacity`): how many of
+    /// the most recent per-request records the `journal` endpoint keeps.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -108,6 +116,8 @@ impl Default for ServeOptions {
             port: 7227,
             threads: rtpar::default_threads(),
             trace_out: None,
+            slow_ms: None,
+            flight_capacity: 512,
         }
     }
 }
@@ -125,7 +135,8 @@ impl ServeOptions {
         let mut it = args.drain(..);
         while let Some(arg) = it.next() {
             match arg.as_str() {
-                "--host" | "--port" | "--threads" | "--trace-out" => {
+                "--host" | "--port" | "--threads" | "--trace-out" | "--slow-ms"
+                | "--flight-capacity" => {
                     let value = it
                         .next()
                         .ok_or_else(|| CliError::Options(format!("{arg} needs a value")))?;
@@ -137,11 +148,85 @@ impl ServeOptions {
                                 CliError::Options(format!("bad value for --port: {value}"))
                             })?;
                         }
+                        "--slow-ms" => {
+                            self.slow_ms = Some(value.parse().map_err(|_| {
+                                CliError::Options(format!("bad value for --slow-ms: {value}"))
+                            })?);
+                        }
+                        "--flight-capacity" => {
+                            self.flight_capacity =
+                                value.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                                    CliError::Options(format!(
+                                        "bad value for --flight-capacity: {value}"
+                                    ))
+                                })?;
+                        }
                         _ => {
                             self.threads =
                                 value.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
                                     CliError::Options(format!("bad value for --threads: {value}"))
                                 })?;
+                        }
+                    }
+                }
+                _ => remaining.push(arg),
+            }
+        }
+        drop(it);
+        *args = remaining;
+        Ok(())
+    }
+}
+
+/// Options of the `trisc status` subcommand (`--host`, `--port`,
+/// `--journal`): an ops-plane client that renders a running server's
+/// `statusz`/`journal` endpoints human-readably. The client itself lives
+/// in the `rtserver` crate next to the daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusOptions {
+    /// Server host to query.
+    pub host: String,
+    /// Server port to query.
+    pub port: u16,
+    /// How many recent flight records to render from the journal.
+    pub journal: usize,
+}
+
+impl Default for StatusOptions {
+    /// Loopback on the default serve port, last 10 records.
+    fn default() -> Self {
+        StatusOptions { host: "127.0.0.1".to_string(), port: 7227, journal: 10 }
+    }
+}
+
+impl StatusOptions {
+    /// Consumes recognized `--flag value` pairs from an argument list,
+    /// leaving the rest untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Options`] for malformed values or a flag
+    /// missing its value.
+    pub fn parse_from(&mut self, args: &mut Vec<String>) -> Result<(), CliError> {
+        let mut remaining = Vec::with_capacity(args.len());
+        let mut it = args.drain(..);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--host" | "--port" | "--journal" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| CliError::Options(format!("{arg} needs a value")))?;
+                    match arg.as_str() {
+                        "--host" => self.host = value,
+                        "--port" => {
+                            self.port = value.parse().map_err(|_| {
+                                CliError::Options(format!("bad value for --port: {value}"))
+                            })?;
+                        }
+                        _ => {
+                            self.journal = value.parse().map_err(|_| {
+                                CliError::Options(format!("bad value for --journal: {value}"))
+                            })?;
                         }
                     }
                 }
@@ -253,6 +338,41 @@ mod tests {
         assert!(matches!(ServeOptions::default().parse_from(&mut bad), Err(CliError::Options(_))));
         let mut bad: Vec<String> = vec!["--port".to_string(), "high".to_string()];
         assert!(matches!(ServeOptions::default().parse_from(&mut bad), Err(CliError::Options(_))));
+    }
+
+    #[test]
+    fn serve_options_parse_flight_flags() {
+        let mut o = ServeOptions::default();
+        assert_eq!(o.slow_ms, None);
+        assert_eq!(o.flight_capacity, 512);
+        let mut args: Vec<String> = ["--slow-ms", "250", "--flight-capacity", "64", "rest"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        o.parse_from(&mut args).unwrap();
+        assert_eq!(o.slow_ms, Some(250));
+        assert_eq!(o.flight_capacity, 64);
+        assert_eq!(args, vec!["rest".to_string()]);
+        let mut bad: Vec<String> = ["--slow-ms", "soon"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(ServeOptions::default().parse_from(&mut bad), Err(CliError::Options(_))));
+        let mut bad: Vec<String> =
+            ["--flight-capacity", "0"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(ServeOptions::default().parse_from(&mut bad), Err(CliError::Options(_))));
+    }
+
+    #[test]
+    fn status_options_parse() {
+        let mut o = StatusOptions::default();
+        assert_eq!((o.host.as_str(), o.port, o.journal), ("127.0.0.1", 7227, 10));
+        let mut args: Vec<String> = ["--port", "9000", "--journal", "25", "--host", "::1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        o.parse_from(&mut args).unwrap();
+        assert_eq!((o.host.as_str(), o.port, o.journal), ("::1", 9000, 25));
+        assert!(args.is_empty());
+        let mut bad: Vec<String> = ["--journal", "many"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(StatusOptions::default().parse_from(&mut bad), Err(CliError::Options(_))));
     }
 
     #[test]

@@ -35,6 +35,7 @@ struct Options {
     inject_scale: Option<(u64, u64)>,
     emit_corpus: Option<u64>,
     stop_after: usize,
+    heartbeat_secs: u64,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -49,6 +50,7 @@ fn parse_options() -> Result<Options, String> {
         inject_scale: None,
         emit_corpus: None,
         stop_after: 1,
+        heartbeat_secs: 5,
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -72,6 +74,7 @@ fn parse_options() -> Result<Options, String> {
                 opts.inject_scale = Some((num(num_s)?, num(den_s)?.max(1)));
             }
             "--emit-corpus" => opts.emit_corpus = Some(num(&value(&mut args, "--emit-corpus")?)?),
+            "--heartbeat" => opts.heartbeat_secs = num(&value(&mut args, "--heartbeat")?)?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -139,6 +142,7 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
         time_limit: opts.seconds.map(Duration::from_secs),
         injection: opts.inject_scale.map(|(num, den)| Injection::ScaleCrpd { num, den }),
         stop_after: opts.stop_after,
+        heartbeat: (opts.heartbeat_secs > 0).then(|| Duration::from_secs(opts.heartbeat_secs)),
         ..CampaignOptions::default()
     };
     let report = run_campaign(&campaign);
@@ -185,7 +189,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: fuzzfarm [--points N] [--seconds S] [--seed BASE] [--threads N] \
                  [--json-out PATH] [--corpus-out DIR] [--stop-after N] \
-                 [--inject-scale NUM/DEN] [--replay DIR] [--emit-corpus N]"
+                 [--inject-scale NUM/DEN] [--replay DIR] [--emit-corpus N] \
+                 [--heartbeat SECS (0 = off)]"
             );
             return ExitCode::from(2);
         }

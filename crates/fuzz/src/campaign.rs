@@ -30,6 +30,8 @@ pub struct CampaignOptions {
     pub shrink_steps: usize,
     /// Points per parallel batch.
     pub batch: usize,
+    /// Emit a progress heartbeat line on stderr at this interval.
+    pub heartbeat: Option<Duration>,
 }
 
 impl Default for CampaignOptions {
@@ -42,6 +44,7 @@ impl Default for CampaignOptions {
             stop_after: 1,
             shrink_steps: 200,
             batch: 64,
+            heartbeat: None,
         }
     }
 }
@@ -129,6 +132,10 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignReport {
     let mut violations: Vec<ShrunkViolation> = Vec::new();
     let mut points = 0u64;
     let stop_after = opts.stop_after.max(1);
+    let mut heartbeat = opts.heartbeat.map(rtobs::flight::Heartbeat::new);
+    // An effectively unbounded campaign (time-budget mode) has no useful
+    // total, so the heartbeat reports rate/elapsed instead of an ETA.
+    let total = (opts.max_points < u64::MAX / 4).then_some(opts.max_points);
     while points < opts.max_points && violations.len() < stop_after {
         if opts.time_limit.is_some_and(|limit| started.elapsed() >= limit) {
             break;
@@ -158,6 +165,11 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignReport {
             }
         }
         points += n as u64;
+        if let Some(hb) = heartbeat.as_mut() {
+            if let Some(line) = hb.poll(points, total) {
+                eprintln!("fuzzfarm: {line}");
+            }
+        }
     }
     CampaignReport {
         base_seed: opts.base_seed,

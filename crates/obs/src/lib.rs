@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
@@ -430,18 +432,20 @@ fn json_string(s: &str) -> String {
 }
 
 /// RAII guard for one span. Inert (no allocation, no lock) when no
-/// recorder is installed.
+/// recorder is installed and no [`flight`] frame is on the thread.
 pub struct SpanGuard {
     active: Option<ActiveSpan>,
 }
 
 struct ActiveSpan {
-    recorder: Arc<Recorder>,
+    recorder: Option<Arc<Recorder>>,
+    flight: Option<Arc<flight::ActiveFlight>>,
     stage: &'static str,
     label: String,
     path: String,
     ts_us: u64,
     started: Instant,
+    depth: u32,
 }
 
 /// Opens an unlabeled span for `stage`. See [`span_labeled`].
@@ -451,19 +455,29 @@ pub fn span(stage: &'static str) -> SpanGuard {
 
 /// Opens a span for `stage` with a lazily-built detail label. The label
 /// closure only runs when a recorder is installed, so call sites may
-/// `format!` freely without taxing disabled runs.
+/// `format!` freely without taxing disabled runs. When only a [`flight`]
+/// frame is active (always-on production mode) the span attributes its
+/// duration to the frame without building the label or path, so the hot
+/// path stays allocation-free.
 pub fn span_labeled(stage: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
-    let Some(recorder) = active() else {
+    let recorder = active();
+    let flight = flight::context();
+    if recorder.is_none() && flight.is_none() {
         return SpanGuard { active: None };
-    };
-    let path = SPAN_STACK.with(|stack| {
+    }
+    let want_path = recorder.is_some();
+    let (depth, path) = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         stack.push(stage);
-        stack.join("/")
+        let path = if want_path { stack.join("/") } else { String::new() };
+        (stack.len() as u32, path)
     });
     let started = Instant::now();
-    let ts_us = started.duration_since(recorder.start).as_micros() as u64;
-    SpanGuard { active: Some(ActiveSpan { recorder, stage, label: label(), path, ts_us, started }) }
+    let ts_us = recorder.as_ref().map_or(0, |r| started.duration_since(r.start).as_micros() as u64);
+    let label = if want_path { label() } else { String::new() };
+    SpanGuard {
+        active: Some(ActiveSpan { recorder, flight, stage, label, path, ts_us, started, depth }),
+    }
 }
 
 impl Drop for SpanGuard {
@@ -472,8 +486,13 @@ impl Drop for SpanGuard {
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
-        let dur_us = span.started.elapsed().as_micros() as u64;
-        let mut inner = span.recorder.lock();
+        let dur = span.started.elapsed();
+        if let Some(flight) = &span.flight {
+            flight.note_span(span.stage, span.depth, span.started, dur);
+        }
+        let Some(recorder) = &span.recorder else { return };
+        let dur_us = dur.as_micros() as u64;
+        let mut inner = recorder.lock();
         let tid = Recorder::tid(&mut inner);
         inner.spans.push(SpanRecord {
             stage: span.stage,
@@ -561,7 +580,11 @@ pub fn record_explore_front(size: u64) {
 
 /// Records one lookup against a content-addressed pipeline-stage cache:
 /// `hit` means the artifact was reused, `!hit` means the stage re-ran.
+/// Also attributed to the thread's [`flight`] frame, if one is active.
 pub fn record_stage_lookup(stage: &'static str, hit: bool) {
+    if let Some(frame) = flight::context() {
+        frame.note_lookup(stage, hit);
+    }
     let Some(recorder) = active() else { return };
     let mut inner = recorder.lock();
     let tally = inner.counters.stage_lookups.entry(stage).or_default();
@@ -713,6 +736,26 @@ mod tests {
         let _serial = test_lock();
         let guard = span_labeled("wcrt", || panic!("label must not be built when disabled"));
         assert!(guard.active.is_none());
+    }
+
+    #[test]
+    fn spans_and_lookups_attribute_to_flight_frames_without_a_recorder() {
+        let _serial = test_lock();
+        assert!(!enabled());
+        let recorder = flight::FlightRecorder::new(2);
+        let scope = recorder.begin("wcrt", 0, true);
+        {
+            let _outer =
+                span_labeled("wcrt", || panic!("label must not be built without a recorder"));
+            let _inner = span("crpd");
+        }
+        record_stage_lookup("analyze", true);
+        let finished = scope.finish(true);
+        let events: Vec<(&str, u32)> = finished.spans.iter().map(|e| (e.stage, e.depth)).collect();
+        assert_eq!(events, [("crpd", 2), ("wcrt", 1)], "completion order, nesting depths");
+        let analyze = flight::stage_index("analyze").unwrap();
+        assert_eq!(finished.record.stage_hits[analyze], 1);
+        SPAN_STACK.with(|stack| assert!(stack.borrow().is_empty()));
     }
 
     #[test]

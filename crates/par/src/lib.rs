@@ -85,6 +85,10 @@ struct Batch {
     run_one: unsafe fn(*const (), usize),
     completion: Mutex<Completion>,
     finished: Condvar,
+    /// The submitting thread's flight frame, re-installed on whichever
+    /// thread executes the batch so per-request attribution survives
+    /// work stealing (`rtobs::flight`).
+    flight: Option<Arc<rtobs::flight::ActiveFlight>>,
 }
 
 // SAFETY: `data` is only dereferenced through `run_one` for indices
@@ -105,6 +109,9 @@ impl Batch {
     /// is fully accounted (a batched add on loop exit would race the
     /// owner's `stats()` read).
     fn run_to_exhaustion(&self, claimed: &AtomicU64) {
+        // Attribute everything this thread claims to the submitting
+        // request's flight frame (no-op when the batch carries none).
+        let _flight = rtobs::flight::adopt(self.flight.clone());
         loop {
             let index = self.next.fetch_add(1, Ordering::Relaxed);
             if index >= self.total {
@@ -195,6 +202,7 @@ impl Shared {
             run_one: run_one_erased::<R, F>,
             completion: Mutex::new(Completion { done: 0, panic: None }),
             finished: Condvar::new(),
+            flight: rtobs::flight::context(),
         });
         // The caller takes one item itself, so at most `len - 1` helpers
         // can ever be useful.
@@ -656,6 +664,31 @@ mod tests {
         });
         let distinct: HashSet<_> = ids.into_iter().collect();
         assert!(distinct.len() >= 2, "expected workers to claim items, saw {}", distinct.len());
+    }
+
+    #[test]
+    fn batches_carry_flight_frames_onto_worker_threads() {
+        let recorder = rtobs::flight::FlightRecorder::new(1);
+        let scope = recorder.begin("wcrt", 0, false);
+        let pool = Pool::new(4);
+        let sum: u64 = pool
+            .install(|| {
+                par_map_range(64, |i| {
+                    // Workers only see the frame if the batch carried it.
+                    rtobs::record_stage_lookup("analyze", true);
+                    std::thread::sleep(Duration::from_millis(1));
+                    i as u64
+                })
+            })
+            .into_iter()
+            .sum();
+        assert_eq!(sum, 64 * 63 / 2);
+        let finished = scope.finish(true);
+        let analyze = rtobs::flight::stage_index("analyze").unwrap();
+        assert_eq!(
+            finished.record.stage_hits[analyze], 64,
+            "every item attributes to the submitting request, wherever it ran"
+        );
     }
 
     #[test]

@@ -21,6 +21,16 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Ok(rtcli::Invocation::Status(opts)) => match rtserver::ops::run_status(&opts) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(error) => {
+                eprintln!("trisc status: {error}");
+                ExitCode::from(2)
+            }
+        },
         Ok(rtcli::Invocation::Explore { grid, trace_out }) => match run_explore(&grid, trace_out) {
             Ok(output) => {
                 print!("{output}");

@@ -18,6 +18,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod ops;
 pub mod pool;
 pub mod proto;
 pub mod server;

@@ -194,15 +194,25 @@ impl Metrics {
 
     /// Renders everything in the Prometheus text exposition format (the
     /// `metrics_prom` response payload): the same data as [`snapshot`]
-    /// plus the analysis pool's activity gauges.
+    /// plus the analysis pool's activity gauges and the flight recorder's
+    /// inflight gauge, record counter, slow-capture counter and per-stage
+    /// attributed wall time.
     ///
     /// The log₂ histograms translate directly: bucket `i` covers
     /// `[2^i, 2^(i+1))` µs, so its inclusive Prometheus bound is
     /// `le="2^(i+1)-1"` (latencies are integral µs), cumulative counts
     /// are monotone by construction, and `+Inf` equals `_count`.
     ///
+    /// The output passes [`validate_prometheus`], which the tests pin.
+    ///
     /// [`snapshot`]: Metrics::snapshot
-    pub fn prometheus(&self, store: &ArtifactStore, pool: &rtpar::PoolStats) -> String {
+    pub fn prometheus(
+        &self,
+        store: &ArtifactStore,
+        pool: &rtpar::PoolStats,
+        flight: &rtobs::flight::FlightRecorder,
+        slow_captures: u64,
+    ) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let mut gauge = |name: &str, help: &str, value: &dyn std::fmt::Display| {
@@ -235,6 +245,11 @@ impl Metrics {
             "rtserver_explore_front_size",
             "Pareto-front size of the most recent explore sweep.",
             &self.explore_front_size.load(Ordering::Relaxed),
+        );
+        gauge(
+            "rtserver_inflight",
+            "Requests currently between flight-recorder begin and finish.",
+            &flight.inflight(),
         );
         let mut counter = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -274,6 +289,28 @@ impl Metrics {
             "Design-space sweep points evaluated by explore requests.",
             self.explore_points.load(Ordering::Relaxed),
         );
+        counter(
+            "rtserver_flight_records_total",
+            "Flight records committed by the always-on recorder.",
+            flight.records_total(),
+        );
+        counter(
+            "rtserver_slow_requests_total",
+            "Requests slower than --slow-ms captured into the black box.",
+            slow_captures,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP rtserver_stage_request_nanoseconds_total Wall time attributed per pipeline stage across all requests."
+        );
+        let _ = writeln!(out, "# TYPE rtserver_stage_request_nanoseconds_total counter");
+        for (stage, ns) in flight.stage_totals() {
+            let _ = writeln!(
+                out,
+                "rtserver_stage_request_nanoseconds_total{{stage=\"{}\"}} {ns}",
+                escape_label_value(stage)
+            );
+        }
         // Per-stage DAG counters, labelled by pipeline stage.
         let stages = store.stage_stats();
         for (name, help, value) in [
@@ -296,7 +333,12 @@ impl Metrics {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
             for s in &stages {
-                let _ = writeln!(out, "{name}{{stage=\"{}\"}} {}", s.stage, value(s));
+                let _ = writeln!(
+                    out,
+                    "{name}{{stage=\"{}\"}} {}",
+                    escape_label_value(s.stage),
+                    value(s)
+                );
             }
         }
         let _ = writeln!(out, "# HELP rtserver_stage_cache_entries Artifacts held per stage.");
@@ -305,13 +347,15 @@ impl Metrics {
             let _ = writeln!(
                 out,
                 "rtserver_stage_cache_entries{{stage=\"{}\"}} {}",
-                s.stage, s.entries
+                escape_label_value(s.stage),
+                s.entries
             );
         }
         let endpoints = self.endpoints.lock().expect("metrics lock");
         let _ = writeln!(out, "# HELP rtserver_requests_total Handled requests per endpoint.");
         let _ = writeln!(out, "# TYPE rtserver_requests_total counter");
         for (name, stats) in endpoints.iter() {
+            let name = escape_label_value(name);
             let _ =
                 writeln!(out, "rtserver_requests_total{{endpoint=\"{name}\"}} {}", stats.requests);
         }
@@ -320,7 +364,8 @@ impl Metrics {
         for (name, stats) in endpoints.iter() {
             let _ = writeln!(
                 out,
-                "rtserver_request_errors_total{{endpoint=\"{name}\"}} {}",
+                "rtserver_request_errors_total{{endpoint=\"{}\"}} {}",
+                escape_label_value(name),
                 stats.errors
             );
         }
@@ -328,6 +373,7 @@ impl Metrics {
         let _ = writeln!(out, "# HELP {hist} Request latency per endpoint, microseconds.");
         let _ = writeln!(out, "# TYPE {hist} histogram");
         for (name, stats) in endpoints.iter() {
+            let name = escape_label_value(name);
             let mut cumulative = 0;
             for (i, count) in stats.latency.buckets.iter().enumerate() {
                 cumulative += count;
@@ -344,6 +390,147 @@ impl Metrics {
             let _ = writeln!(out, "{hist}_count{{endpoint=\"{name}\"}} {}", stats.latency.total);
         }
         out
+    }
+}
+
+/// Escapes a label value for the Prometheus text exposition format:
+/// backslash, double quote and newline become `\\`, `\"` and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Checks a Prometheus text exposition for the conformance points the
+/// scrape parsers actually reject: the text must end with a newline,
+/// every sample's family must carry `# HELP` and `# TYPE` lines *before*
+/// its first sample, no family may be declared twice, `# TYPE` must name
+/// a known type, label values must use valid escapes, and sample values
+/// must parse as numbers.
+///
+/// Histogram families implicitly declare their `_bucket`/`_sum`/`_count`
+/// series; summaries likewise.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    if text.is_empty() {
+        return Err("empty exposition".into());
+    }
+    if !text.ends_with('\n') {
+        return Err("exposition must end with a newline".into());
+    }
+    let mut help: BTreeMap<&str, ()> = BTreeMap::new();
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if name.is_empty() {
+                return Err(format!("HELP without a family name: `{line}`"));
+            }
+            if help.insert(name, ()).is_some() {
+                return Err(format!("duplicate HELP for family `{name}`"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("unknown TYPE `{kind}` for family `{name}`"));
+            }
+            if types.insert(name, kind).is_some() {
+                return Err(format!("duplicate TYPE for family `{name}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line.find(['{', ' ']).ok_or_else(|| format!("malformed sample `{line}`"))?;
+        let name = &line[..name_end];
+        let family = types
+            .contains_key(name)
+            .then_some(name)
+            .or_else(|| {
+                ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+                    let base = name.strip_suffix(suffix)?;
+                    matches!(types.get(base), Some(&"histogram") | Some(&"summary")).then_some(base)
+                })
+            })
+            .ok_or_else(|| format!("sample `{name}` has no preceding TYPE declaration"))?;
+        if !help.contains_key(family) {
+            return Err(format!("sample `{name}` has no preceding HELP declaration"));
+        }
+        let rest = &line[name_end..];
+        let value_part = if let Some(labels_and_value) = rest.strip_prefix('{') {
+            let close = scan_labels(labels_and_value)
+                .map_err(|e| format!("bad labels in `{line}`: {e}"))?;
+            labels_and_value[close..].trim_start_matches('}').trim_start()
+        } else {
+            rest.trim_start()
+        };
+        let value = value_part.split(' ').next().unwrap_or("");
+        if !matches!(value, "+Inf" | "-Inf" | "NaN") && value.parse::<f64>().is_err() {
+            return Err(format!("non-numeric sample value `{value}` in `{line}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Scans a `name="value",...` label body, validating escapes; returns the
+/// byte offset of the closing `}`.
+fn scan_labels(body: &str) -> Result<usize, String> {
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    loop {
+        if i >= bytes.len() {
+            return Err("unterminated label set".into());
+        }
+        if bytes[i] == b'}' {
+            return Ok(i);
+        }
+        // label name
+        let eq = body[i..].find('=').ok_or("label without `=`")? + i;
+        if body[i..eq].is_empty() {
+            return Err("empty label name".into());
+        }
+        i = eq + 1;
+        if bytes.get(i) != Some(&b'"') {
+            return Err("label value must be double-quoted".into());
+        }
+        i += 1;
+        loop {
+            match bytes.get(i) {
+                None => return Err("unterminated label value".into()),
+                Some(b'"') => {
+                    i += 1;
+                    break;
+                }
+                Some(b'\\') => match bytes.get(i + 1) {
+                    Some(b'\\') | Some(b'"') | Some(b'n') => i += 2,
+                    _ => return Err("invalid escape in label value".into()),
+                },
+                Some(_) => i += 1,
+            }
+        }
+        if bytes.get(i) == Some(&b',') {
+            i += 1;
+        }
     }
 }
 
@@ -429,7 +616,14 @@ mod tests {
         metrics.record_explore(200, 7);
         let pool = rtpar::Pool::new(1);
         pool.install(|| rtpar::par_map_range(4, |i| i));
-        let text = metrics.prometheus(&store, &pool.stats());
+        let flight = rtobs::flight::FlightRecorder::new(8);
+        let scope = flight.begin("wcrt", 0, false);
+        {
+            let _span = rtobs::span("crpd");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        scope.finish(true);
+        let text = metrics.prometheus(&store, &pool.stats(), &flight, 3);
 
         // Every metric family carries HELP and TYPE lines.
         for family in [
@@ -448,6 +642,10 @@ mod tests {
             "rtserver_skyline_points_pruned_total",
             "rtserver_explore_points_total",
             "rtserver_explore_front_size",
+            "rtserver_inflight",
+            "rtserver_flight_records_total",
+            "rtserver_slow_requests_total",
+            "rtserver_stage_request_nanoseconds_total",
         ] {
             assert!(text.contains(&format!("# HELP {family} ")), "missing HELP for {family}");
             assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
@@ -503,5 +701,56 @@ mod tests {
             ),
             "{text}"
         );
+
+        // Flight-recorder families carry live values.
+        assert!(text.contains("rtserver_inflight 0"), "{text}");
+        assert!(text.contains("rtserver_flight_records_total 1"), "{text}");
+        assert!(text.contains("rtserver_slow_requests_total 3"), "{text}");
+        let crpd = text
+            .lines()
+            .find(|l| l.starts_with("rtserver_stage_request_nanoseconds_total{stage=\"crpd\"}"))
+            .expect("crpd stage line");
+        let ns: u64 = crpd.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(ns >= 1_000_000, "the 1 ms span must be attributed: {crpd}");
+
+        // The full exposition passes the conformance validator.
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn escape_label_value_covers_the_three_specials() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn validator_rejects_nonconformant_expositions() {
+        // A minimal conformant exposition passes.
+        let good = "# HELP m Things.\n# TYPE m counter\nm 1\n";
+        validate_prometheus(good).unwrap();
+        let good_hist = "# HELP h H.\n# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n";
+        validate_prometheus(good_hist).unwrap();
+        let good_labels = "# HELP m M.\n# TYPE m gauge\nm{a=\"x\\\\y\\\"z\\n\",b=\"w\"} 2.5\n";
+        validate_prometheus(good_labels).unwrap();
+
+        for (text, needle) in [
+            ("", "empty"),
+            ("# HELP m M.\n# TYPE m counter\nm 1", "end with a newline"),
+            ("m 1\n", "no preceding TYPE"),
+            ("# TYPE m counter\nm 1\n", "no preceding HELP"),
+            ("# HELP m M.\n# TYPE m counter\n# HELP m M.\nm 1\n", "duplicate HELP"),
+            ("# HELP m M.\n# TYPE m counter\n# TYPE m gauge\nm 1\n", "duplicate TYPE"),
+            ("# HELP m M.\n# TYPE m frobnicator\nm 1\n", "unknown TYPE"),
+            ("# HELP m M.\n# TYPE m counter\nm{a=\"x\\q\"} 1\n", "invalid escape"),
+            ("# HELP m M.\n# TYPE m counter\nm{a=\"x} 1\n", "unterminated"),
+            ("# HELP m M.\n# TYPE m counter\nm{a=x} 1\n", "double-quoted"),
+            ("# HELP m M.\n# TYPE m counter\nm potato\n", "non-numeric"),
+            // _bucket series require a histogram/summary TYPE.
+            ("# HELP m M.\n# TYPE m counter\nm_bucket{le=\"1\"} 1\n", "no preceding TYPE"),
+        ] {
+            let err = validate_prometheus(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?}: {err}");
+        }
     }
 }

@@ -17,6 +17,9 @@
 //! | `explore`  | `spec` + `grid` (grid-file text)          | streamed frames (see below) |
 //! | `metrics`  | —                                         | `"metrics": {...}`  |
 //! | `metrics_prom` | —                                     | Prometheus text exposition |
+//! | `statusz`  | —                                         | `"status": {...}` live ops snapshot |
+//! | `journal`  | optional `n` (record count, default 32)   | `"journal": [...]` last flight records |
+//! | `flight`   | —                                         | `"flights": [...]` slow-request black boxes |
 //! | `shutdown` | —                                         | ack, then drain     |
 //!
 //! The `spec` payload is exactly the [`SystemSpec`] text format the
@@ -73,6 +76,20 @@ pub enum Command {
     Metrics,
     /// Observability snapshot in the Prometheus text exposition format.
     MetricsProm,
+    /// Live ops snapshot from the flight recorder: uptime, inflight,
+    /// per-endpoint quantiles, stage hit rates.
+    Statusz,
+    /// The last `n` flight records from the recorder's ring (newest
+    /// [`FlightRecorder::capacity`] survive; default 32).
+    ///
+    /// [`FlightRecorder::capacity`]: rtobs::flight::FlightRecorder::capacity
+    Journal {
+        /// How many records to return (clamped to the ring capacity).
+        n: Option<u64>,
+    },
+    /// The black-box buffer: full span trees of recent requests slower
+    /// than `--slow-ms`.
+    Flight,
     /// Stop accepting connections, drain in-flight work, exit.
     Shutdown,
     /// Per-task WCET reports for every task of the spec.
@@ -108,6 +125,9 @@ impl Command {
             Command::Ping => "ping",
             Command::Metrics => "metrics",
             Command::MetricsProm => "metrics_prom",
+            Command::Statusz => "statusz",
+            Command::Journal { .. } => "journal",
+            Command::Flight => "flight",
             Command::Shutdown => "shutdown",
             Command::Wcet(_) => "wcet",
             Command::Crpd(_) => "crpd",
@@ -146,6 +166,15 @@ impl Request {
             "ping" => Command::Ping,
             "metrics" => Command::Metrics,
             "metrics_prom" => Command::MetricsProm,
+            "statusz" => Command::Statusz,
+            "journal" => {
+                let n = match doc.get("n") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or("`n` must be a non-negative integer")?),
+                };
+                Command::Journal { n }
+            }
+            "flight" => Command::Flight,
             "shutdown" => Command::Shutdown,
             "wcet" => Command::Wcet(spec_payload(&doc)?),
             "crpd" => Command::Crpd(spec_payload(&doc)?),
@@ -167,7 +196,7 @@ impl Request {
             }
             other => {
                 return Err(format!(
-                    "unknown cmd `{other}` (expected ping|wcet|crpd|wcrt|sim|explore|metrics|metrics_prom|shutdown)"
+                    "unknown cmd `{other}` (expected ping|wcet|crpd|wcrt|sim|explore|metrics|metrics_prom|statusz|journal|flight|shutdown)"
                 ))
             }
         };
@@ -255,6 +284,20 @@ mod tests {
         assert_eq!(r.cmd, Command::MetricsProm);
         assert_eq!(r.cmd.endpoint(), "metrics_prom");
 
+        let r = Request::parse(r#"{"cmd":"statusz"}"#).unwrap();
+        assert_eq!(r.cmd, Command::Statusz);
+        assert_eq!(r.cmd.endpoint(), "statusz");
+
+        let r = Request::parse(r#"{"cmd":"journal","n":5}"#).unwrap();
+        assert_eq!(r.cmd, Command::Journal { n: Some(5) });
+        assert_eq!(r.cmd.endpoint(), "journal");
+        let r = Request::parse(r#"{"cmd":"journal"}"#).unwrap();
+        assert_eq!(r.cmd, Command::Journal { n: None });
+
+        let r = Request::parse(r#"{"cmd":"flight"}"#).unwrap();
+        assert_eq!(r.cmd, Command::Flight);
+        assert_eq!(r.cmd.endpoint(), "flight");
+
         let r = Request::parse(r#"{"cmd":"explore","spec":"s","grid":"sets 32 64\n"}"#).unwrap();
         assert_eq!(r.cmd.endpoint(), "explore");
         let Command::Explore { payload, grid } = r.cmd else { panic!("expected explore") };
@@ -272,6 +315,7 @@ mod tests {
             (r#"{"cmd":"wcrt","spec":"s","sources":[1]}"#, "`sources`"),
             (r#"{"cmd":"wcrt","spec":"s","sources":{"a.s":7}}"#, "a.s"),
             (r#"{"cmd":"sim","spec":"s","horizon":-1}"#, "`horizon`"),
+            (r#"{"cmd":"journal","n":-3}"#, "`n`"),
             (r#"{"cmd":"explore","spec":"s"}"#, "`grid`"),
             (r#"{"cmd":"explore","grid":"g"}"#, "`spec`"),
             (r#"{"spec":"s"}"#, "`cmd`"),

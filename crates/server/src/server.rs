@@ -13,11 +13,12 @@
 //! loop exits, the pool drains (every queued connection and in-flight
 //! request still completes), and `serve` returns.
 
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -26,6 +27,7 @@ use rtcli::spec::SpecTask;
 use rtcli::{
     cmd_crpd_with, cmd_sim_with, cmd_wcet, cmd_wcrt_cached, CliError, ServeOptions, SystemSpec,
 };
+use rtobs::flight::{FinishedFlight, FlightRecord, FlightRecorder, STAGES};
 
 use crate::json::Json;
 use crate::metrics::Metrics;
@@ -41,14 +43,27 @@ pub struct ServerState {
     pub store: ArtifactStore,
     /// Request counters and latency histograms.
     pub metrics: Metrics,
+    /// The always-on flight recorder every request flies through.
+    pub flight: FlightRecorder,
     /// The `rtpar` pool intra-request analysis fans out on. Sized by the
     /// same `--threads` knob as the connection [`WorkerPool`], so `serve
     /// --threads 1` truly single-threads the analysis (the pool spawns no
     /// background workers; every closure runs inline on the connection
     /// worker).
     analysis: rtpar::Pool,
+    /// `--slow-ms`: requests at or above this wall time get their span
+    /// tree captured into the black box. `None` disables capture.
+    slow_ms: Option<u64>,
+    /// The most recent slow-request captures, newest last.
+    black_box: Mutex<VecDeque<FinishedFlight>>,
+    /// Slow requests captured since startup (the black box is bounded;
+    /// this is not).
+    slow_total: AtomicU64,
     shutdown: AtomicBool,
 }
+
+/// How many slow-request span trees the black box retains.
+const BLACK_BOX_CAP: usize = 32;
 
 impl Default for ServerState {
     fn default() -> Self {
@@ -57,12 +72,27 @@ impl Default for ServerState {
 }
 
 impl ServerState {
-    /// State with an analysis pool of `threads` total threads.
+    /// State with an analysis pool of `threads` total threads and default
+    /// flight-recorder settings (512-record ring, no slow capture).
     pub fn with_threads(threads: usize) -> ServerState {
+        ServerState::with_flight(threads, 512, None)
+    }
+
+    /// State with an analysis pool of `threads` threads, a flight ring of
+    /// `flight_capacity` records, and slow-request capture at `slow_ms`.
+    pub fn with_flight(
+        threads: usize,
+        flight_capacity: usize,
+        slow_ms: Option<u64>,
+    ) -> ServerState {
         ServerState {
             store: ArtifactStore::default(),
             metrics: Metrics::default(),
+            flight: FlightRecorder::new(flight_capacity),
             analysis: rtpar::Pool::new(threads),
+            slow_ms,
+            black_box: Mutex::new(VecDeque::with_capacity(BLACK_BOX_CAP)),
+            slow_total: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         }
     }
@@ -100,7 +130,11 @@ impl Server {
         Ok(Server {
             listener,
             pool: WorkerPool::new(opts.threads),
-            state: Arc::new(ServerState::with_threads(opts.threads)),
+            state: Arc::new(ServerState::with_flight(
+                opts.threads,
+                opts.flight_capacity,
+                opts.slow_ms,
+            )),
         })
     }
 
@@ -127,8 +161,9 @@ impl Server {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            let accepted = Instant::now();
             let state = Arc::clone(&self.state);
-            self.pool.execute(move || handle_connection(stream, &state, addr));
+            self.pool.execute(move || handle_connection(stream, &state, addr, accepted));
         }
         self.pool.drain();
         Ok(())
@@ -191,6 +226,16 @@ pub fn run(opts: &ServeOptions) -> io::Result<()> {
         opts.threads,
         opts.threads
     );
+    match opts.slow_ms {
+        Some(ms) => println!(
+            "rtflight: {}-record ring, capturing span trees of requests >= {ms} ms",
+            opts.flight_capacity
+        ),
+        None => println!(
+            "rtflight: {}-record ring (pass --slow-ms MS to capture slow-request span trees)",
+            opts.flight_capacity
+        ),
+    }
     server.serve()?;
     if let (Some(session), Some(path)) = (session, opts.trace_out.as_deref()) {
         session.recorder().write_chrome_trace(Path::new(path))?;
@@ -199,10 +244,19 @@ pub fn run(opts: &ServeOptions) -> io::Result<()> {
     Ok(())
 }
 
-fn handle_connection(stream: TcpStream, state: &ServerState, listener_addr: SocketAddr) {
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    listener_addr: SocketAddr,
+    accepted: Instant,
+) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // Accept-to-pickup wait, attributed to the connection's first request
+    // (later requests on the pipelined connection waited on the client,
+    // not on us).
+    let mut queue_us = accepted.elapsed().as_micros() as u64;
     let reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     for line in reader.lines() {
@@ -212,7 +266,9 @@ fn handle_connection(stream: TcpStream, state: &ServerState, listener_addr: Sock
         }
         // Run the request with the server's analysis pool installed so
         // nested `rtpar` fan-out inside the analyses lands there.
-        let (response, shutdown) = state.analysis.install(|| handle_request(state, &line));
+        let (response, shutdown) =
+            state.analysis.install(|| handle_request(state, &line, queue_us));
+        queue_us = 0;
         if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
             break;
         }
@@ -224,46 +280,186 @@ fn handle_connection(stream: TcpStream, state: &ServerState, listener_addr: Sock
 }
 
 /// Executes one request line; returns the response line and whether this
-/// request asked the server to shut down.
-fn handle_request(state: &ServerState, line: &str) -> (String, bool) {
+/// request asked the server to shut down. Every request — including
+/// malformed ones — flies through the always-on [`FlightRecorder`];
+/// with `--slow-ms` set, over-threshold requests additionally land their
+/// full span tree in the black box.
+fn handle_request(state: &ServerState, line: &str, queue_us: u64) -> (String, bool) {
     let started = Instant::now();
     let request = match Request::parse(line) {
         Ok(request) => request,
         Err(message) => {
+            state.flight.begin("invalid", queue_us, false).finish(false);
             state.metrics.record("invalid", false, started.elapsed());
             return (err_response(None, &message), false);
         }
     };
     let endpoint = request.cmd.endpoint();
     let id = request.id;
-    let (response, ok, shutdown) = match &request.cmd {
-        Command::Ping => (ok_response(id, "pong"), true, false),
-        Command::Metrics => {
-            let snapshot = state.metrics.snapshot(
-                &state.store,
-                state.analysis.threads(),
-                state.analysis.background_workers(),
-            );
-            (ok_response_with(id, "metrics", snapshot), true, false)
+    let scope = state.flight.begin(endpoint, queue_us, state.slow_ms.is_some());
+    let (response, ok, shutdown) = {
+        // The whole-request span: the root of a slow request's captured
+        // tree, and visible to `--trace-out` recordings too.
+        let _request_span = rtobs::span_labeled("request", || endpoint.to_string());
+        match &request.cmd {
+            Command::Ping => (ok_response(id, "pong"), true, false),
+            Command::Metrics => {
+                let snapshot = state.metrics.snapshot(
+                    &state.store,
+                    state.analysis.threads(),
+                    state.analysis.background_workers(),
+                );
+                (ok_response_with(id, "metrics", snapshot), true, false)
+            }
+            Command::MetricsProm => {
+                let text = state.metrics.prometheus(
+                    &state.store,
+                    &state.analysis.stats(),
+                    &state.flight,
+                    state.slow_total.load(Ordering::Relaxed),
+                );
+                (ok_response(id, &text), true, false)
+            }
+            Command::Statusz => (ok_response_with(id, "status", statusz(state)), true, false),
+            Command::Journal { n } => {
+                let records = state.flight.journal(n.unwrap_or(32) as usize);
+                let rows = records.iter().map(record_json).collect();
+                (ok_response_with(id, "journal", Json::Arr(rows)), true, false)
+            }
+            Command::Flight => {
+                let flights = state.black_box.lock().expect("black box poisoned");
+                let rows = flights.iter().map(flight_json).collect();
+                (ok_response_with(id, "flights", Json::Arr(rows)), true, false)
+            }
+            Command::Shutdown => {
+                (ok_response(id, "draining in-flight work, then exiting"), true, true)
+            }
+            Command::Wcet(payload) => finish(id, run_wcet(payload)),
+            Command::Crpd(payload) => finish(id, run_crpd(state, payload)),
+            Command::Wcrt(payload) => finish(id, run_wcrt(state, payload)),
+            Command::Sim { payload, horizon } => finish(id, run_sim(payload, *horizon)),
+            // The one streaming command: on success the "response" is
+            // several newline-separated frames, written as one block.
+            Command::Explore { payload, grid } => match run_explore(state, id, payload, grid) {
+                Ok(frames) => (frames, true, false),
+                Err(error) => (err_response(id, &error.to_string()), false, false),
+            },
         }
-        Command::MetricsProm => {
-            let text = state.metrics.prometheus(&state.store, &state.analysis.stats());
-            (ok_response(id, &text), true, false)
-        }
-        Command::Shutdown => (ok_response(id, "draining in-flight work, then exiting"), true, true),
-        Command::Wcet(payload) => finish(id, run_wcet(payload)),
-        Command::Crpd(payload) => finish(id, run_crpd(state, payload)),
-        Command::Wcrt(payload) => finish(id, run_wcrt(state, payload)),
-        Command::Sim { payload, horizon } => finish(id, run_sim(payload, *horizon)),
-        // The one streaming command: on success the "response" is several
-        // newline-separated frames, written to the client as one block.
-        Command::Explore { payload, grid } => match run_explore(state, id, payload, grid) {
-            Ok(frames) => (frames, true, false),
-            Err(error) => (err_response(id, &error.to_string()), false, false),
-        },
     };
+    let finished = scope.finish(ok);
+    if let Some(slow_ms) = state.slow_ms {
+        if finished.record.total_us >= slow_ms.saturating_mul(1000) {
+            state.slow_total.fetch_add(1, Ordering::Relaxed);
+            let mut black_box = state.black_box.lock().expect("black box poisoned");
+            if black_box.len() == BLACK_BOX_CAP {
+                black_box.pop_front();
+            }
+            black_box.push_back(finished);
+        }
+    }
     state.metrics.record(endpoint, ok, started.elapsed());
     (response, shutdown)
+}
+
+/// A sparse `{stage: value}` object over the [`STAGES`] registry,
+/// omitting zero entries.
+fn stage_json(values: &[u64]) -> Json {
+    Json::Obj(
+        STAGES
+            .iter()
+            .zip(values)
+            .filter(|(_, v)| **v != 0)
+            .map(|(stage, v)| ((*stage).to_string(), Json::from(*v)))
+            .collect(),
+    )
+}
+
+/// One flight record as a JSON row (journal entries, black-box headers).
+fn record_json(record: &FlightRecord) -> Json {
+    Json::obj([
+        ("id", Json::from(record.id)),
+        ("endpoint", Json::from(record.endpoint)),
+        ("start_us", Json::from(record.start_us)),
+        ("queue_us", Json::from(record.queue_us)),
+        ("total_us", Json::from(record.total_us)),
+        ("ok", Json::Bool(record.ok)),
+        ("stage_ns", stage_json(&record.stage_ns)),
+        ("stage_hits", stage_json(&record.stage_hits)),
+        ("stage_misses", stage_json(&record.stage_misses)),
+        ("spans_dropped", Json::from(record.spans_dropped)),
+    ])
+}
+
+/// One black-box capture: the record plus its span tree in completion
+/// order (`depth` + order reconstructs nesting).
+fn flight_json(flight: &FinishedFlight) -> Json {
+    let spans: Vec<Json> = flight
+        .spans
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("stage", Json::from(s.stage)),
+                ("depth", Json::from(u64::from(s.depth))),
+                ("start_ns", Json::from(s.start_ns)),
+                ("dur_ns", Json::from(s.dur_ns)),
+            ])
+        })
+        .collect();
+    Json::obj([("record", record_json(&flight.record)), ("spans", Json::Arr(spans))])
+}
+
+/// The `statusz` payload: liveness, per-endpoint quantiles, stage wall
+/// time and stage-cache hit rates, all from always-on collectors.
+fn statusz(state: &ServerState) -> Json {
+    let endpoints = state
+        .flight
+        .endpoints()
+        .into_iter()
+        .map(|e| {
+            let json = Json::obj([
+                ("count", Json::from(e.count)),
+                ("errors", Json::from(e.errors)),
+                ("p50_us", Json::from(e.p50_us)),
+                ("p90_us", Json::from(e.p90_us)),
+                ("p99_us", Json::from(e.p99_us)),
+                ("max_us", Json::from(e.max_us)),
+            ]);
+            (e.endpoint.to_string(), json)
+        })
+        .collect();
+    let stage_ns = state
+        .flight
+        .stage_totals()
+        .into_iter()
+        .filter(|(_, ns)| *ns != 0)
+        .map(|(stage, ns)| (stage.to_string(), Json::from(ns)))
+        .collect();
+    let stage_cache = state
+        .store
+        .stage_stats()
+        .into_iter()
+        .map(|s| {
+            let lookups = s.hits + s.misses;
+            let hit_rate = if lookups == 0 { 0.0 } else { s.hits as f64 / lookups as f64 };
+            let json = Json::obj([
+                ("hits", Json::from(s.hits)),
+                ("misses", Json::from(s.misses)),
+                ("hit_rate", Json::Num((hit_rate * 1e4).round() / 1e4)),
+            ]);
+            (s.stage.to_string(), json)
+        })
+        .collect();
+    Json::obj([
+        ("uptime_secs", Json::from(state.flight.uptime_secs())),
+        ("inflight", Json::from(state.flight.inflight())),
+        ("records_total", Json::from(state.flight.records_total())),
+        ("flight_capacity", Json::from(state.flight.capacity() as u64)),
+        ("slow_ms", state.slow_ms.map_or(Json::Null, Json::from)),
+        ("slow_captures", Json::from(state.slow_total.load(Ordering::Relaxed))),
+        ("endpoints", Json::Obj(endpoints)),
+        ("stage_ns", Json::Obj(stage_ns)),
+        ("stage_cache", Json::Obj(stage_cache)),
+    ])
 }
 
 fn finish(id: Option<u64>, result: Result<String, CliError>) -> (String, bool, bool) {
@@ -432,7 +628,13 @@ mod tests {
         ".data 0x100400\nbuf: .word 7\n.text 0x2000\nstart: li r1, buf\nld r2, 0(r1)\nhalt\n";
 
     fn spawn() -> ServerHandle {
-        let opts = ServeOptions { host: "127.0.0.1".into(), port: 0, threads: 2, trace_out: None };
+        let opts = ServeOptions {
+            host: "127.0.0.1".into(),
+            port: 0,
+            threads: 2,
+            trace_out: None,
+            ..ServeOptions::default()
+        };
         Server::spawn(&opts).expect("bind on an ephemeral port")
     }
 

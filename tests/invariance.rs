@@ -210,3 +210,42 @@ fn reports_are_byte_identical_with_tracing_on_and_off() {
         assert!(stages.contains_key(stage), "no spans recorded for stage `{stage}`");
     }
 }
+
+/// The rtflight determinism contract: an installed flight frame observes
+/// the pipeline (span durations, stage-cache lookups) but never perturbs
+/// it — reports are byte-identical with the flight recorder on and off,
+/// at 1 and 8 threads — while the frame demonstrably attributed the work
+/// it watched, including work stolen by pool helper threads.
+#[test]
+fn reports_are_byte_identical_with_the_flight_recorder_on_and_off() {
+    let plain_analysis = rtpar::Pool::new(1).install(analysis_report);
+    let plain_cli = rtpar::Pool::new(1).install(|| cli_report("flight-ref"));
+    let recorder = rtobs::flight::FlightRecorder::new(8);
+    for threads in [1usize, 8] {
+        let pool = rtpar::Pool::new(threads);
+        let scope = recorder.begin("invariance", 0, true);
+        let (analysis, cli) =
+            pool.install(|| (analysis_report(), cli_report(&format!("flight-{threads}"))));
+        let finished = scope.finish(true);
+        assert_eq!(
+            analysis, plain_analysis,
+            "a flight frame at {threads} threads changed the analysis output"
+        );
+        assert_eq!(
+            cli, plain_cli,
+            "a flight frame at {threads} threads changed the rendered report"
+        );
+        // The frame saw the pipeline: every major stage has attributed
+        // wall time, at any pool size (adoption carries the frame onto
+        // helper threads).
+        for stage in ["assemble", "trace", "ciip", "mumbs", "crpd", "wcrt"] {
+            let idx = rtobs::flight::stage_index(stage).expect("registered stage");
+            assert!(
+                finished.record.stage_ns[idx] > 0,
+                "no wall time attributed to `{stage}` at {threads} threads"
+            );
+        }
+        assert!(!finished.spans.is_empty(), "span capture recorded the pipeline");
+    }
+    assert_eq!(recorder.records_total(), 2);
+}

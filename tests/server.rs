@@ -57,8 +57,12 @@ fn one_shot_reference() -> String {
 
 #[test]
 fn concurrent_clients_get_cli_identical_memoized_responses() {
-    let opts =
-        rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 4, trace_out: None };
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 4,
+        ..rtcli::ServeOptions::default()
+    };
     let handle = Server::spawn(&opts).expect("bind ephemeral port");
     let addr = handle.addr();
 
@@ -146,7 +150,7 @@ fn wcrt_responses_are_thread_count_invariant_over_the_wire() {
             host: "127.0.0.1".to_string(),
             port: 0,
             threads,
-            trace_out: None,
+            ..rtcli::ServeOptions::default()
         };
         let handle = Server::spawn(&opts).expect("bind ephemeral port");
         let replies = roundtrip(
@@ -186,8 +190,12 @@ fn wcrt_responses_are_thread_count_invariant_over_the_wire() {
 /// monotone buckets whose `+Inf` bucket equals `_count`).
 #[test]
 fn metrics_prom_returns_consistent_prometheus_text() {
-    let opts =
-        rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 2, trace_out: None };
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        ..rtcli::ServeOptions::default()
+    };
     let handle = Server::spawn(&opts).expect("bind ephemeral port");
     let replies = roundtrip(
         handle.addr(),
@@ -270,8 +278,12 @@ fn metrics_prom_returns_consistent_prometheus_text() {
 /// error counters.
 #[test]
 fn error_paths_leave_the_server_serving() {
-    let opts =
-        rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 2, trace_out: None };
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        ..rtcli::ServeOptions::default()
+    };
     let handle = Server::spawn(&opts).expect("bind ephemeral port");
     let addr = handle.addr();
 
@@ -346,8 +358,12 @@ fn wire_spec_falls_back_to_server_filesystem_sources() {
     let hi = dir.join("hi.s");
     std::fs::write(&hi, TASK_HI).expect("write hi.s");
 
-    let opts =
-        rtcli::ServeOptions { host: "127.0.0.1".to_string(), port: 0, threads: 4, trace_out: None };
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 4,
+        ..rtcli::ServeOptions::default()
+    };
     let handle = Server::spawn(&opts).expect("bind");
     // No `sources` map: the task file is an absolute path on the server.
     let line = Json::obj([
@@ -359,5 +375,135 @@ fn wire_spec_falls_back_to_server_filesystem_sources() {
     std::fs::remove_dir_all(&dir).ok();
     assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true), "{:?}", replies[0]);
     assert!(replies[0].get("output").and_then(Json::as_str).unwrap().contains("WCET ="));
+    handle.join().expect("clean exit");
+}
+
+/// The tentpole e2e for the rtflight ops plane: with `--slow-ms 0` every
+/// request is captured, `statusz` exposes per-endpoint quantiles and
+/// stage attribution, `journal` shows the ring wrapped at
+/// `--flight-capacity`, and `flight` returns full span trees.
+#[test]
+fn flight_endpoints_expose_statusz_journal_and_black_box() {
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        slow_ms: Some(0),
+        flight_capacity: 4,
+        ..rtcli::ServeOptions::default()
+    };
+    let handle = Server::spawn(&opts).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // Six requests on one connection: flight record ids 0..=4 are pings,
+    // id 5 is the wcrt (commit order is serve order on one connection).
+    let mut lines: Vec<String> = (0..5).map(|i| format!(r#"{{"id":{i},"cmd":"ping"}}"#)).collect();
+    lines.push(request_line(90));
+    for reply in roundtrip(addr, &lines) {
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "{reply:?}");
+    }
+
+    let replies = roundtrip(
+        addr,
+        &[
+            r#"{"cmd":"statusz"}"#.to_string(),
+            r#"{"cmd":"journal","n":100}"#.to_string(),
+            r#"{"cmd":"flight"}"#.to_string(),
+        ],
+    );
+    let status = replies[0].get("status").expect("status payload");
+    assert_eq!(status.get("flight_capacity").and_then(Json::as_u64), Some(4));
+    assert_eq!(status.get("slow_ms").and_then(Json::as_u64), Some(0));
+    assert!(status.get("records_total").and_then(Json::as_u64).unwrap() >= 6);
+    let endpoints = status.get("endpoints").expect("endpoint summaries");
+    let ping = endpoints.get("ping").expect("ping summary");
+    assert_eq!(ping.get("count").and_then(Json::as_u64), Some(5));
+    assert_eq!(ping.get("errors").and_then(Json::as_u64), Some(0));
+    for q in ["p50_us", "p90_us", "p99_us", "max_us"] {
+        assert!(ping.get(q).and_then(Json::as_u64).is_some(), "ping {q}");
+    }
+    let wcrt = endpoints.get("wcrt").expect("wcrt summary");
+    assert_eq!(wcrt.get("count").and_then(Json::as_u64), Some(1));
+    // Stage-cache hit rates and per-stage wall time are on the status page.
+    assert!(status.get("stage_cache").and_then(|s| s.get("analyze")).is_some());
+    let stage_ns = status.get("stage_ns").expect("stage wall time");
+    assert!(stage_ns.get("wcrt").and_then(Json::as_u64).unwrap() > 0, "wcrt stage attributed");
+    assert!(stage_ns.get("request").and_then(Json::as_u64).unwrap() > 0, "request span attributed");
+
+    // Journal: the 4-slot ring holds records 3, 4 (pings), 5 (wcrt) and
+    // 6 (the statusz request just served), oldest first.
+    let Some(Json::Arr(records)) = replies[1].get("journal") else {
+        panic!("journal payload: {:?}", replies[1])
+    };
+    let ids: Vec<u64> =
+        records.iter().map(|r| r.get("id").and_then(Json::as_u64).expect("id")).collect();
+    assert_eq!(ids, [3, 4, 5, 6], "ring wrapped at capacity, oldest first");
+    let wcrt_record = &records[2];
+    assert_eq!(wcrt_record.get("endpoint").and_then(Json::as_str), Some("wcrt"));
+    assert_eq!(wcrt_record.get("ok").and_then(Json::as_bool), Some(true));
+    // The cold wcrt request missed the analyze stage once per task.
+    let misses = wcrt_record.get("stage_misses").expect("stage misses");
+    assert_eq!(misses.get("analyze").and_then(Json::as_u64), Some(2), "{wcrt_record:?}");
+
+    // Black box: with --slow-ms 0 every request qualifies; the wcrt
+    // capture carries its full span tree rooted at the request span.
+    let Some(Json::Arr(flights)) = replies[2].get("flights") else {
+        panic!("flights payload: {:?}", replies[2])
+    };
+    assert!(flights.len() >= 6, "every request was captured: {}", flights.len());
+    let wcrt_flight = flights
+        .iter()
+        .find(|f| {
+            f.get("record").and_then(|r| r.get("endpoint")).and_then(Json::as_str) == Some("wcrt")
+        })
+        .expect("captured wcrt flight");
+    let Some(Json::Arr(spans)) = wcrt_flight.get("spans") else { panic!("spans") };
+    assert!(spans.len() > 1, "wcrt must capture nested pipeline spans");
+    let stage_at = |s: &Json| s.get("stage").and_then(Json::as_str).unwrap().to_string();
+    assert!(spans.iter().any(|s| stage_at(s) == "request"), "request root span captured");
+    assert!(spans.iter().any(|s| stage_at(s) == "wcrt"), "wcrt pipeline span captured");
+    assert!(
+        spans.iter().any(|s| s.get("depth").and_then(Json::as_u64).unwrap() >= 2),
+        "nesting depth recorded"
+    );
+    for s in spans {
+        assert!(s.get("dur_ns").and_then(Json::as_u64).is_some(), "{s:?}");
+        assert!(s.get("start_ns").and_then(Json::as_u64).is_some(), "{s:?}");
+    }
+
+    let replies = roundtrip(addr, &[r#"{"cmd":"shutdown"}"#.to_string()]);
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("clean exit");
+}
+
+/// Slow capture must trigger *only* for over-threshold requests: with an
+/// unreachably high `--slow-ms` nothing lands in the black box (while the
+/// journal still records everything), and without `--slow-ms` the flight
+/// endpoint serves an empty list.
+#[test]
+fn slow_capture_triggers_only_over_threshold() {
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        slow_ms: Some(3_600_000),
+        ..rtcli::ServeOptions::default()
+    };
+    let handle = Server::spawn(&opts).expect("bind ephemeral port");
+    let replies = roundtrip(
+        handle.addr(),
+        &[
+            request_line(1),
+            r#"{"cmd":"flight"}"#.to_string(),
+            r#"{"cmd":"statusz"}"#.to_string(),
+            r#"{"cmd":"shutdown"}"#.to_string(),
+        ],
+    );
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true), "{:?}", replies[0]);
+    let Some(Json::Arr(flights)) = replies[1].get("flights") else { panic!() };
+    assert!(flights.is_empty(), "an hour-long threshold captures nothing: {flights:?}");
+    let status = replies[2].get("status").expect("status");
+    assert_eq!(status.get("slow_captures").and_then(Json::as_u64), Some(0));
+    assert!(status.get("records_total").and_then(Json::as_u64).unwrap() >= 2, "journal still on");
     handle.join().expect("clean exit");
 }
