@@ -22,6 +22,16 @@
 //! report is byte-identical at every pool size and printing the
 //! wall-time speedup over the single-threaded run.
 //!
+//! `--soak` exercises the reactor instead of the cache: it opens
+//! `--connections` sockets (raising `RLIMIT_NOFILE` as needed), keeps
+//! most of them idle, drives wcrt traffic over `--active` of them, and
+//! proves the idle pool still answers `ping` after the storm. Responses
+//! are tallied tolerantly — `overloaded` and `deadline_exceeded` are
+//! expected outcomes under admission control, while any framing or
+//! transport failure is a protocol error and fails the run. The summary
+//! (p99 latency, shed rate, peak RSS) lands in `BENCH_async.json`;
+//! `--max-shed-rate R` additionally gates on the observed shed fraction.
+//!
 //! The load mode also snapshots the server's per-stage artifact-DAG
 //! counters before and after the run and reports each stage's hit rate
 //! over the delta; `--min-stage-hit-rate R` turns that report into a
@@ -52,12 +62,32 @@ struct Options {
     connections: usize,
     requests: usize,
     par_sweep: bool,
-    json_out: String,
+    /// `--soak`: open-connection reactor soak instead of the closed-loop
+    /// cache benchmark. `--connections` then counts *open sockets* (most
+    /// idle), with traffic driven over `--active` of them.
+    soak: bool,
+    active: usize,
+    /// `--max-shed-rate R` (soak only): fail unless the fraction of
+    /// requests answered `overloaded` stays at or below `R`.
+    max_shed_rate: Option<f64>,
+    /// `--json-out PATH`; defaults to `BENCH_async.json` under `--soak`
+    /// and `BENCH_wcrt.json` otherwise.
+    json_out: Option<String>,
     /// `--min-stage-hit-rate R`: fail the run unless every pipeline stage
     /// the run touched served at least fraction `R` of its lookups from
     /// cache (measured as a delta over this run only, so a warm server
     /// can be gated independently of its history).
     min_stage_hit_rate: Option<f64>,
+}
+
+impl Options {
+    fn json_out(&self) -> String {
+        match &self.json_out {
+            Some(path) => path.clone(),
+            None if self.soak => "BENCH_async.json".to_string(),
+            None => "BENCH_wcrt.json".to_string(),
+        }
+    }
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -66,7 +96,10 @@ fn parse_options() -> Result<Options, String> {
         connections: 4,
         requests: 100,
         par_sweep: false,
-        json_out: "BENCH_wcrt.json".to_string(),
+        soak: false,
+        active: 64,
+        max_shed_rate: None,
+        json_out: None,
         min_stage_hit_rate: None,
     };
     let mut args = std::env::args().skip(1);
@@ -83,7 +116,20 @@ fn parse_options() -> Result<Options, String> {
                     value("--requests")?.parse().map_err(|e| format!("--requests: {e}"))?;
             }
             "--par-sweep" => opts.par_sweep = true,
-            "--json-out" => opts.json_out = value("--json-out")?,
+            "--soak" => opts.soak = true,
+            "--active" => {
+                opts.active = value("--active")?.parse().map_err(|e| format!("--active: {e}"))?;
+            }
+            "--max-shed-rate" => {
+                let rate: f64 = value("--max-shed-rate")?
+                    .parse()
+                    .map_err(|e| format!("--max-shed-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err("--max-shed-rate must be in [0, 1]".to_string());
+                }
+                opts.max_shed_rate = Some(rate);
+            }
+            "--json-out" => opts.json_out = Some(value("--json-out")?),
             "--min-stage-hit-rate" => {
                 let rate: f64 = value("--min-stage-hit-rate")?
                     .parse()
@@ -98,6 +144,9 @@ fn parse_options() -> Result<Options, String> {
     }
     if opts.connections == 0 || opts.requests == 0 {
         return Err("--connections and --requests must be positive".to_string());
+    }
+    if opts.soak && opts.active == 0 {
+        return Err("--active must be positive under --soak".to_string());
     }
     Ok(opts)
 }
@@ -301,8 +350,312 @@ fn one_shot(addr: &str, line: &str) -> Result<Json, String> {
 }
 
 fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+/// Outcome tally of one soak client, merged across all active clients.
+#[derive(Default)]
+struct SoakTally {
+    ok: u64,
+    shed: u64,
+    deadline_exceeded: u64,
+    protocol_errors: u64,
+    /// Latencies of successful requests only, microseconds.
+    latencies: Vec<u64>,
+}
+
+impl SoakTally {
+    fn merge(&mut self, other: SoakTally) {
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.protocol_errors += other.protocol_errors;
+        self.latencies.extend(other.latencies);
+    }
+
+    fn attempts(&self) -> u64 {
+        self.ok + self.shed + self.deadline_exceeded + self.protocol_errors
+    }
+
+    fn shed_rate(&self) -> f64 {
+        if self.attempts() == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.attempts() as f64
+        }
+    }
+}
+
+/// Connects, retrying transient failures (listen-backlog overflow, fd
+/// churn) for up to ~10 s — opening 10k+ sockets in a tight loop is
+/// exactly the scenario accept queues drop connections under.
+fn connect_with_retry(addr: &str) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    }
+}
+
+/// Round-trips one `ping` over an already-open connection, proving the
+/// reactor still multiplexes it.
+fn ping(stream: &TcpStream) -> Result<(), String> {
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, r#"{{"cmd":"ping"}}"#)
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("ping write: {e}"))?;
+    drop(writer);
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).map_err(|e| format!("ping read: {e}"))?;
+    let reply = Json::parse(line.trim_end()).map_err(|e| format!("ping reply: {e}"))?;
+    match reply.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(()),
+        _ => Err(format!("ping rejected: {}", line.trim_end())),
+    }
+}
+
+/// One active soak connection: sends `requests` wcrt requests in
+/// lockstep, classifying every response instead of failing fast.
+/// `overloaded` and `deadline_exceeded` are admission-control outcomes;
+/// anything else that is not `ok:true` — and any transport or framing
+/// failure — counts as a protocol error.
+fn soak_client(addr: &str, requests: usize) -> Result<SoakTally, String> {
+    let stream = connect_with_retry(addr)?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream);
+    let mut tally = SoakTally::default();
+    for id in 0..requests {
+        let started = Instant::now();
+        if writeln!(writer, "{}", wcrt_request(id as u64)).and_then(|()| writer.flush()).is_err() {
+            tally.protocol_errors += 1;
+            break; // connection is gone; the remaining requests never happened
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {}
+            _ => {
+                tally.protocol_errors += 1;
+                break;
+            }
+        }
+        let Ok(reply) = Json::parse(line.trim_end()) else {
+            tally.protocol_errors += 1;
+            break; // framing is corrupt; nothing downstream is trustworthy
+        };
+        if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+            tally.ok += 1;
+            tally.latencies.push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        } else {
+            match reply.get("code").and_then(Json::as_str) {
+                Some("overloaded") => tally.shed += 1,
+                Some("deadline_exceeded") => tally.deadline_exceeded += 1,
+                _ => tally.protocol_errors += 1,
+            }
+        }
+    }
+    Ok(tally)
+}
+
+/// Peak resident set of this process (`VmHWM`), kibibytes. With the
+/// in-process server this covers client *and* server memory.
+fn peak_rss_kb() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.trim_start_matches("VmHWM:").trim().trim_end_matches("kB").trim().parse().ok()
+}
+
+/// `--soak`: the open-connection reactor soak. See the module docs for
+/// the shape of the run; gates (always: zero protocol errors; optional:
+/// `--max-shed-rate`) fire after `BENCH_async.json` is written so a
+/// failed run still leaves its evidence.
+fn soak(opts: &Options, session: &rtobs::Session) -> Result<(), String> {
+    let (addr, local) = match &opts.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let serve = ServeOptions {
+                host: "127.0.0.1".to_string(),
+                port: 0,
+                threads: 4,
+                event_threads: 4,
+                ..ServeOptions::default()
+            };
+            let handle = Server::spawn(&serve).map_err(|e| format!("spawn server: {e}"))?;
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+    let in_process = local.is_some();
+
+    // Each open connection costs one client fd, plus one server fd when
+    // the server shares this process. Raise the soft RLIMIT_NOFILE and
+    // clamp the run to whatever the hard ceiling actually grants.
+    let per_conn = if in_process { 2u64 } else { 1 };
+    let margin = 256u64;
+    let limit = rtreact::raise_nofile_limit(opts.connections as u64 * per_conn + margin)
+        .map_err(|e| format!("raising RLIMIT_NOFILE: {e}"))?;
+    let budget = usize::try_from(limit.saturating_sub(margin) / per_conn).unwrap_or(usize::MAX);
+    let connections = opts.connections.min(budget.max(opts.active));
+    if connections < opts.connections {
+        println!(
+            "soak: RLIMIT_NOFILE {limit} caps the run at {connections} connections \
+             (asked for {})",
+            opts.connections
+        );
+    }
+    let active = opts.active.min(connections);
+    let idle_target = connections - active;
+    println!(
+        "soak: {connections} connections ({active} active x {} requests, {idle_target} idle) \
+         against {addr}{}",
+        opts.requests,
+        if in_process { " (in-process server, 4 event threads)" } else { "" },
+    );
+
+    // Open the idle pool from several threads: a serial loop pays a full
+    // SYN-retransmit second for every listen-backlog drop, which adds up
+    // to minutes at 10k sockets.
+    let opened = Instant::now();
+    let openers = 16.min(idle_target.max(1));
+    let idle: Vec<TcpStream> = {
+        let chunks: Vec<usize> = (0..openers)
+            .map(|i| idle_target / openers + usize::from(i < idle_target % openers))
+            .collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|count| {
+                let addr = addr.clone();
+                std::thread::spawn(move || -> Result<Vec<TcpStream>, String> {
+                    (0..count).map(|_| connect_with_retry(&addr)).collect()
+                })
+            })
+            .collect();
+        let mut pool = Vec::with_capacity(idle_target);
+        for handle in handles {
+            pool.extend(handle.join().map_err(|_| "idle opener panicked")??);
+        }
+        pool
+    };
+    println!("soak: {} idle connections open in {:.2?}", idle.len(), opened.elapsed());
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..active)
+        .map(|_| {
+            let addr = addr.clone();
+            let requests = opts.requests;
+            std::thread::spawn(move || soak_client(&addr, requests))
+        })
+        .collect();
+    let mut tally = SoakTally::default();
+    for worker in workers {
+        tally.merge(worker.join().map_err(|_| "soak client panicked")??);
+    }
+    let elapsed = started.elapsed();
+
+    // The idle pool must have survived the storm: round-trip a sample.
+    for (i, stream) in idle.iter().take(8).enumerate() {
+        ping(stream).map_err(|e| format!("idle connection {i} died during the soak: {e}"))?;
+    }
+
+    // Server-side admission picture while every connection is still open.
+    let status = one_shot(&addr, r#"{"cmd":"statusz"}"#)?
+        .get("status")
+        .cloned()
+        .ok_or("statusz reply missing payload")?;
+    let field = |key: &str| status.get(key).and_then(Json::as_u64).unwrap_or(0);
+
+    tally.latencies.sort_unstable();
+    let shed_rate = tally.shed_rate();
+    println!(
+        "client side: {} ok / {} shed / {} deadline / {} protocol errors in {:.2?} \
+         ({:.0} req/s, shed rate {:.4})",
+        tally.ok,
+        tally.shed,
+        tally.deadline_exceeded,
+        tally.protocol_errors,
+        elapsed,
+        tally.attempts() as f64 / elapsed.as_secs_f64(),
+        shed_rate,
+    );
+    println!(
+        "client side: ok latency p50 {} us / p95 {} us / p99 {} us",
+        percentile(&tally.latencies, 0.50),
+        percentile(&tally.latencies, 0.95),
+        percentile(&tally.latencies, 0.99),
+    );
+    let rss = peak_rss_kb();
+    println!(
+        "server side: {} open connections, {} event threads, {} shed total; \
+         peak RSS {} kB{}",
+        field("open_connections"),
+        field("event_threads"),
+        field("shed_total"),
+        rss.unwrap_or(0),
+        if in_process { " (client+server)" } else { " (client only)" },
+    );
+
+    drop(idle); // close the pool before asking the server to drain
+    if let Some(handle) = local {
+        one_shot(&addr, r#"{"cmd":"shutdown"}"#)?;
+        handle.join().map_err(|e| e.to_string())?;
+    }
+
+    write_bench_json(
+        &opts.json_out(),
+        Json::obj([
+            ("mode", Json::from("async_soak")),
+            ("in_process_server", Json::Bool(in_process)),
+            ("connections", Json::from(connections as u64)),
+            ("idle_connections", Json::from(idle_target as u64)),
+            ("active_connections", Json::from(active as u64)),
+            ("requests_per_active", Json::from(opts.requests as u64)),
+            ("ok", Json::from(tally.ok)),
+            ("shed", Json::from(tally.shed)),
+            ("deadline_exceeded", Json::from(tally.deadline_exceeded)),
+            ("protocol_errors", Json::from(tally.protocol_errors)),
+            ("shed_rate", Json::Num(shed_rate)),
+            ("elapsed_secs", Json::Num(elapsed.as_secs_f64())),
+            ("requests_per_sec", Json::Num(tally.attempts() as f64 / elapsed.as_secs_f64())),
+            (
+                "latency_us",
+                Json::obj([
+                    ("p50", Json::from(percentile(&tally.latencies, 0.50))),
+                    ("p95", Json::from(percentile(&tally.latencies, 0.95))),
+                    ("p99", Json::from(percentile(&tally.latencies, 0.99))),
+                ]),
+            ),
+            ("peak_rss_kb", rss.map_or(Json::Null, Json::from)),
+            ("peak_rss_covers_server", Json::Bool(in_process)),
+            (
+                "server",
+                Json::obj([
+                    ("open_connections", Json::from(field("open_connections"))),
+                    ("event_threads", Json::from(field("event_threads"))),
+                    ("max_inflight", Json::from(field("max_inflight"))),
+                    ("shed_total", Json::from(field("shed_total"))),
+                ]),
+            ),
+            ("stages", stage_durations_json(session)),
+        ]),
+    )?;
+
+    if tally.protocol_errors > 0 {
+        return Err(format!("{} protocol errors (required: 0)", tally.protocol_errors));
+    }
+    if let Some(max) = opts.max_shed_rate {
+        if shed_rate > max {
+            return Err(format!("shed rate {shed_rate:.4} > allowed {max:.4}"));
+        }
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -313,13 +666,16 @@ fn run() -> Result<(), String> {
     if opts.par_sweep {
         let sweep = par_sweep()?;
         return write_bench_json(
-            &opts.json_out,
+            &opts.json_out(),
             Json::obj([
                 ("mode", Json::from("par_sweep")),
                 ("par_sweep", sweep),
                 ("stages", stage_durations_json(&session)),
             ]),
         );
+    }
+    if opts.soak {
+        return soak(&opts, &session);
     }
 
     // Without --addr, run a server inside this process on an ephemeral
@@ -408,7 +764,7 @@ fn run() -> Result<(), String> {
     }
 
     write_bench_json(
-        &opts.json_out,
+        &opts.json_out(),
         Json::obj([
             ("mode", Json::from("load")),
             ("in_process_server", Json::Bool(in_process)),
@@ -443,7 +799,8 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("loadgen: {message}");
             eprintln!(
-                "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests M] [--par-sweep] [--json-out PATH] [--min-stage-hit-rate R]"
+                "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests M] [--par-sweep] \
+                 [--soak [--active K] [--max-shed-rate R]] [--json-out PATH] [--min-stage-hit-rate R]"
             );
             ExitCode::from(2)
         }

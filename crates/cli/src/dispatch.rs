@@ -52,7 +52,9 @@ pub fn parse(mut args: Vec<String>) -> Result<Invocation, CliError> {
         opts.parse_from(&mut args)?;
         if let Some(extra) = args.first() {
             return Err(CliError::Usage(format!(
-                "unexpected argument `{extra}`; trisc serve [--host HOST] [--port PORT] [--threads N] [--trace-out TRACE.json]"
+                "unexpected argument `{extra}`; trisc serve [--host HOST] [--port PORT] [--threads N] \
+                 [--event-threads N] [--max-inflight N] [--deadline-ms MS] [--idle-timeout-ms MS] \
+                 [--poller auto|epoll|poll] [--trace-out TRACE.json]"
             )));
         }
         return Ok(Invocation::Serve(opts));

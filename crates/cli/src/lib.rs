@@ -15,7 +15,9 @@
 //! trisc crpd   low.s high.s [cache opts] [--trace-out T.json]
 //! trisc wcrt   system.spec [--explain] [--trace-out T.json]
 //! trisc sim    system.spec [--horizon N]   # co-simulation + timeline
-//! trisc serve  [--host H] [--port P] [--threads N] [--trace-out T.json]
+//! trisc serve  [--host H] [--port P] [--threads N] [--event-threads N]
+//!              [--max-inflight N] [--deadline-ms MS] [--idle-timeout-ms MS]
+//!              [--poller auto|epoll|poll] [--trace-out T.json]
 //! ```
 //!
 //! `--trace-out` installs an [`rtobs`] recording session for the run and

@@ -103,6 +103,30 @@ pub struct ServeOptions {
     /// Flight-recorder ring capacity (`--flight-capacity`): how many of
     /// the most recent per-request records the `journal` endpoint keeps.
     pub flight_capacity: usize,
+    /// Reactor event loops (`--event-threads`): how many threads
+    /// multiplex connection I/O. A handful suffices for thousands of
+    /// connections; analysis parallelism stays on `--threads`.
+    pub event_threads: usize,
+    /// Admission cap (`--max-inflight`): analysis requests arriving while
+    /// this many are already in flight are shed with a typed
+    /// `overloaded` error. `0` sheds every analysis request (useful in
+    /// tests); ops-plane commands are never shed.
+    pub max_inflight: u64,
+    /// Server-wide queue-wait deadline in milliseconds (`--deadline-ms`):
+    /// analysis requests that waited at least this long before pickup are
+    /// rejected with a typed `deadline_exceeded` error instead of being
+    /// analyzed late. Requests may override via their `deadline_ms`
+    /// field. `None` disables the server-wide deadline.
+    pub deadline_ms: Option<u64>,
+    /// Idle-connection timeout in milliseconds (`--idle-timeout-ms`):
+    /// connections with no traffic and no request in flight for this
+    /// long are closed (slowloris defense). `None` keeps idle
+    /// connections forever.
+    pub idle_timeout_ms: Option<u64>,
+    /// Readiness backend (`--poller`): `auto` (default), `epoll`, or
+    /// `poll`. Kept as a string here so the CLI crate stays decoupled
+    /// from the reactor; the server validates and converts.
+    pub poller: String,
 }
 
 impl Default for ServeOptions {
@@ -118,6 +142,11 @@ impl Default for ServeOptions {
             trace_out: None,
             slow_ms: None,
             flight_capacity: 512,
+            event_threads: 2,
+            max_inflight: 256,
+            deadline_ms: None,
+            idle_timeout_ms: None,
+            poller: "auto".to_string(),
         }
     }
 }
@@ -136,7 +165,8 @@ impl ServeOptions {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--host" | "--port" | "--threads" | "--trace-out" | "--slow-ms"
-                | "--flight-capacity" => {
+                | "--flight-capacity" | "--event-threads" | "--max-inflight" | "--deadline-ms"
+                | "--idle-timeout-ms" | "--poller" => {
                     let value = it
                         .next()
                         .ok_or_else(|| CliError::Options(format!("{arg} needs a value")))?;
@@ -160,6 +190,43 @@ impl ServeOptions {
                                         "bad value for --flight-capacity: {value}"
                                     ))
                                 })?;
+                        }
+                        "--event-threads" => {
+                            self.event_threads =
+                                value.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                                    CliError::Options(format!(
+                                        "bad value for --event-threads: {value}"
+                                    ))
+                                })?;
+                        }
+                        "--max-inflight" => {
+                            self.max_inflight = value.parse().map_err(|_| {
+                                CliError::Options(format!("bad value for --max-inflight: {value}"))
+                            })?;
+                        }
+                        "--deadline-ms" => {
+                            self.deadline_ms = Some(value.parse().map_err(|_| {
+                                CliError::Options(format!("bad value for --deadline-ms: {value}"))
+                            })?);
+                        }
+                        "--idle-timeout-ms" => {
+                            self.idle_timeout_ms =
+                                value.parse().ok().filter(|n| *n > 0).map_or_else(
+                                    || {
+                                        Err(CliError::Options(format!(
+                                            "bad value for --idle-timeout-ms: {value}"
+                                        )))
+                                    },
+                                    |n| Ok(Some(n)),
+                                )?;
+                        }
+                        "--poller" => {
+                            if !matches!(value.as_str(), "auto" | "epoll" | "poll") {
+                                return Err(CliError::Options(format!(
+                                    "bad value for --poller: {value} (expected auto|epoll|poll)"
+                                )));
+                            }
+                            self.poller = value;
                         }
                         _ => {
                             self.threads =
@@ -358,6 +425,52 @@ mod tests {
         let mut bad: Vec<String> =
             ["--flight-capacity", "0"].iter().map(|s| s.to_string()).collect();
         assert!(matches!(ServeOptions::default().parse_from(&mut bad), Err(CliError::Options(_))));
+    }
+
+    #[test]
+    fn serve_options_parse_reactor_flags() {
+        let mut o = ServeOptions::default();
+        assert_eq!(o.event_threads, 2);
+        assert_eq!(o.max_inflight, 256);
+        assert_eq!(o.deadline_ms, None);
+        assert_eq!(o.idle_timeout_ms, None);
+        assert_eq!(o.poller, "auto");
+        let mut args: Vec<String> = [
+            "--event-threads",
+            "4",
+            "--max-inflight",
+            "0",
+            "--deadline-ms",
+            "250",
+            "--idle-timeout-ms",
+            "30000",
+            "--poller",
+            "poll",
+            "rest",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        o.parse_from(&mut args).unwrap();
+        assert_eq!(o.event_threads, 4);
+        assert_eq!(o.max_inflight, 0, "a zero cap sheds everything (tests rely on it)");
+        assert_eq!(o.deadline_ms, Some(250));
+        assert_eq!(o.idle_timeout_ms, Some(30_000));
+        assert_eq!(o.poller, "poll");
+        assert_eq!(args, vec!["rest".to_string()]);
+        for bad in [
+            ["--event-threads", "0"],
+            ["--idle-timeout-ms", "0"],
+            ["--poller", "kqueue"],
+            ["--max-inflight", "lots"],
+            ["--deadline-ms", "soon"],
+        ] {
+            let mut args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(ServeOptions::default().parse_from(&mut args), Err(CliError::Options(_))),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

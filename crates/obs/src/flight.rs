@@ -207,8 +207,8 @@ pub struct FlightRecord {
     pub endpoint: &'static str,
     /// Request start offset since the recorder was created, microseconds.
     pub start_us: u64,
-    /// Wait between connection accept and worker pickup, microseconds
-    /// (attributed to the first request on a connection).
+    /// Wait between request readiness (line framed off the socket) and
+    /// worker pickup, microseconds: the admission/queue latency.
     pub queue_us: u64,
     /// Whole-request wall time, microseconds.
     pub total_us: u64,

@@ -1,0 +1,362 @@
+//! Readiness notification behind a trait: level-triggered `epoll` on
+//! Linux, portable `poll(2)` everywhere, selectable at runtime so the
+//! fallback stays covered by tests on Linux too.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+use crate::sys;
+
+/// What a registration wants to hear about. Error/hangup conditions are
+/// always reported, as with the underlying syscalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd accepts writes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest, the state every connection starts in.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: usize,
+    /// Readable — includes error/hangup conditions, so a follow-up
+    /// `read` observes the failure instead of the loop spinning.
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// The peer hung up or the fd errored.
+    pub hangup: bool,
+}
+
+/// A level-triggered readiness source. One instance per event loop;
+/// none of the methods are re-entrant.
+pub trait Poller: Send {
+    /// Starts watching `fd` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error (epoll) or a duplicate-token error.
+    fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()>;
+
+    /// Changes the interest set of an already-registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error, or reports an unknown token.
+    fn reregister(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()>;
+
+    /// Stops watching `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error; unknown tokens are ignored.
+    fn deregister(&mut self, fd: RawFd, token: usize) -> io::Result<()>;
+
+    /// Blocks until readiness or `timeout` (`None` blocks indefinitely),
+    /// appending events to `events` (which the caller clears).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error. `EINTR` is retried internally.
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// The backend's name, for banners and diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Which poller backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollerKind {
+    /// `epoll` where available (Linux), else `poll`.
+    #[default]
+    Auto,
+    /// Force `epoll`; errors on platforms without it.
+    Epoll,
+    /// Force the portable `poll(2)` backend.
+    Poll,
+}
+
+impl PollerKind {
+    /// Parses `auto`/`epoll`/`poll`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized name.
+    pub fn parse(name: &str) -> Result<PollerKind, String> {
+        match name {
+            "auto" => Ok(PollerKind::Auto),
+            "epoll" => Ok(PollerKind::Epoll),
+            "poll" => Ok(PollerKind::Poll),
+            other => Err(format!("unknown poller `{other}` (expected auto|epoll|poll)")),
+        }
+    }
+
+    /// Instantiates the backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates epoll-instance creation errors; `Epoll` off Linux is
+    /// [`io::ErrorKind::Unsupported`].
+    pub fn create(self) -> io::Result<Box<dyn Poller>> {
+        match self {
+            #[cfg(target_os = "linux")]
+            PollerKind::Auto | PollerKind::Epoll => Ok(Box::new(EpollPoller::new()?)),
+            #[cfg(not(target_os = "linux"))]
+            PollerKind::Auto => Ok(Box::new(PollPoller::new())),
+            #[cfg(not(target_os = "linux"))]
+            PollerKind::Epoll => {
+                Err(io::Error::new(io::ErrorKind::Unsupported, "epoll requires Linux"))
+            }
+            PollerKind::Poll => Ok(Box::new(PollPoller::new())),
+        }
+    }
+}
+
+/// Converts a wait timeout to the millisecond argument both syscalls
+/// take: `None` → block (-1), sub-millisecond waits round up to 1 ms so
+/// a pending deadline is never spun on.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) if d.is_zero() => 0,
+        Some(d) => i32::try_from(d.as_millis().max(1)).unwrap_or(i32::MAX),
+    }
+}
+
+/// The Linux backend: one epoll instance, O(ready) wakeups.
+#[cfg(target_os = "linux")]
+#[derive(Debug)]
+pub struct EpollPoller {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    /// Creates the epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure.
+    pub fn new() -> io::Result<EpollPoller> {
+        Ok(EpollPoller {
+            epfd: sys::epoll_create()?,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut mask = sys::EPOLLRDHUP;
+        if interest.readable {
+            mask |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Poller for EpollPoller {
+    fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        sys::epoll_control(self.epfd, sys::EPOLL_CTL_ADD, fd, Self::mask(interest), token as u64)
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        sys::epoll_control(self.epfd, sys::EPOLL_CTL_MOD, fd, Self::mask(interest), token as u64)
+    }
+
+    fn deregister(&mut self, fd: RawFd, _token: usize) -> io::Result<()> {
+        sys::epoll_control(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let n = sys::epoll_wait_events(self.epfd, &mut self.buf, timeout_ms(timeout))?;
+        for raw in &self.buf[..n] {
+            let bits = raw.events;
+            events.push(Event {
+                token: raw.data as usize,
+                readable: bits
+                    & (sys::EPOLLIN
+                        | sys::EPOLLPRI
+                        | sys::EPOLLHUP
+                        | sys::EPOLLERR
+                        | sys::EPOLLRDHUP)
+                    != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                hangup: bits & (sys::EPOLLHUP | sys::EPOLLERR) != 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "epoll"
+    }
+}
+
+/// The portable backend: rebuilds the `pollfd` array per wait. O(n) per
+/// wakeup, which is fine for the fallback role and for tests.
+#[derive(Debug, Default)]
+pub struct PollPoller {
+    entries: Vec<(usize, RawFd, Interest)>,
+    fds: Vec<sys::PollFd>,
+}
+
+impl PollPoller {
+    /// An empty poll set.
+    pub fn new() -> PollPoller {
+        PollPoller::default()
+    }
+}
+
+impl Poller for PollPoller {
+    fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        if self.entries.iter().any(|(t, ..)| *t == token) {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, "token already registered"));
+        }
+        self.entries.push((token, fd, interest));
+        Ok(())
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        for entry in &mut self.entries {
+            if entry.0 == token {
+                *entry = (token, fd, interest);
+                return Ok(());
+            }
+        }
+        Err(io::Error::new(io::ErrorKind::NotFound, "token not registered"))
+    }
+
+    fn deregister(&mut self, _fd: RawFd, token: usize) -> io::Result<()> {
+        self.entries.retain(|(t, ..)| *t != token);
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        self.fds.clear();
+        for (_, fd, interest) in &self.entries {
+            let mut mask = 0;
+            if interest.readable {
+                mask |= sys::POLLIN;
+            }
+            if interest.writable {
+                mask |= sys::POLLOUT;
+            }
+            self.fds.push(sys::PollFd { fd: *fd, events: mask, revents: 0 });
+        }
+        let n = sys::poll_fds(&mut self.fds, timeout_ms(timeout))?;
+        if n == 0 {
+            return Ok(());
+        }
+        for (entry, pollfd) in self.entries.iter().zip(&self.fds) {
+            let bits = pollfd.revents;
+            if bits == 0 {
+                continue;
+            }
+            events.push(Event {
+                token: entry.0,
+                readable: bits
+                    & (sys::POLLIN | sys::POLLPRI | sys::POLLHUP | sys::POLLERR | sys::POLLNVAL)
+                    != 0,
+                writable: bits & sys::POLLOUT != 0,
+                hangup: bits & (sys::POLLHUP | sys::POLLERR | sys::POLLNVAL) != 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "poll"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    fn backend_reports_readiness(mut poller: Box<dyn Poller>) {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.register(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        // Nothing pending: a zero timeout returns no events.
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.is_empty(), "spurious events: {events:?}");
+
+        a.write_all(b"x").unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable), "{events:?}");
+
+        // Write interest fires immediately on an empty socket buffer.
+        events.clear();
+        poller.reregister(b.as_raw_fd(), 7, Interest { readable: true, writable: true }).unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable), "{events:?}");
+
+        // Peer hangup surfaces as readable (so a read observes EOF).
+        let mut buf = [0u8; 8];
+        let mut b_read = &b;
+        let _ = b_read.read(&mut buf);
+        drop(a);
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable), "{events:?}");
+
+        poller.deregister(b.as_raw_fd(), 7).unwrap();
+        events.clear();
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.is_empty(), "deregistered fd still fires: {events:?}");
+    }
+
+    #[test]
+    fn poll_backend_reports_readiness() {
+        backend_reports_readiness(PollerKind::Poll.create().unwrap());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_backend_reports_readiness() {
+        backend_reports_readiness(PollerKind::Epoll.create().unwrap());
+    }
+
+    #[test]
+    fn kind_parses_and_rejects() {
+        assert_eq!(PollerKind::parse("auto").unwrap(), PollerKind::Auto);
+        assert_eq!(PollerKind::parse("epoll").unwrap(), PollerKind::Epoll);
+        assert_eq!(PollerKind::parse("poll").unwrap(), PollerKind::Poll);
+        assert!(PollerKind::parse("kqueue").is_err());
+    }
+
+    #[test]
+    fn poll_backend_rejects_duplicate_and_unknown_tokens() {
+        let mut poller = PollPoller::new();
+        let (_a, b) = UnixStream::pair().unwrap();
+        poller.register(b.as_raw_fd(), 1, Interest::READ).unwrap();
+        assert!(poller.register(b.as_raw_fd(), 1, Interest::READ).is_err());
+        assert!(poller.reregister(b.as_raw_fd(), 99, Interest::READ).is_err());
+        poller.deregister(b.as_raw_fd(), 99).unwrap(); // unknown: ignored
+    }
+}

@@ -71,7 +71,30 @@ impl Histogram {
 struct EndpointStats {
     requests: u64,
     errors: u64,
+    /// Requests shed by admission control before any analysis ran (not
+    /// counted in `requests`/`errors`: the server never handled them).
+    shed: u64,
+    /// Requests rejected because their queue wait exceeded the deadline
+    /// (these *are* also counted as handled errors).
+    deadline_misses: u64,
     latency: Histogram,
+}
+
+/// Admission-control gauges owned by the server state, passed into
+/// [`Metrics::snapshot`]/[`Metrics::prometheus`] so the registry stays a
+/// pure recorder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmissionSnapshot {
+    /// Analysis requests currently dispatched (admission-counted).
+    pub inflight: u64,
+    /// The `--max-inflight` cap.
+    pub max_inflight: u64,
+    /// Analysis requests shed since startup.
+    pub shed_total: u64,
+    /// Connections currently open on the reactor.
+    pub open_connections: u64,
+    /// Reactor event loops.
+    pub event_threads: u64,
 }
 
 /// Server-wide metrics. One instance lives in the shared server state;
@@ -109,6 +132,32 @@ impl Metrics {
         stats.latency.record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
     }
 
+    /// Records one request for `endpoint` shed by admission control. Shed
+    /// requests never ran, so they land only in the shed counter — not in
+    /// `requests`, `errors` or the latency histogram.
+    pub fn record_shed(&self, endpoint: &'static str) {
+        let mut endpoints = self.endpoints.lock().expect("metrics lock");
+        endpoints.entry(endpoint).or_default().shed += 1;
+    }
+
+    /// Records one deadline miss for `endpoint` (the request was rejected
+    /// after parse but before analysis; the caller still records it as a
+    /// handled error via [`record`](Metrics::record)).
+    pub fn record_deadline_miss(&self, endpoint: &'static str) {
+        let mut endpoints = self.endpoints.lock().expect("metrics lock");
+        endpoints.entry(endpoint).or_default().deadline_misses += 1;
+    }
+
+    /// Per-endpoint admission counters: `(endpoint, shed,
+    /// deadline_misses)`, for the `statusz` payload.
+    pub fn admission_by_endpoint(&self) -> Vec<(String, u64, u64)> {
+        let endpoints = self.endpoints.lock().expect("metrics lock");
+        endpoints
+            .iter()
+            .map(|(name, stats)| ((*name).to_string(), stats.shed, stats.deadline_misses))
+            .collect()
+    }
+
     /// Seconds since the server started.
     pub fn uptime_secs(&self) -> u64 {
         self.started.elapsed().as_secs()
@@ -130,6 +179,7 @@ impl Metrics {
         store: &ArtifactStore,
         analysis_threads: usize,
         analysis_workers: usize,
+        admission: &AdmissionSnapshot,
     ) -> Json {
         let endpoints = self.endpoints.lock().expect("metrics lock");
         let per_endpoint = endpoints
@@ -138,6 +188,8 @@ impl Metrics {
                 let json = Json::obj([
                     ("requests", Json::from(stats.requests)),
                     ("errors", Json::from(stats.errors)),
+                    ("shed", Json::from(stats.shed)),
+                    ("deadline_misses", Json::from(stats.deadline_misses)),
                     ("count", Json::from(stats.latency.total)),
                     ("sum_us", Json::from(stats.latency.sum_us)),
                     ("max_us", Json::from(stats.latency.max_us)),
@@ -189,6 +241,16 @@ impl Metrics {
                     ("background_workers", Json::from(analysis_workers as u64)),
                 ]),
             ),
+            (
+                "admission",
+                Json::obj([
+                    ("inflight", Json::from(admission.inflight)),
+                    ("max_inflight", Json::from(admission.max_inflight)),
+                    ("shed_total", Json::from(admission.shed_total)),
+                    ("open_connections", Json::from(admission.open_connections)),
+                    ("event_threads", Json::from(admission.event_threads)),
+                ]),
+            ),
         ])
     }
 
@@ -212,6 +274,7 @@ impl Metrics {
         pool: &rtpar::PoolStats,
         flight: &rtobs::flight::FlightRecorder,
         slow_captures: u64,
+        admission: &AdmissionSnapshot,
     ) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -248,9 +311,20 @@ impl Metrics {
         );
         gauge(
             "rtserver_inflight",
-            "Requests currently between flight-recorder begin and finish.",
-            &flight.inflight(),
+            "Analysis requests currently dispatched (admission-counted).",
+            &admission.inflight,
         );
+        gauge(
+            "rtserver_max_inflight",
+            "The --max-inflight admission cap.",
+            &admission.max_inflight,
+        );
+        gauge(
+            "rtserver_open_connections",
+            "Connections currently open on the reactor.",
+            &admission.open_connections,
+        );
+        gauge("rtserver_event_threads", "Reactor event loops.", &admission.event_threads);
         let mut counter = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
@@ -367,6 +441,32 @@ impl Metrics {
                 "rtserver_request_errors_total{{endpoint=\"{}\"}} {}",
                 escape_label_value(name),
                 stats.errors
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP rtserver_shed_total Requests shed by admission control per endpoint."
+        );
+        let _ = writeln!(out, "# TYPE rtserver_shed_total counter");
+        for (name, stats) in endpoints.iter() {
+            let _ = writeln!(
+                out,
+                "rtserver_shed_total{{endpoint=\"{}\"}} {}",
+                escape_label_value(name),
+                stats.shed
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP rtserver_deadline_misses_total Requests rejected past their queue-wait deadline per endpoint."
+        );
+        let _ = writeln!(out, "# TYPE rtserver_deadline_misses_total counter");
+        for (name, stats) in endpoints.iter() {
+            let _ = writeln!(
+                out,
+                "rtserver_deadline_misses_total{{endpoint=\"{}\"}} {}",
+                escape_label_value(name),
+                stats.deadline_misses
             );
         }
         let hist = "rtserver_request_duration_microseconds";
@@ -577,10 +677,22 @@ mod tests {
         metrics.record("wcrt", true, Duration::from_micros(300));
         metrics.record("wcrt", false, Duration::from_micros(700));
         metrics.record("ping", true, Duration::from_micros(2));
-        let snap = metrics.snapshot(&store, 4, 3);
+        metrics.record_shed("wcrt");
+        metrics.record_shed("wcrt");
+        metrics.record_deadline_miss("wcrt");
+        let admission = AdmissionSnapshot {
+            inflight: 1,
+            max_inflight: 256,
+            shed_total: 2,
+            open_connections: 3,
+            event_threads: 2,
+        };
+        let snap = metrics.snapshot(&store, 4, 3, &admission);
         let wcrt = snap.get("endpoints").unwrap().get("wcrt").unwrap();
         assert_eq!(wcrt.get("requests").unwrap().as_u64(), Some(2));
         assert_eq!(wcrt.get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(wcrt.get("shed").unwrap().as_u64(), Some(2), "sheds are not requests");
+        assert_eq!(wcrt.get("deadline_misses").unwrap().as_u64(), Some(1));
         assert_eq!(wcrt.get("count").unwrap().as_u64(), Some(2));
         assert_eq!(wcrt.get("sum_us").unwrap().as_u64(), Some(1000));
         assert_eq!(wcrt.get("max_us").unwrap().as_u64(), Some(700));
@@ -596,9 +708,19 @@ mod tests {
             assert!(s.get("single_flight_waits").unwrap().as_u64().is_some());
         }
         assert!(snap.get("uptime_secs").unwrap().as_u64().is_some());
+        let adm = snap.get("admission").unwrap();
+        assert_eq!(adm.get("inflight").unwrap().as_u64(), Some(1));
+        assert_eq!(adm.get("max_inflight").unwrap().as_u64(), Some(256));
+        assert_eq!(adm.get("shed_total").unwrap().as_u64(), Some(2));
+        assert_eq!(adm.get("open_connections").unwrap().as_u64(), Some(3));
+        assert_eq!(adm.get("event_threads").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            metrics.admission_by_endpoint(),
+            vec![("ping".to_string(), 0, 0), ("wcrt".to_string(), 2, 1)]
+        );
         metrics.record_explore(64, 5);
         metrics.record_explore(36, 3);
-        let snap = metrics.snapshot(&store, 4, 3);
+        let snap = metrics.snapshot(&store, 4, 3, &admission);
         let explore = snap.get("explore").unwrap();
         assert_eq!(explore.get("points_total").unwrap().as_u64(), Some(100));
         assert_eq!(explore.get("front_size").unwrap().as_u64(), Some(3), "latest sweep wins");
@@ -623,7 +745,16 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         scope.finish(true);
-        let text = metrics.prometheus(&store, &pool.stats(), &flight, 3);
+        metrics.record_shed("wcrt");
+        metrics.record_deadline_miss("wcrt");
+        let admission = AdmissionSnapshot {
+            inflight: 5,
+            max_inflight: 64,
+            shed_total: 1,
+            open_connections: 9,
+            event_threads: 2,
+        };
+        let text = metrics.prometheus(&store, &pool.stats(), &flight, 3, &admission);
 
         // Every metric family carries HELP and TYPE lines.
         for family in [
@@ -643,6 +774,11 @@ mod tests {
             "rtserver_explore_points_total",
             "rtserver_explore_front_size",
             "rtserver_inflight",
+            "rtserver_max_inflight",
+            "rtserver_open_connections",
+            "rtserver_event_threads",
+            "rtserver_shed_total",
+            "rtserver_deadline_misses_total",
             "rtserver_flight_records_total",
             "rtserver_slow_requests_total",
             "rtserver_stage_request_nanoseconds_total",
@@ -702,8 +838,13 @@ mod tests {
             "{text}"
         );
 
-        // Flight-recorder families carry live values.
-        assert!(text.contains("rtserver_inflight 0"), "{text}");
+        // Admission families carry live values.
+        assert!(text.contains("rtserver_inflight 5"), "{text}");
+        assert!(text.contains("rtserver_max_inflight 64"), "{text}");
+        assert!(text.contains("rtserver_open_connections 9"), "{text}");
+        assert!(text.contains("rtserver_event_threads 2"), "{text}");
+        assert!(text.contains("rtserver_shed_total{endpoint=\"wcrt\"} 1"), "{text}");
+        assert!(text.contains("rtserver_deadline_misses_total{endpoint=\"wcrt\"} 1"), "{text}");
         assert!(text.contains("rtserver_flight_records_total 1"), "{text}");
         assert!(text.contains("rtserver_slow_requests_total 3"), "{text}");
         let crpd = text

@@ -68,27 +68,35 @@ pub fn render_status(status: &Json, journal: &Json) -> String {
         Some(ms) => format!("slow capture >= {ms} ms ({} captured)", num(status, "slow_captures")),
         None => "slow capture off".to_string(),
     };
+    let cap = match status.get("max_inflight").and_then(Json::as_u64) {
+        Some(cap) => cap.to_string(),
+        None => "?".to_string(),
+    };
     let _ = writeln!(
         out,
-        "rtserver up {}s | inflight {} | {} flights recorded (ring {}) | {slow}",
+        "rtserver up {}s | inflight {}/{cap} | conns {} | shed {} | {} flights recorded (ring {}) | {slow}",
         num(status, "uptime_secs"),
         num(status, "inflight"),
+        num(status, "open_connections"),
+        num(status, "shed_total"),
         num(status, "records_total"),
         num(status, "flight_capacity"),
     );
     if let Some(Json::Obj(endpoints)) = status.get("endpoints") {
         let _ = writeln!(
             out,
-            "  {:>12} {:>8} {:>6} {:>9} {:>9} {:>9} {:>9}",
-            "endpoint", "count", "err", "p50", "p90", "p99", "max"
+            "  {:>12} {:>8} {:>6} {:>7} {:>6} {:>9} {:>9} {:>9} {:>9}",
+            "endpoint", "count", "err", "dl_miss", "shed", "p50", "p90", "p99", "max"
         );
         for (name, e) in endpoints {
             let _ = writeln!(
                 out,
-                "  {:>12} {:>8} {:>6} {:>9} {:>9} {:>9} {:>9}",
+                "  {:>12} {:>8} {:>6} {:>7} {:>6} {:>9} {:>9} {:>9} {:>9}",
                 name,
                 num(e, "count"),
                 num(e, "errors"),
+                num(e, "deadline_misses"),
+                num(e, "shed"),
                 fmt_us(num(e, "p50_us")),
                 fmt_us(num(e, "p90_us")),
                 fmt_us(num(e, "p99_us")),
@@ -160,11 +168,14 @@ mod tests {
     #[test]
     fn renders_endpoints_stages_and_journal() {
         let status = Json::parse(
-            r#"{"uptime_secs":12,"inflight":1,"records_total":40,"flight_capacity":512,
+            r#"{"uptime_secs":12,"inflight":1,"max_inflight":256,"open_connections":7,
+                "shed_total":3,"records_total":40,"flight_capacity":512,
                 "slow_ms":250,"slow_captures":2,
-                "endpoints":{"wcrt":{"count":30,"errors":1,"p50_us":8191,"p90_us":16383,
+                "endpoints":{"wcrt":{"count":30,"errors":1,"deadline_misses":2,"shed":3,
+                                      "p50_us":8191,"p90_us":16383,
                                       "p99_us":32767,"max_us":30000},
-                             "ping":{"count":10,"errors":0,"p50_us":63,"p90_us":63,
+                             "ping":{"count":10,"errors":0,"deadline_misses":0,"shed":0,
+                                      "p50_us":63,"p90_us":63,
                                       "p99_us":127,"max_us":90}},
                 "stage_ns":{"wcrt":5000000,"crpd":2000000},
                 "stage_cache":{"analyze":{"hits":6,"misses":2,"hit_rate":0.75}}}"#,
@@ -177,7 +188,10 @@ mod tests {
         .unwrap();
         let out = render_status(&status, &journal);
         assert!(out.contains("up 12s"), "{out}");
-        assert!(out.contains("inflight 1"), "{out}");
+        assert!(out.contains("inflight 1/256"), "{out}");
+        assert!(out.contains("conns 7"), "{out}");
+        assert!(out.contains("shed 3"), "{out}");
+        assert!(out.contains("dl_miss"), "{out}");
         assert!(out.contains("slow capture >= 250 ms (2 captured)"), "{out}");
         assert!(out.contains("wcrt"), "{out}");
         assert!(out.contains("8.2ms"), "p50 rendered in ms: {out}");
@@ -198,6 +212,7 @@ mod tests {
         .unwrap();
         let out = render_status(&status, &Json::Arr(vec![]));
         assert!(out.contains("slow capture off"), "{out}");
+        assert!(out.contains("inflight 0/?"), "missing admission fields render `?`: {out}");
         assert!(!out.contains("recent flights"), "{out}");
     }
 

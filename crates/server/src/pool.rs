@@ -1,8 +1,10 @@
 //! A fixed-size worker thread pool over an [`mpsc`] channel.
 //!
 //! Analysis requests are CPU-bound, so the pool is sized once at startup
-//! (`trisc serve --threads N`) instead of spawning per connection.
-//! Workers pull jobs from a shared receiver; dropping the pool closes the
+//! (`trisc serve --threads N`). The reactor's event threads frame lines
+//! off thousands of connections and hand each request here as one job;
+//! workers pull jobs from a shared receiver and write the response back
+//! through the reactor's completion queue. Dropping the pool closes the
 //! channel, lets every queued and in-flight job finish, and joins the
 //! threads — which is exactly the drain the server's graceful shutdown
 //! needs.

@@ -15,6 +15,7 @@
 //! | `wcrt`     | `spec`                                    | `trisc wcrt` text   |
 //! | `sim`      | `spec` (+ optional `horizon` in cycles)   | `trisc sim` text    |
 //! | `explore`  | `spec` + `grid` (grid-file text)          | streamed frames (see below) |
+//! | `batch`    | `items` (array of wcet/crpd/wcrt/sim requests) | streamed frames (see below) |
 //! | `metrics`  | —                                         | `"metrics": {...}`  |
 //! | `metrics_prom` | —                                     | Prometheus text exposition |
 //! | `statusz`  | —                                         | `"status": {...}` live ops snapshot |
@@ -35,22 +36,39 @@
 //! stage's counters under their historic name. `metrics_prom` exposes
 //! the same data as `rtserver_stage_cache_*{stage="..."}` families.
 //!
+//! ## Admission control
+//!
+//! Analysis-class requests (`wcet`/`crpd`/`wcrt`/`sim`/`explore`/
+//! `batch`) may carry an optional `deadline_ms` field overriding the
+//! server's `--deadline-ms`: a request whose queue wait already exceeds
+//! its deadline is answered `{"ok": false, "code":
+//! "deadline_exceeded", ...}` *before* any analysis runs. When the
+//! server's in-flight count crosses `--max-inflight`, new analysis
+//! requests are shed with `{"ok": false, "code": "overloaded", ...}`;
+//! ops-plane commands (ping, metrics, statusz, …) are never shed, so
+//! the server stays observable under overload.
+//!
 //! ## Responses
 //!
 //! Success: `{"id": 1, "ok": true, "output": "..."}` (plus `"metrics"`
 //! for the metrics command). Failure: `{"id": 1, "ok": false, "error":
-//! "..."}`. The `id` is echoed verbatim when the request carried one, so
-//! clients may pipeline requests over one connection.
+//! "..."}`, with a machine-readable `"code"` field (`overloaded`,
+//! `deadline_exceeded`) on typed admission errors. The `id` is echoed
+//! verbatim when the request carried one, so clients may pipeline
+//! requests over one connection.
 //!
-//! `explore` is the one *streaming* command: it answers with several
-//! NDJSON frames sharing the request's `id` — one
+//! `explore` and `batch` are the *streaming* commands: they answer with
+//! several NDJSON frames sharing the request's `id`. `explore` emits one
 //! `{"ok": true, "event": "points", "points": [...]}` frame per
 //! evaluated batch (each point carries `index`, `schedulable` and its
 //! rendered `row`), then a final `{"ok": true, "event": "done",
 //! "points_total": N, "front": [indices], "front_size": F,
 //! "output": "..."}` frame whose `output` holds the explained Pareto
-//! front. Clients read frames until they see `event == "done"` (or
-//! `ok == false`).
+//! front. `batch` emits one `{"ok": ..., "event": "result", "index": k,
+//! "output"/"error": ...}` frame per item, in item order, then a final
+//! `{"ok": true, "event": "done", "results": N, "errors": E}` frame.
+//! Clients read frames until they see `event == "done"` (or a frame with
+//! `ok == false` and no `event`).
 //!
 //! [`SystemSpec`]: rtcli::SystemSpec
 
@@ -65,6 +83,10 @@ pub struct Request {
     pub id: Option<u64>,
     /// What to do.
     pub cmd: Command,
+    /// Per-request deadline override (milliseconds of queue wait after
+    /// which the request is rejected instead of analyzed). Falls back to
+    /// the server's `--deadline-ms`; only analysis-class commands check.
+    pub deadline_ms: Option<u64>,
 }
 
 /// The request payload per command.
@@ -116,6 +138,12 @@ pub enum Command {
         /// it is ignored — the base system is this request's `spec`).
         grid: String,
     },
+    /// Many analysis specs in one round-trip: streams one `result` frame
+    /// per item (in item order) and a final `done` frame.
+    Batch {
+        /// The analysis requests to execute (wcet/crpd/wcrt/sim only).
+        items: Vec<Command>,
+    },
 }
 
 impl Command {
@@ -134,7 +162,23 @@ impl Command {
             Command::Wcrt(_) => "wcrt",
             Command::Sim { .. } => "sim",
             Command::Explore { .. } => "explore",
+            Command::Batch { .. } => "batch",
         }
+    }
+
+    /// Whether this command runs analysis (and is therefore subject to
+    /// shedding and deadlines), as opposed to the always-available ops
+    /// plane.
+    pub fn is_analysis(&self) -> bool {
+        matches!(
+            self,
+            Command::Wcet(_)
+                | Command::Crpd(_)
+                | Command::Wcrt(_)
+                | Command::Sim { .. }
+                | Command::Explore { .. }
+                | Command::Batch { .. }
+        )
     }
 }
 
@@ -161,47 +205,88 @@ impl Request {
             None | Some(Json::Null) => None,
             Some(v) => Some(v.as_u64().ok_or("`id` must be a non-negative integer")?),
         };
-        let cmd_name = doc.get("cmd").and_then(Json::as_str).ok_or("missing string field `cmd`")?;
-        let cmd = match cmd_name {
-            "ping" => Command::Ping,
-            "metrics" => Command::Metrics,
-            "metrics_prom" => Command::MetricsProm,
-            "statusz" => Command::Statusz,
-            "journal" => {
-                let n = match doc.get("n") {
-                    None | Some(Json::Null) => None,
-                    Some(v) => Some(v.as_u64().ok_or("`n` must be a non-negative integer")?),
-                };
-                Command::Journal { n }
-            }
-            "flight" => Command::Flight,
-            "shutdown" => Command::Shutdown,
-            "wcet" => Command::Wcet(spec_payload(&doc)?),
-            "crpd" => Command::Crpd(spec_payload(&doc)?),
-            "wcrt" => Command::Wcrt(spec_payload(&doc)?),
-            "sim" => {
-                let horizon = match doc.get("horizon") {
-                    None | Some(Json::Null) => None,
-                    Some(v) => Some(v.as_u64().ok_or("`horizon` must be a non-negative integer")?),
-                };
-                Command::Sim { payload: spec_payload(&doc)?, horizon }
-            }
-            "explore" => {
-                let grid = doc
-                    .get("grid")
-                    .and_then(Json::as_str)
-                    .ok_or("missing string field `grid`")?
-                    .to_string();
-                Command::Explore { payload: spec_payload(&doc)?, grid }
-            }
-            other => {
-                return Err(format!(
-                    "unknown cmd `{other}` (expected ping|wcet|crpd|wcrt|sim|explore|metrics|metrics_prom|statusz|journal|flight|shutdown)"
-                ))
-            }
+        let deadline_ms = match doc.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or("`deadline_ms` must be a non-negative integer")?),
         };
-        Ok(Request { id, cmd })
+        let cmd = parse_command(&doc)?;
+        Ok(Request { id, cmd, deadline_ms })
     }
+}
+
+fn parse_command(doc: &Json) -> Result<Command, String> {
+    let cmd_name = doc.get("cmd").and_then(Json::as_str).ok_or("missing string field `cmd`")?;
+    let cmd = match cmd_name {
+        "ping" => Command::Ping,
+        "metrics" => Command::Metrics,
+        "metrics_prom" => Command::MetricsProm,
+        "statusz" => Command::Statusz,
+        "journal" => {
+            let n = match doc.get("n") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or("`n` must be a non-negative integer")?),
+            };
+            Command::Journal { n }
+        }
+        "flight" => Command::Flight,
+        "shutdown" => Command::Shutdown,
+        "batch" => {
+            let Some(Json::Arr(items)) = doc.get("items") else {
+                return Err("missing array field `items`".to_string());
+            };
+            if items.is_empty() {
+                return Err("`items` must not be empty".to_string());
+            }
+            if items.len() > MAX_BATCH_ITEMS {
+                return Err(format!(
+                    "batch of {} items exceeds the {MAX_BATCH_ITEMS}-item limit",
+                    items.len()
+                ));
+            }
+            let items = items
+                .iter()
+                .enumerate()
+                .map(|(index, item)| {
+                    let cmd = parse_command(item).map_err(|e| format!("item {index}: {e}"))?;
+                    if !matches!(
+                        cmd,
+                        Command::Wcet(_) | Command::Crpd(_) | Command::Wcrt(_) | Command::Sim { .. }
+                    ) {
+                        return Err(format!(
+                            "item {index}: cmd `{}` is not batchable (expected wcet|crpd|wcrt|sim)",
+                            cmd.endpoint()
+                        ));
+                    }
+                    Ok(cmd)
+                })
+                .collect::<Result<Vec<Command>, String>>()?;
+            Command::Batch { items }
+        }
+        "wcet" => Command::Wcet(spec_payload(doc)?),
+        "crpd" => Command::Crpd(spec_payload(doc)?),
+        "wcrt" => Command::Wcrt(spec_payload(doc)?),
+        "sim" => {
+            let horizon = match doc.get("horizon") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or("`horizon` must be a non-negative integer")?),
+            };
+            Command::Sim { payload: spec_payload(doc)?, horizon }
+        }
+        "explore" => {
+            let grid = doc
+                .get("grid")
+                .and_then(Json::as_str)
+                .ok_or("missing string field `grid`")?
+                .to_string();
+            Command::Explore { payload: spec_payload(doc)?, grid }
+        }
+        other => {
+            return Err(format!(
+                "unknown cmd `{other}` (expected ping|wcet|crpd|wcrt|sim|explore|batch|metrics|metrics_prom|statusz|journal|flight|shutdown)"
+            ))
+        }
+    };
+    Ok(cmd)
 }
 
 /// Upper bound on the combined `spec` + `sources` payload of one
@@ -209,6 +294,10 @@ impl Request {
 /// reach the assembler) keeps one hostile or buggy client from pinning
 /// a worker on parse work.
 pub const MAX_SPEC_BYTES: usize = 1 << 20;
+
+/// Upper bound on the items of one `batch` request (the per-item
+/// [`MAX_SPEC_BYTES`] cap still applies to each item individually).
+pub const MAX_BATCH_ITEMS: usize = 64;
 
 fn spec_payload(doc: &Json) -> Result<SpecPayload, String> {
     let spec =
@@ -256,6 +345,18 @@ pub fn err_response(id: Option<u64>, error: &str) -> String {
         .encode()
 }
 
+/// Encodes a typed failure response with a machine-readable `code`
+/// (`overloaded`, `deadline_exceeded`) alongside the human message.
+pub fn err_response_coded(id: Option<u64>, code: &str, error: &str) -> String {
+    Json::obj([
+        ("id", id_json(id)),
+        ("ok", Json::Bool(false)),
+        ("code", Json::from(code)),
+        ("error", Json::from(error)),
+    ])
+    .encode()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,9 +401,28 @@ mod tests {
 
         let r = Request::parse(r#"{"cmd":"explore","spec":"s","grid":"sets 32 64\n"}"#).unwrap();
         assert_eq!(r.cmd.endpoint(), "explore");
+        assert!(r.cmd.is_analysis());
+        assert_eq!(r.deadline_ms, None);
         let Command::Explore { payload, grid } = r.cmd else { panic!("expected explore") };
         assert_eq!(payload.spec, "s");
         assert_eq!(grid, "sets 32 64\n");
+
+        let r = Request::parse(
+            r#"{"id":7,"cmd":"batch","deadline_ms":250,"items":[{"cmd":"wcet","spec":"a"},{"cmd":"sim","spec":"b","horizon":9}]}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, Some(7));
+        assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(r.cmd.endpoint(), "batch");
+        assert!(r.cmd.is_analysis());
+        let Command::Batch { items } = r.cmd else { panic!("expected batch") };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].endpoint(), "wcet");
+        let Command::Sim { horizon, .. } = &items[1] else { panic!("expected sim item") };
+        assert_eq!(*horizon, Some(9));
+
+        assert!(!Command::Ping.is_analysis());
+        assert!(!Command::Statusz.is_analysis());
     }
 
     #[test]
@@ -319,6 +439,11 @@ mod tests {
             (r#"{"cmd":"explore","spec":"s"}"#, "`grid`"),
             (r#"{"cmd":"explore","grid":"g"}"#, "`spec`"),
             (r#"{"spec":"s"}"#, "`cmd`"),
+            (r#"{"cmd":"ping","deadline_ms":-1}"#, "`deadline_ms`"),
+            (r#"{"cmd":"batch"}"#, "`items`"),
+            (r#"{"cmd":"batch","items":[]}"#, "empty"),
+            (r#"{"cmd":"batch","items":[{"cmd":"ping"}]}"#, "not batchable"),
+            (r#"{"cmd":"batch","items":[{"cmd":"wcet","spec":"s"},{"spec":"x"}]}"#, "item 1"),
         ] {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
@@ -356,5 +481,21 @@ mod tests {
         let doc = Json::parse(&err).unwrap();
         assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
         assert_eq!(doc.get("id"), Some(&Json::Null));
+
+        let shed = err_response_coded(Some(4), "overloaded", "server at capacity");
+        let doc = Json::parse(&shed).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("code").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(doc.get("id").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn rejects_oversized_batches() {
+        let item = r#"{"cmd":"wcet","spec":"s"}"#;
+        let items = vec![item; MAX_BATCH_ITEMS + 1].join(",");
+        let err = Request::parse(&format!(r#"{{"cmd":"batch","items":[{items}]}}"#)).unwrap_err();
+        assert!(err.contains("65 items exceeds"), "{err}");
+        let items = vec![item; MAX_BATCH_ITEMS].join(",");
+        assert!(Request::parse(&format!(r#"{{"cmd":"batch","items":[{items}]}}"#)).is_ok());
     }
 }

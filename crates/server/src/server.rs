@@ -1,26 +1,36 @@
-//! The TCP daemon: accept loop, request execution and graceful shutdown.
+//! The TCP daemon: reactor-driven I/O, request execution, admission
+//! control and graceful shutdown.
 //!
-//! Connections are the unit of dispatch: each accepted socket becomes one
-//! job on the fixed [`WorkerPool`], whose worker serves that client's
-//! requests back-to-back until it disconnects. Requests on *different*
-//! connections therefore execute concurrently (up to the pool size),
-//! while each client observes its own requests in order — which is what
-//! a pipelined newline-delimited protocol needs.
+//! Connection I/O runs on the `rtreact` event loops: a few event threads
+//! multiplex every connection's reads, line framing and buffered writes.
+//! *Requests* are the unit of dispatch — each framed line becomes one
+//! job on the fixed [`WorkerPool`] — and the reactor dispatches at most
+//! one request per connection at a time, so each client observes its own
+//! requests in order (exactly like the thread-per-connection server this
+//! replaced) while requests on different connections execute
+//! concurrently up to the pool size.
 //!
-//! Shutdown protocol: a `shutdown` request is acknowledged on its own
-//! connection, then the shutdown flag is raised and the server pokes its
-//! own listener with an empty connection to unblock `accept`. The accept
-//! loop exits, the pool drains (every queued connection and in-flight
-//! request still completes), and `serve` returns.
+//! Admission control sits in front of the pool: once the in-flight count
+//! reaches `--max-inflight`, new analysis requests are shed on the event
+//! thread with a typed `overloaded` error (ops-plane commands always get
+//! through), and analysis requests whose readiness-to-pickup wait
+//! exceeds their deadline (`--deadline-ms`, or the request's own
+//! `deadline_ms`) are rejected with `deadline_exceeded` before any
+//! analysis runs.
+//!
+//! Shutdown protocol: a `shutdown` request completes with
+//! [`rtreact::Control::Shutdown`]; the reactor writes the ack, stops
+//! accepting and reading, drains every dispatched request, and `serve`
+//! returns after the request pool finishes any remaining work.
 
-use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crpd::{AnalyzedTask, TaskParams};
 use rtcli::spec::SpecTask;
@@ -30,9 +40,11 @@ use rtcli::{
 use rtobs::flight::{FinishedFlight, FlightRecord, FlightRecorder, STAGES};
 
 use crate::json::Json;
-use crate::metrics::Metrics;
+use crate::metrics::{AdmissionSnapshot, Metrics};
 use crate::pool::WorkerPool;
-use crate::proto::{err_response, ok_response, ok_response_with, Command, Request, SpecPayload};
+use crate::proto::{
+    err_response, err_response_coded, ok_response, ok_response_with, Command, Request, SpecPayload,
+};
 use crate::store::ArtifactStore;
 
 /// State shared by every worker: the artifact cache, the metrics
@@ -59,7 +71,18 @@ pub struct ServerState {
     /// Slow requests captured since startup (the black box is bounded;
     /// this is not).
     slow_total: AtomicU64,
-    shutdown: AtomicBool,
+    /// `--max-inflight`: the admission cap on concurrently dispatched
+    /// requests; at or past it, new analysis requests are shed.
+    max_inflight: u64,
+    /// `--deadline-ms`: the server-wide queue-wait deadline for analysis
+    /// requests (overridable per request).
+    deadline_ms: Option<u64>,
+    /// Requests currently dispatched to the worker pool.
+    inflight: AtomicU64,
+    /// Analysis requests shed by admission control since startup.
+    shed_total: AtomicU64,
+    /// The reactor's always-on connection counters.
+    react_stats: Arc<rtreact::ReactorStats>,
 }
 
 /// How many slow-request span trees the black box retains.
@@ -85,15 +108,25 @@ impl ServerState {
         flight_capacity: usize,
         slow_ms: Option<u64>,
     ) -> ServerState {
+        let opts = ServeOptions { threads, flight_capacity, slow_ms, ..ServeOptions::default() };
+        ServerState::with_options(&opts)
+    }
+
+    /// State configured from the full `trisc serve` option set.
+    pub fn with_options(opts: &ServeOptions) -> ServerState {
         ServerState {
             store: ArtifactStore::default(),
             metrics: Metrics::default(),
-            flight: FlightRecorder::new(flight_capacity),
-            analysis: rtpar::Pool::new(threads),
-            slow_ms,
+            flight: FlightRecorder::new(opts.flight_capacity),
+            analysis: rtpar::Pool::new(opts.threads),
+            slow_ms: opts.slow_ms,
             black_box: Mutex::new(VecDeque::with_capacity(BLACK_BOX_CAP)),
             slow_total: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
+            max_inflight: opts.max_inflight,
+            deadline_ms: opts.deadline_ms,
+            inflight: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            react_stats: Arc::new(rtreact::ReactorStats::default()),
         }
     }
 
@@ -102,10 +135,15 @@ impl ServerState {
         &self.analysis
     }
 
-    fn begin_shutdown(&self, listener_addr: SocketAddr) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop; the probe connection is dropped there.
-        let _ = TcpStream::connect(listener_addr);
+    /// The admission gauges as the metrics layer consumes them.
+    fn admission(&self) -> AdmissionSnapshot {
+        AdmissionSnapshot {
+            inflight: self.inflight.load(Ordering::SeqCst),
+            max_inflight: self.max_inflight,
+            shed_total: self.shed_total.load(Ordering::Relaxed),
+            open_connections: self.react_stats.connections_open(),
+            event_threads: self.react_stats.event_threads() as u64,
+        }
     }
 }
 
@@ -115,6 +153,7 @@ pub struct Server {
     listener: TcpListener,
     pool: WorkerPool,
     state: Arc<ServerState>,
+    config: rtreact::Config,
 }
 
 impl Server {
@@ -122,19 +161,28 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns the bind error (bad host, port in use, …).
+    /// Returns the bind error (bad host, port in use, …) or an invalid
+    /// `--poller` value.
     pub fn bind(opts: &ServeOptions) -> io::Result<Server> {
+        // A reactor server is expected to hold thousands of sockets;
+        // lift the fd ceiling best-effort before the first accept.
+        let _ = rtreact::raise_nofile_limit(65_536);
         let listener = TcpListener::bind((opts.host.as_str(), opts.port))?;
-        // `--threads` is the single parallelism knob: it sizes both the
-        // connection pool and the analysis pool the requests fan out on.
+        let poller = rtreact::PollerKind::parse(&opts.poller)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let config = rtreact::Config {
+            event_threads: opts.event_threads,
+            idle_timeout: opts.idle_timeout_ms.map(Duration::from_millis),
+            poller,
+            ..rtreact::Config::default()
+        };
+        // `--threads` sizes both the request pool and the analysis pool
+        // requests fan out on; event threads are a separate, small knob.
         Ok(Server {
             listener,
             pool: WorkerPool::new(opts.threads),
-            state: Arc::new(ServerState::with_flight(
-                opts.threads,
-                opts.flight_capacity,
-                opts.slow_ms,
-            )),
+            state: Arc::new(ServerState::with_options(opts)),
+            config,
         })
     }
 
@@ -152,21 +200,19 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns an error only for a dead listener socket; per-connection
-    /// failures are contained to their connection.
-    pub fn serve(mut self) -> io::Result<()> {
-        let addr = self.listener.local_addr()?;
-        for stream in self.listener.incoming() {
-            if self.state.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            let accepted = Instant::now();
-            let state = Arc::clone(&self.state);
-            self.pool.execute(move || handle_connection(stream, &state, addr, accepted));
-        }
-        self.pool.drain();
-        Ok(())
+    /// Returns an error only for a dead listener socket or a failed
+    /// poller; per-connection failures are contained to their connection.
+    pub fn serve(self) -> io::Result<()> {
+        let Server { listener, pool, state, config } = self;
+        let stats = Arc::clone(&state.react_stats);
+        let handler = Arc::new(ReactorHandler { state, pool });
+        let result = rtreact::run(listener, handler.clone(), &config, stats);
+        // The event loops have exited and dropped their handler clones;
+        // dropping ours drains the request pool (any work the reactor's
+        // drain timeout abandoned still completes, its responses going to
+        // already-closed connections).
+        drop(handler);
+        result
     }
 
     /// Binds and serves on a background thread; returns a handle with the
@@ -221,10 +267,17 @@ pub fn run(opts: &ServeOptions) -> io::Result<()> {
     let session = opts.trace_out.as_deref().map(|_| rtobs::begin());
     let server = Server::bind(opts)?;
     println!(
-        "rtserver listening on {} ({} connection workers, {}-thread analysis pool)",
+        "rtserver listening on {} ({} event threads, {} request workers, {}-thread analysis pool)",
         server.local_addr()?,
+        opts.event_threads,
         opts.threads,
         opts.threads
+    );
+    println!(
+        "admission: max-inflight {}{}{}",
+        opts.max_inflight,
+        opts.deadline_ms.map_or(String::new(), |ms| format!(", deadline {ms} ms")),
+        opts.idle_timeout_ms.map_or(String::new(), |ms| format!(", idle timeout {ms} ms")),
     );
     match opts.slow_ms {
         Some(ms) => println!(
@@ -244,48 +297,75 @@ pub fn run(opts: &ServeOptions) -> io::Result<()> {
     Ok(())
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    state: &ServerState,
-    listener_addr: SocketAddr,
-    accepted: Instant,
-) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    // Accept-to-pickup wait, attributed to the connection's first request
-    // (later requests on the pipelined connection waited on the client,
-    // not on us).
-    let mut queue_us = accepted.elapsed().as_micros() as u64;
-    let reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+/// The bridge between the reactor's event threads and the request pool.
+#[derive(Debug)]
+struct ReactorHandler {
+    state: Arc<ServerState>,
+    pool: WorkerPool,
+}
+
+impl rtreact::Handler for ReactorHandler {
+    fn on_line(&self, line: String, ready: Instant, responder: rtreact::Responder) {
+        // Shed on the event thread, before the request costs a pool slot.
+        if let Some(response) = try_shed(&self.state, &line) {
+            responder.send(response);
+            return;
         }
-        // Run the request with the server's analysis pool installed so
-        // nested `rtpar` fan-out inside the analyses lands there.
-        let (response, shutdown) =
-            state.analysis.install(|| handle_request(state, &line, queue_us));
-        queue_us = 0;
-        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
-            break;
-        }
-        if shutdown {
-            state.begin_shutdown(listener_addr);
-            break;
-        }
+        self.state.inflight.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        self.pool.execute(move || {
+            // Run the request with the server's analysis pool installed so
+            // nested `rtpar` fan-out inside the analyses lands there.
+            let (response, shutdown) =
+                state.analysis.install(|| handle_request(&state, &line, ready));
+            state.inflight.fetch_sub(1, Ordering::SeqCst);
+            let control =
+                if shutdown { rtreact::Control::Shutdown } else { rtreact::Control::Continue };
+            responder.send_with(response, control);
+        });
     }
 }
 
+/// The admission fast path, run on the event thread at dispatch: `None`
+/// lets the request through. Only analysis-class commands shed — the ops
+/// plane (ping, metrics, statusz, journal, flight, shutdown) must stay
+/// responsive precisely when the server is overloaded — and malformed
+/// lines take the normal path so their error reporting is unchanged.
+/// The under-cap case costs one atomic load; parsing happens only once
+/// the server is already saturated.
+fn try_shed(state: &ServerState, line: &str) -> Option<String> {
+    if state.inflight.load(Ordering::SeqCst) < state.max_inflight {
+        return None;
+    }
+    let request = Request::parse(line).ok()?;
+    if !request.cmd.is_analysis() {
+        return None;
+    }
+    let endpoint = request.cmd.endpoint();
+    state.shed_total.fetch_add(1, Ordering::Relaxed);
+    state.metrics.record_shed(endpoint);
+    Some(err_response_coded(
+        request.id,
+        "overloaded",
+        &format!(
+            "server at capacity ({} requests in flight, --max-inflight {}); retry later",
+            state.inflight.load(Ordering::SeqCst),
+            state.max_inflight
+        ),
+    ))
+}
+
 /// Executes one request line; returns the response line and whether this
-/// request asked the server to shut down. Every request — including
-/// malformed ones — flies through the always-on [`FlightRecorder`];
-/// with `--slow-ms` set, over-threshold requests additionally land their
-/// full span tree in the black box.
-fn handle_request(state: &ServerState, line: &str, queue_us: u64) -> (String, bool) {
+/// request asked the server to shut down. `ready` is the instant the
+/// line was fully framed by the reactor, so `ready.elapsed()` at pickup
+/// is the readiness-to-dispatch queue wait the flight recorder
+/// attributes. Every request — including malformed ones — flies through
+/// the always-on [`FlightRecorder`]; with `--slow-ms` set,
+/// over-threshold requests additionally land their full span tree in
+/// the black box.
+fn handle_request(state: &ServerState, line: &str, ready: Instant) -> (String, bool) {
     let started = Instant::now();
+    let queue_us = ready.elapsed().as_micros() as u64;
     let request = match Request::parse(line) {
         Ok(request) => request,
         Err(message) => {
@@ -296,6 +376,30 @@ fn handle_request(state: &ServerState, line: &str, queue_us: u64) -> (String, bo
     };
     let endpoint = request.cmd.endpoint();
     let id = request.id;
+    // The deadline gate: an analysis request that already waited past its
+    // deadline is rejected before any analysis starts — the client has
+    // given up on the answer, so computing it would only dig the queue
+    // deeper.
+    if request.cmd.is_analysis() {
+        if let Some(deadline_ms) = request.deadline_ms.or(state.deadline_ms) {
+            if queue_us / 1000 >= deadline_ms {
+                state.flight.begin(endpoint, queue_us, false).finish(false);
+                state.metrics.record_deadline_miss(endpoint);
+                state.metrics.record(endpoint, false, started.elapsed());
+                return (
+                    err_response_coded(
+                        id,
+                        "deadline_exceeded",
+                        &format!(
+                            "request waited {} ms, past its {deadline_ms} ms deadline",
+                            queue_us / 1000
+                        ),
+                    ),
+                    false,
+                );
+            }
+        }
+    }
     let scope = state.flight.begin(endpoint, queue_us, state.slow_ms.is_some());
     let (response, ok, shutdown) = {
         // The whole-request span: the root of a slow request's captured
@@ -308,6 +412,7 @@ fn handle_request(state: &ServerState, line: &str, queue_us: u64) -> (String, bo
                     &state.store,
                     state.analysis.threads(),
                     state.analysis.background_workers(),
+                    &state.admission(),
                 );
                 (ok_response_with(id, "metrics", snapshot), true, false)
             }
@@ -317,6 +422,7 @@ fn handle_request(state: &ServerState, line: &str, queue_us: u64) -> (String, bo
                     &state.analysis.stats(),
                     &state.flight,
                     state.slow_total.load(Ordering::Relaxed),
+                    &state.admission(),
                 );
                 (ok_response(id, &text), true, false)
             }
@@ -338,12 +444,16 @@ fn handle_request(state: &ServerState, line: &str, queue_us: u64) -> (String, bo
             Command::Crpd(payload) => finish(id, run_crpd(state, payload)),
             Command::Wcrt(payload) => finish(id, run_wcrt(state, payload)),
             Command::Sim { payload, horizon } => finish(id, run_sim(payload, *horizon)),
-            // The one streaming command: on success the "response" is
+            // The streaming commands: on success the "response" is
             // several newline-separated frames, written as one block.
             Command::Explore { payload, grid } => match run_explore(state, id, payload, grid) {
                 Ok(frames) => (frames, true, false),
                 Err(error) => (err_response(id, &error.to_string()), false, false),
             },
+            Command::Batch { items } => {
+                let (frames, ok) = run_batch(state, id, items);
+                (frames, ok, false)
+            }
         }
     };
     let finished = scope.finish(ok);
@@ -408,17 +518,77 @@ fn flight_json(flight: &FinishedFlight) -> Json {
     Json::obj([("record", record_json(&flight.record)), ("spans", Json::Arr(spans))])
 }
 
-/// The `statusz` payload: liveness, per-endpoint quantiles, stage wall
-/// time and stage-cache hit rates, all from always-on collectors.
+/// Executes a `batch` request: every item runs through the analysis
+/// pool's indexed fan-out ([`rtpar::par_map_range`]), so results come
+/// back in item order deterministically at any pool size. The response
+/// is one `result` frame per item plus a final `done` frame, returned as
+/// one newline-joined block; the whole request counts as `ok` only when
+/// every item succeeded.
+fn run_batch(state: &ServerState, id: Option<u64>, items: &[Command]) -> (String, bool) {
+    let results: Vec<Result<String, CliError>> = rtpar::par_map_range(items.len(), |i| {
+        match &items[i] {
+            Command::Wcet(payload) => run_wcet(payload),
+            Command::Crpd(payload) => run_crpd(state, payload),
+            Command::Wcrt(payload) => run_wcrt(state, payload),
+            Command::Sim { payload, horizon } => run_sim(payload, *horizon),
+            // The parser admits only the four arms above into a batch.
+            other => Err(CliError::Usage(format!("cmd `{}` is not batchable", other.endpoint()))),
+        }
+    });
+    let id_json = || id.map_or(Json::Null, Json::from);
+    let mut frames = String::new();
+    let mut errors = 0u64;
+    for (index, result) in results.iter().enumerate() {
+        let payload = match result {
+            Ok(output) => ("output", Json::from(output.as_str())),
+            Err(error) => {
+                errors += 1;
+                ("error", Json::from(error.to_string().as_str()))
+            }
+        };
+        let frame = Json::obj([
+            ("id", id_json()),
+            ("ok", Json::Bool(result.is_ok())),
+            ("event", Json::from("result")),
+            ("index", Json::from(index as u64)),
+            payload,
+        ]);
+        frames.push_str(&frame.encode());
+        frames.push('\n');
+    }
+    let done = Json::obj([
+        ("id", id_json()),
+        ("ok", Json::Bool(true)),
+        ("event", Json::from("done")),
+        ("results", Json::from(results.len() as u64)),
+        ("errors", Json::from(errors)),
+    ]);
+    frames.push_str(&done.encode());
+    (frames, errors == 0)
+}
+
+/// The `statusz` payload: liveness, admission gauges, per-endpoint
+/// quantiles (with shed and deadline-miss counters merged in), stage
+/// wall time and stage-cache hit rates, all from always-on collectors.
 fn statusz(state: &ServerState) -> Json {
-    let endpoints = state
+    let admission_by_endpoint: BTreeMap<String, (u64, u64)> = state
+        .metrics
+        .admission_by_endpoint()
+        .into_iter()
+        .map(|(endpoint, shed, deadline_misses)| (endpoint, (shed, deadline_misses)))
+        .collect();
+    let mut endpoints: BTreeMap<String, Json> = state
         .flight
         .endpoints()
         .into_iter()
         .map(|e| {
+            let (shed, deadline_misses) =
+                admission_by_endpoint.get(e.endpoint).copied().unwrap_or((0, 0));
             let json = Json::obj([
                 ("count", Json::from(e.count)),
                 ("errors", Json::from(e.errors)),
+                ("shed", Json::from(shed)),
+                ("deadline_misses", Json::from(deadline_misses)),
                 ("p50_us", Json::from(e.p50_us)),
                 ("p90_us", Json::from(e.p90_us)),
                 ("p99_us", Json::from(e.p99_us)),
@@ -427,6 +597,22 @@ fn statusz(state: &ServerState) -> Json {
             (e.endpoint.to_string(), json)
         })
         .collect();
+    // An endpoint that has only ever been shed never flew, so it is
+    // absent from the flight recorder; surface it anyway.
+    for (endpoint, (shed, deadline_misses)) in &admission_by_endpoint {
+        endpoints.entry(endpoint.clone()).or_insert_with(|| {
+            Json::obj([
+                ("count", Json::from(0u64)),
+                ("errors", Json::from(0u64)),
+                ("shed", Json::from(*shed)),
+                ("deadline_misses", Json::from(*deadline_misses)),
+                ("p50_us", Json::from(0u64)),
+                ("p90_us", Json::from(0u64)),
+                ("p99_us", Json::from(0u64)),
+                ("max_us", Json::from(0u64)),
+            ])
+        });
+    }
     let stage_ns = state
         .flight
         .stage_totals()
@@ -449,9 +635,14 @@ fn statusz(state: &ServerState) -> Json {
             (s.stage.to_string(), json)
         })
         .collect();
+    let admission = state.admission();
     Json::obj([
         ("uptime_secs", Json::from(state.flight.uptime_secs())),
-        ("inflight", Json::from(state.flight.inflight())),
+        ("inflight", Json::from(admission.inflight)),
+        ("max_inflight", Json::from(admission.max_inflight)),
+        ("shed_total", Json::from(admission.shed_total)),
+        ("open_connections", Json::from(admission.open_connections)),
+        ("event_threads", Json::from(admission.event_threads)),
         ("records_total", Json::from(state.flight.records_total())),
         ("flight_capacity", Json::from(state.flight.capacity() as u64)),
         ("slow_ms", state.slow_ms.map_or(Json::Null, Json::from)),
@@ -622,6 +813,8 @@ fn run_explore(
 mod tests {
     use super::*;
     use crate::json::Json;
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::TcpStream;
 
     const TASK_A: &str = ".data 0x100000\nbuf: .word 1,2,3\n.text 0x1000\nstart: li r1, buf\nld r2, 0(r1)\nld r2, 0(r1)\nhalt\n";
     const TASK_B: &str =

@@ -476,6 +476,301 @@ fn flight_endpoints_expose_statusz_journal_and_black_box() {
     handle.join().expect("clean exit");
 }
 
+/// Admission control end-to-end: at the cap (`--max-inflight 0` pins the
+/// server at it permanently) every analysis request is shed with a typed
+/// `overloaded` error while the ops plane keeps answering, the sheds are
+/// on the books in `statusz` and the Prometheus exposition, and a
+/// server-wide `--deadline-ms` (or the request's own `deadline_ms`)
+/// rejects queued-too-long analyses as `deadline_exceeded` before any
+/// analysis runs.
+#[test]
+fn admission_control_sheds_and_enforces_deadlines() {
+    // A zero cap means `inflight >= max_inflight` always holds: the
+    // deterministic worst case of an overloaded server.
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        max_inflight: 0,
+        ..rtcli::ServeOptions::default()
+    };
+    let handle = Server::spawn(&opts).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let replies = roundtrip(addr, &[request_line(7), r#"{"id":8,"cmd":"ping"}"#.to_string()]);
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(false), "{:?}", replies[0]);
+    assert_eq!(replies[0].get("id").and_then(Json::as_u64), Some(7), "id echoed on a shed");
+    assert_eq!(
+        replies[0].get("code").and_then(Json::as_str),
+        Some("overloaded"),
+        "sheds carry a machine-readable code: {:?}",
+        replies[0]
+    );
+    let error = replies[0].get("error").and_then(Json::as_str).expect("shed error text");
+    assert!(error.contains("max-inflight 0"), "shed error names the cap: {error}");
+    // The ops plane is exempt precisely because the server is saturated.
+    assert_eq!(replies[1].get("output").and_then(Json::as_str), Some("pong"));
+
+    let replies = roundtrip(
+        addr,
+        &[r#"{"cmd":"statusz"}"#.to_string(), r#"{"cmd":"metrics_prom"}"#.to_string()],
+    );
+    let status = replies[0].get("status").expect("status payload");
+    assert_eq!(status.get("max_inflight").and_then(Json::as_u64), Some(0));
+    assert_eq!(status.get("shed_total").and_then(Json::as_u64), Some(1));
+    let wcrt = status.get("endpoints").and_then(|e| e.get("wcrt")).expect("shed-only endpoint");
+    assert_eq!(wcrt.get("shed").and_then(Json::as_u64), Some(1), "{wcrt:?}");
+    let text = replies[1].get("output").and_then(Json::as_str).expect("prometheus text");
+    assert!(
+        text.contains(r#"rtserver_shed_total{endpoint="wcrt"} 1"#),
+        "shed counter exported:\n{text}"
+    );
+    assert!(text.contains("rtserver_max_inflight 0"), "cap gauge exported:\n{text}");
+
+    // Shutdown is ops-plane too: it must get through a saturated server.
+    let replies = roundtrip(addr, &[r#"{"cmd":"shutdown"}"#.to_string()]);
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("clean exit");
+
+    // Deadlines: a zero server-wide deadline is already exceeded by any
+    // queue wait, so every analysis is rejected before it runs...
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        deadline_ms: Some(0),
+        ..rtcli::ServeOptions::default()
+    };
+    let handle = Server::spawn(&opts).expect("bind ephemeral port");
+    let addr = handle.addr();
+    let mut generous = Json::parse(&request_line(9)).expect("request json");
+    if let Json::Obj(fields) = &mut generous {
+        fields.insert("deadline_ms".to_string(), Json::from(600_000u64));
+    }
+    let replies = roundtrip(addr, &[request_line(9), generous.encode()]);
+    assert_eq!(
+        replies[0].get("code").and_then(Json::as_str),
+        Some("deadline_exceeded"),
+        "{:?}",
+        replies[0]
+    );
+    // ...unless the request raises its own deadline: the per-request
+    // field overrides the server default in both directions.
+    assert_eq!(replies[1].get("ok").and_then(Json::as_bool), Some(true), "{:?}", replies[1]);
+    let replies = roundtrip(addr, &[r#"{"cmd":"statusz"}"#.to_string()]);
+    let wcrt = replies[0]
+        .get("status")
+        .and_then(|s| s.get("endpoints"))
+        .and_then(|e| e.get("wcrt"))
+        .expect("wcrt endpoint stats");
+    assert_eq!(wcrt.get("deadline_misses").and_then(Json::as_u64), Some(1), "{wcrt:?}");
+    let replies = roundtrip(addr, &[r#"{"cmd":"shutdown"}"#.to_string()]);
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("clean exit");
+
+    // And with no server default, a request-level zero deadline is
+    // enforced all the same.
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        ..rtcli::ServeOptions::default()
+    };
+    let handle = Server::spawn(&opts).expect("bind ephemeral port");
+    let mut strict = Json::parse(&request_line(10)).expect("request json");
+    if let Json::Obj(fields) = &mut strict {
+        fields.insert("deadline_ms".to_string(), Json::from(0u64));
+    }
+    let replies = roundtrip(handle.addr(), &[strict.encode(), r#"{"cmd":"shutdown"}"#.to_string()]);
+    assert_eq!(replies[0].get("code").and_then(Json::as_str), Some("deadline_exceeded"));
+    handle.join().expect("clean exit");
+}
+
+/// One batch request fans its items out over the analysis pool and
+/// streams back one `result` frame per item — indexed, in order, each
+/// sharing the request id — then a `done` frame with the tallies. Item
+/// errors are per-item, and the whole exchange is byte-identical between
+/// a 1-thread and an 8-thread server.
+#[test]
+fn batch_results_are_indexed_ordered_and_thread_count_invariant() {
+    let expected = one_shot_reference();
+    let wcrt_item = Json::obj([
+        ("cmd", Json::from("wcrt")),
+        ("spec", Json::from(SPEC)),
+        ("sources", Json::obj([("hi.s", Json::from(TASK_HI)), ("lo.s", Json::from(TASK_LO))])),
+    ]);
+    let bad_item =
+        Json::obj([("cmd", Json::from("wcet")), ("spec", Json::from("not a spec at all"))]);
+    let batch = Json::obj([
+        ("id", Json::from(42u64)),
+        ("cmd", Json::from("batch")),
+        ("items", Json::Arr(vec![wcrt_item.clone(), bad_item, wcrt_item])),
+    ])
+    .encode();
+
+    let mut transcripts = Vec::new();
+    for threads in [1usize, 8] {
+        let opts = rtcli::ServeOptions {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            threads,
+            ..rtcli::ServeOptions::default()
+        };
+        let handle = Server::spawn(&opts).expect("bind ephemeral port");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone stream"));
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "{batch}").and_then(|()| writer.flush()).expect("send batch");
+        // One frame per item, then the done frame.
+        let frames: Vec<Json> = (0..4)
+            .map(|_| {
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("frame");
+                Json::parse(line.trim_end()).expect("frame parses")
+            })
+            .collect();
+
+        for (index, frame) in frames[..3].iter().enumerate() {
+            assert_eq!(frame.get("event").and_then(Json::as_str), Some("result"), "{frame:?}");
+            assert_eq!(frame.get("index").and_then(Json::as_u64), Some(index as u64));
+            assert_eq!(frame.get("id").and_then(Json::as_u64), Some(42), "frames share the id");
+        }
+        assert_eq!(frames[0].get("ok").and_then(Json::as_bool), Some(true), "{:?}", frames[0]);
+        assert_eq!(
+            frames[0].get("output").and_then(Json::as_str),
+            Some(expected.as_str()),
+            "batch items run the same pipeline as standalone requests"
+        );
+        assert_eq!(frames[1].get("ok").and_then(Json::as_bool), Some(false));
+        assert!(frames[1].get("error").and_then(Json::as_str).is_some(), "{:?}", frames[1]);
+        assert_eq!(frames[2].get("output").and_then(Json::as_str), Some(expected.as_str()));
+        let done = &frames[3];
+        assert_eq!(done.get("event").and_then(Json::as_str), Some("done"), "{done:?}");
+        assert_eq!(done.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(done.get("results").and_then(Json::as_u64), Some(3));
+        assert_eq!(done.get("errors").and_then(Json::as_u64), Some(1));
+
+        // The connection is still in sync after a multi-frame response.
+        writeln!(writer, r#"{{"cmd":"shutdown"}}"#)
+            .and_then(|()| writer.flush())
+            .expect("send shutdown");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("shutdown ack");
+        assert!(line.contains("\"ok\":true"), "{line}");
+        handle.join().expect("clean exit");
+
+        transcripts.push(frames.iter().map(Json::encode).collect::<Vec<_>>().join("\n"));
+    }
+    assert_eq!(transcripts[0], transcripts[1], "batch output is thread-count invariant");
+}
+
+/// A slowloris connection — dribbling a frame byte by byte, then going
+/// quiet — is reaped by `--idle-timeout-ms` without ever stalling other
+/// clients, who are served concurrently throughout.
+#[test]
+fn slowloris_is_idle_timed_out_without_stalling_others() {
+    use std::io::Read as _;
+
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        idle_timeout_ms: Some(150),
+        ..rtcli::ServeOptions::default()
+    };
+    let handle = Server::spawn(&opts).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let mut dribbler = TcpStream::connect(addr).expect("connect dribbler");
+    for chunk in [r#"{"id""#, ":11,", r#""cmd""#] {
+        dribbler.write_all(chunk.as_bytes()).expect("dribble");
+        dribbler.flush().expect("flush dribble");
+        // Partial frames must not hold an event thread hostage: a full
+        // round-trip succeeds between dribbles.
+        let replies = roundtrip(addr, &[r#"{"id":12,"cmd":"ping"}"#.to_string()]);
+        assert_eq!(replies[0].get("output").and_then(Json::as_str), Some("pong"));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    }
+
+    // The dribbler goes quiet; the idle sweep closes it within a couple
+    // of timeout periods.
+    dribbler.set_read_timeout(Some(std::time::Duration::from_secs(10))).expect("read timeout");
+    let mut buf = [0u8; 16];
+    match dribbler.read(&mut buf) {
+        Ok(0) => {} // clean close
+        Err(e)
+            if e.kind() != std::io::ErrorKind::WouldBlock
+                && e.kind() != std::io::ErrorKind::TimedOut => {} // reset also fine
+        other => panic!("expected the idle server to close the dribbler, got {other:?}"),
+    }
+
+    // The reap was surgical: everyone else is still being served.
+    let replies = roundtrip(addr, &[request_line(13), r#"{"cmd":"shutdown"}"#.to_string()]);
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true), "{:?}", replies[0]);
+    assert_eq!(replies[1].get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("clean exit");
+}
+
+/// A client that pipelines requests and vanishes before reading any
+/// responses (its socket resets, because it closes with unread data)
+/// exercises the server's dead-socket write path: the failure stays on
+/// that connection, and the server keeps serving and shuts down cleanly.
+#[test]
+fn mid_write_disconnect_leaves_the_server_serving() {
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        ..rtcli::ServeOptions::default()
+    };
+    let handle = Server::spawn(&opts).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream);
+        // Two full requests, zero reads: closing now leaves unread
+        // response data in the socket, which turns the close into a RST.
+        writeln!(writer, "{}", request_line(20)).expect("send");
+        writeln!(writer, r#"{{"id":21,"cmd":"ping"}}"#).expect("send");
+        writer.flush().expect("flush");
+    }
+
+    // Whatever instant the reset lands — before, during or after the
+    // response write — other clients never notice.
+    let replies = roundtrip(addr, &[request_line(22), r#"{"cmd":"shutdown"}"#.to_string()]);
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true), "{:?}", replies[0]);
+    assert_eq!(
+        replies[0].get("output").and_then(Json::as_str),
+        Some(one_shot_reference().as_str())
+    );
+    assert_eq!(replies[1].get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("server survives the reset and drains cleanly");
+}
+
+/// `--poller poll` swaps the epoll backend for portable `poll(2)` with
+/// identical observable behavior: same bytes, same shutdown.
+#[test]
+fn poll_backend_serves_identically() {
+    let opts = rtcli::ServeOptions {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        poller: "poll".to_string(),
+        ..rtcli::ServeOptions::default()
+    };
+    let handle = Server::spawn(&opts).expect("bind ephemeral port");
+    let replies =
+        roundtrip(handle.addr(), &[request_line(30), r#"{"cmd":"shutdown"}"#.to_string()]);
+    assert_eq!(replies[0].get("ok").and_then(Json::as_bool), Some(true), "{:?}", replies[0]);
+    assert_eq!(
+        replies[0].get("output").and_then(Json::as_str),
+        Some(one_shot_reference().as_str()),
+        "poll backend must serve byte-identical analysis"
+    );
+    handle.join().expect("clean exit");
+}
+
 /// Slow capture must trigger *only* for over-threshold requests: with an
 /// unreachably high `--slow-ms` nothing lands in the black box (while the
 /// journal still records everything), and without `--slow-ms` the flight
