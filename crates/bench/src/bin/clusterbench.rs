@@ -1,0 +1,444 @@
+//! `clusterbench` — the cluster-mode evidence run behind
+//! `BENCH_cluster.json`.
+//!
+//! Spawns real `trisc serve` *subprocesses* (per-node peak RSS is the
+//! headline number, so every node must be its own process): first one
+//! single-node server as the baseline, then a 3-member ring plus a
+//! stateless front, and drives the identical WCRT workload through both.
+//!
+//! Three gates, all hard:
+//!
+//! 1. **Byte identity** — every WCRT report through the front matches the
+//!    single-node output exactly.
+//! 2. **Recompute parity** — cluster-wide `analyze` computations
+//!    (Σ member stage misses + front fallbacks) equal the single-node
+//!    miss count: sharding must not re-run any stage.
+//! 3. **Memory sharding** — the hottest member's peak RSS growth over
+//!    the workload stays ≤ `--max-rss-ratio` (default 0.5) of the
+//!    single node's growth: each member holds only its ring share.
+//!
+//! Usage: `clusterbench [--groups N] [--tasks-per-group N] [--loads N]
+//! [--json-out PATH] [--max-rss-ratio R]`.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+use rtserver::json::Json;
+
+struct Options {
+    /// Independent WCRT requests (disjoint task sets).
+    groups: usize,
+    /// Tasks per request; total artifacts = groups × tasks_per_group.
+    tasks_per_group: usize,
+    /// Loads per task: sizes each artifact's trace (and so the RSS the
+    /// cluster is supposed to shard).
+    loads: usize,
+    json_out: String,
+    max_rss_ratio: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            groups: 12,
+            tasks_per_group: 4,
+            loads: 2048,
+            json_out: "BENCH_cluster.json".to_string(),
+            max_rss_ratio: 0.5,
+        }
+    }
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--groups" => opts.groups = value()?.parse().map_err(|e| format!("--groups: {e}"))?,
+            "--tasks-per-group" => {
+                opts.tasks_per_group =
+                    value()?.parse().map_err(|e| format!("--tasks-per-group: {e}"))?;
+            }
+            "--loads" => opts.loads = value()?.parse().map_err(|e| format!("--loads: {e}"))?,
+            "--json-out" => opts.json_out = value()?,
+            "--max-rss-ratio" => {
+                opts.max_rss_ratio =
+                    value()?.parse().map_err(|e| format!("--max-rss-ratio: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The sibling `trisc` binary of this executable (both land in the same
+/// cargo target directory).
+fn trisc_path() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| e.to_string())?;
+    let path = me.with_file_name("trisc");
+    if !path.exists() {
+        return Err(format!(
+            "{} not found; build it first (cargo build --release -p rtserver)",
+            path.display()
+        ));
+    }
+    Ok(path)
+}
+
+/// One spawned `trisc serve` subprocess.
+struct Node {
+    child: Child,
+    addr: String,
+}
+
+impl Node {
+    fn spawn(trisc: &PathBuf, port: u16, cluster_args: &[String]) -> Result<Node, String> {
+        let mut cmd = Command::new(trisc);
+        cmd.arg("serve")
+            .arg("--host")
+            .arg("127.0.0.1")
+            .arg("--port")
+            .arg(port.to_string())
+            .args(cluster_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        let child = cmd.spawn().map_err(|e| format!("spawn {}: {e}", trisc.display()))?;
+        let addr = format!("127.0.0.1:{port}");
+        // Readiness probe: the listener is up once a connect succeeds.
+        drop(connect_with_retry(&addr)?);
+        Ok(Node { child, addr })
+    }
+
+    /// Peak resident set (`VmHWM`) of the node process, kibibytes.
+    fn peak_rss_kb(&self) -> Result<u64, String> {
+        let path = format!("/proc/{}/status", self.child.id());
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("VmHWM:"))
+            .ok_or_else(|| format!("{path}: no VmHWM line"))?;
+        line.trim_start_matches("VmHWM:")
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse()
+            .map_err(|e| format!("{path}: {e}"))
+    }
+
+    fn shutdown(mut self) -> Result<(), String> {
+        let _ = request(&self.addr, r#"{"cmd":"shutdown"}"#);
+        let _ = self.child.wait();
+        Ok(())
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn connect_with_retry(addr: &str) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    }
+}
+
+/// One request/one response against `addr`.
+fn request(addr: &str, line: &str) -> Result<Json, String> {
+    let stream = connect_with_retry(addr)?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{line}").and_then(|()| writer.flush()).map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    reader.read_line(&mut response).map_err(|e| e.to_string())?;
+    Json::parse(response.trim_end()).map_err(|e| format!("{addr}: bad reply: {e}"))
+}
+
+/// Reserves `n` distinct loopback ports (bind, note, drop).
+fn reserve_ports(n: usize) -> Result<Vec<u16>, String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    listeners.iter().map(|l| Ok(l.local_addr().map_err(|e| e.to_string())?.port())).collect()
+}
+
+/// A load-heavy synthetic task: `loads` word reads sweeping a private
+/// data region, inside a bounded loop so the WCET pass has structure to
+/// chew on. Distinct `seed`s get distinct code/data addresses and
+/// constants, so every task is its own `analyze` artifact.
+fn task_source(seed: u64, loads: usize) -> String {
+    let words = (loads.max(1)) as u64;
+    let mut s = String::new();
+    let _ = writeln!(s, ".data {:#x}", 0x40_0000 + seed * 0x2_0000);
+    let _ = write!(s, "arr: .word {seed}");
+    for i in 1..words.min(64) {
+        let _ = write!(s, ",{}", seed + i);
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(s, ".text {:#x}", 0x1000 + seed * 0x1_0000);
+    let _ = writeln!(s, "start: li r1, arr");
+    for i in 0..loads {
+        // Sweep a window of distinct offsets so the trace touches many
+        // memory blocks, not one hot line.
+        let _ = writeln!(s, "ld r2, {}(r1)", (i % 64) * 4);
+    }
+    let _ = writeln!(s, "li r3, 2\nloop: addi r3, r3, -1\nbne r3, r0, loop\n.bound loop, 2");
+    let _ = writeln!(s, "halt");
+    s
+}
+
+/// The `wcrt` request for group `g`: `per_group` distinct tasks under
+/// rate-monotonic-ish parameters.
+fn wcrt_request(g: usize, per_group: usize, loads: usize) -> String {
+    let mut spec = String::from("cache 512 4 16\ncmiss 20\nccs 80\n");
+    let mut sources = Vec::new();
+    for t in 0..per_group {
+        let seed = (g * per_group + t) as u64;
+        spec.push_str(&format!(
+            "task g{g}t{t} g{g}t{t}.s {} {}\n",
+            400_000 * (t as u64 + 1),
+            t + 1
+        ));
+        sources.push((format!("g{g}t{t}.s"), Json::from(task_source(seed, loads).as_str())));
+    }
+    Json::obj([
+        ("cmd", Json::from("wcrt")),
+        ("spec", Json::from(spec.as_str())),
+        ("sources", Json::Obj(sources.into_iter().collect())),
+    ])
+    .encode()
+}
+
+/// Runs the whole workload against `addr`, returning the concatenated
+/// per-group outputs (the byte-identity evidence).
+fn run_workload(addr: &str, opts: &Options) -> Result<String, String> {
+    let mut outputs = String::new();
+    for g in 0..opts.groups {
+        let reply = request(addr, &wcrt_request(g, opts.tasks_per_group, opts.loads))?;
+        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+            let error = reply.get("error").and_then(Json::as_str).unwrap_or("unknown error");
+            return Err(format!("group {g} failed on {addr}: {error}"));
+        }
+        let output = reply
+            .get("output")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("group {g}: reply without output"))?;
+        outputs.push_str(output);
+        outputs.push('\n');
+    }
+    Ok(outputs)
+}
+
+/// `analyze`-stage misses reported by the server at `addr`.
+fn analyze_misses(addr: &str) -> Result<u64, String> {
+    let metrics = request(addr, r#"{"cmd":"metrics"}"#)?;
+    metrics
+        .get("metrics")
+        .and_then(|m| m.get("stages"))
+        .and_then(|s| s.get("analyze"))
+        .and_then(|a| a.get("misses"))
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{addr}: metrics without analyze misses"))
+}
+
+/// The front's peer-fetch counters from `statusz`.
+fn peer_counters(addr: &str) -> Result<(u64, u64, u64, u64), String> {
+    let status = request(addr, r#"{"cmd":"statusz"}"#)?;
+    let peer = status
+        .get("status")
+        .and_then(|s| s.get("peer"))
+        .ok_or_else(|| format!("{addr}: statusz without peer section"))?;
+    let field = |key: &str| peer.get(key).and_then(Json::as_u64).unwrap_or(0);
+    Ok((field("fetch_hits"), field("fetch_misses"), field("fetch_timeouts"), field("fallbacks")))
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_options()?;
+    let trisc = trisc_path()?;
+    let total_tasks = opts.groups * opts.tasks_per_group;
+    println!(
+        "clusterbench: {} groups x {} tasks ({total_tasks} artifacts), {} loads/task",
+        opts.groups, opts.tasks_per_group, opts.loads
+    );
+
+    // ----- Baseline: one single-node server, whole workload. -----
+    let port = reserve_ports(1)?[0];
+    let single = Node::spawn(&trisc, port, &[])?;
+    let single_idle_rss = single.peak_rss_kb()?;
+    let started = Instant::now();
+    let expected = run_workload(&single.addr, &opts)?;
+    let single_elapsed = started.elapsed();
+    let single_misses = analyze_misses(&single.addr)?;
+    let single_rss = single.peak_rss_kb()?;
+    single.shutdown()?;
+    let single_growth = single_rss.saturating_sub(single_idle_rss).max(1);
+    println!(
+        "single node: {} analyze computations in {single_elapsed:.2?}, \
+         peak RSS {single_rss} kB (idle {single_idle_rss} kB, growth {single_growth} kB)",
+        single_misses
+    );
+
+    // ----- Cluster: 3 members + stateless front, same workload. -----
+    let ports = reserve_ports(3)?;
+    let peers_path =
+        std::env::temp_dir().join(format!("clusterbench-peers-{}.txt", std::process::id()));
+    let peers_body: String = ports.iter().map(|p| format!("127.0.0.1:{p}\n")).collect();
+    std::fs::write(&peers_path, &peers_body).map_err(|e| e.to_string())?;
+    let cluster_flag = peers_path.display().to_string();
+    let members: Vec<Node> = ports
+        .iter()
+        .enumerate()
+        .map(|(index, port)| {
+            Node::spawn(
+                &trisc,
+                *port,
+                &[
+                    "--cluster".to_string(),
+                    cluster_flag.clone(),
+                    "--node-id".to_string(),
+                    index.to_string(),
+                ],
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let front_port = reserve_ports(1)?[0];
+    let front = Node::spawn(
+        &trisc,
+        front_port,
+        &[
+            "--cluster".to_string(),
+            cluster_flag.clone(),
+            "--front".to_string(),
+            // A small replica cache: the front routes, it must not
+            // accumulate the whole artifact population.
+            "--replica-capacity".to_string(),
+            "8".to_string(),
+        ],
+    )?;
+    let member_idle_rss: Vec<u64> =
+        members.iter().map(Node::peak_rss_kb).collect::<Result<_, _>>()?;
+    let started = Instant::now();
+    let output = run_workload(&front.addr, &opts)?;
+    let cluster_elapsed = started.elapsed();
+    let member_misses: Vec<u64> =
+        members.iter().map(|n| analyze_misses(&n.addr)).collect::<Result<_, _>>()?;
+    let member_rss: Vec<u64> = members.iter().map(Node::peak_rss_kb).collect::<Result<_, _>>()?;
+    let (hits, fetch_misses, timeouts, fallbacks) = peer_counters(&front.addr)?;
+    let front_rss = front.peak_rss_kb()?;
+    front.shutdown()?;
+    for member in members {
+        member.shutdown()?;
+    }
+    std::fs::remove_file(&peers_path).ok();
+
+    let cluster_misses: u64 = member_misses.iter().sum::<u64>() + fallbacks;
+    let member_growth: Vec<u64> = member_rss
+        .iter()
+        .zip(&member_idle_rss)
+        .map(|(peak, idle)| peak.saturating_sub(*idle))
+        .collect();
+    let worst_growth = member_growth.iter().copied().max().unwrap_or(0).max(1);
+    let rss_ratio = worst_growth as f64 / single_growth as f64;
+    println!(
+        "cluster: {cluster_misses} analyze computations ({member_misses:?} + {fallbacks} \
+         fallbacks) in {cluster_elapsed:.2?}; peer fetch {hits} hit / {fetch_misses} miss / \
+         {timeouts} timeout"
+    );
+    println!(
+        "cluster: member RSS growth {member_growth:?} kB (worst {worst_growth} kB, \
+         {rss_ratio:.3}x single-node growth {single_growth} kB); front peak {front_rss} kB"
+    );
+
+    let byte_identical = output == expected;
+    let report = Json::obj([
+        ("mode", Json::from("cluster")),
+        ("groups", Json::from(opts.groups as u64)),
+        ("tasks_per_group", Json::from(opts.tasks_per_group as u64)),
+        ("loads_per_task", Json::from(opts.loads as u64)),
+        ("artifacts", Json::from(total_tasks as u64)),
+        ("byte_identical_output", Json::Bool(byte_identical)),
+        ("single_node_analyze_misses", Json::from(single_misses)),
+        ("cluster_analyze_misses", Json::from(cluster_misses)),
+        (
+            "member_analyze_misses",
+            Json::Arr(member_misses.iter().map(|m| Json::from(*m)).collect()),
+        ),
+        (
+            "peer_fetch",
+            Json::obj([
+                ("hits", Json::from(hits)),
+                ("misses", Json::from(fetch_misses)),
+                ("timeouts", Json::from(timeouts)),
+                ("fallbacks", Json::from(fallbacks)),
+            ]),
+        ),
+        ("single_elapsed_secs", Json::Num(single_elapsed.as_secs_f64())),
+        ("cluster_elapsed_secs", Json::Num(cluster_elapsed.as_secs_f64())),
+        (
+            "rss_kb",
+            Json::obj([
+                ("single_peak", Json::from(single_rss)),
+                ("single_growth", Json::from(single_growth)),
+                ("member_peaks", Json::Arr(member_rss.iter().map(|m| Json::from(*m)).collect())),
+                (
+                    "member_growth",
+                    Json::Arr(member_growth.iter().map(|m| Json::from(*m)).collect()),
+                ),
+                ("worst_member_growth", Json::from(worst_growth)),
+                ("front_peak", Json::from(front_rss)),
+                ("worst_to_single_growth_ratio", Json::Num((rss_ratio * 1e4).round() / 1e4)),
+                ("max_allowed_ratio", Json::Num(opts.max_rss_ratio)),
+            ]),
+        ),
+    ]);
+    let mut text = report.encode();
+    text.push('\n');
+    std::fs::write(&opts.json_out, text).map_err(|e| format!("{}: {e}", opts.json_out))?;
+    println!("wrote {}", opts.json_out);
+
+    // Gates, after the evidence file exists.
+    if !byte_identical {
+        return Err("cluster output differs from single-node output".to_string());
+    }
+    if cluster_misses != single_misses {
+        return Err(format!(
+            "recompute parity violated: cluster ran {cluster_misses} analyze computations, \
+             single node ran {single_misses}"
+        ));
+    }
+    if rss_ratio > opts.max_rss_ratio {
+        return Err(format!(
+            "memory sharding gate failed: worst member RSS growth is {rss_ratio:.3}x the \
+             single node's (allowed {:.3}x)",
+            opts.max_rss_ratio
+        ));
+    }
+    println!(
+        "gates: byte-identical output, recompute parity ({single_misses}), \
+         RSS ratio {rss_ratio:.3} <= {:.3}",
+        opts.max_rss_ratio
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(error) = run() {
+        eprintln!("clusterbench: {error}");
+        std::process::exit(1);
+    }
+}

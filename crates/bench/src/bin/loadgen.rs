@@ -503,6 +503,7 @@ fn soak(opts: &Options, session: &rtobs::Session) -> Result<(), String> {
     let limit = rtreact::raise_nofile_limit(opts.connections as u64 * per_conn + margin)
         .map_err(|e| format!("raising RLIMIT_NOFILE: {e}"))?;
     let budget = usize::try_from(limit.saturating_sub(margin) / per_conn).unwrap_or(usize::MAX);
+    println!("soak: RLIMIT_NOFILE raised to {limit} ({per_conn} fd(s) per connection)");
     let connections = opts.connections.min(budget.max(opts.active));
     if connections < opts.connections {
         println!(
@@ -613,6 +614,7 @@ fn soak(opts: &Options, session: &rtobs::Session) -> Result<(), String> {
         Json::obj([
             ("mode", Json::from("async_soak")),
             ("in_process_server", Json::Bool(in_process)),
+            ("nofile_limit", Json::from(limit)),
             ("connections", Json::from(connections as u64)),
             ("idle_connections", Json::from(idle_target as u64)),
             ("active_connections", Json::from(active as u64)),

@@ -104,6 +104,27 @@ impl UsefulTrace {
         trace
     }
 
+    /// Rebuilds a trace from an already-classified access sequence, as
+    /// produced by [`UsefulTrace::accesses`] on another node. The
+    /// skyline is a deterministic function of `(geometry, accesses)`,
+    /// so the result is indistinguishable from the [`from_trace`]
+    /// original — the contract behind shipping artifacts between
+    /// cluster peers without shipping programs.
+    ///
+    /// [`from_trace`]: UsefulTrace::from_trace
+    pub fn from_accesses(geometry: CacheGeometry, accesses: Vec<(MemoryBlock, bool)>) -> Self {
+        let mut trace = UsefulTrace { geometry, accesses, skyline: None };
+        trace.skyline = trace.build_skyline();
+        trace
+    }
+
+    /// The classified access sequence: `(block, hit)` in execution
+    /// order. Together with the geometry this is the trace's entire
+    /// identity (see [`UsefulTrace::from_accesses`]).
+    pub fn accesses(&self) -> &[(MemoryBlock, bool)] {
+        &self.accesses
+    }
+
     /// Builds the dominance-pruned skyline of the trace's per-point
     /// saturated useful-count vectors in one extra backward sweep.
     ///

@@ -197,6 +197,40 @@ impl AnalyzedProgram {
         })
     }
 
+    /// Rebuilds an artifact from its wire core: the name, WCET,
+    /// fingerprint and per-path classified access sequences, as shipped
+    /// between cluster peers.
+    ///
+    /// Everything else — per-path CIIPs, packed footprints, skylines and
+    /// the union footprint — is a deterministic function of `(geometry,
+    /// accesses)` and is recomputed here exactly as [`analyze`] computes
+    /// it (same fold order), so the result is indistinguishable from the
+    /// original. The fingerprint *cannot* be recomputed without the
+    /// program, so the caller must only pass one it obtained from a
+    /// trusted [`AnalyzedProgram::fingerprint`] for the same inputs.
+    ///
+    /// [`analyze`]: AnalyzedProgram::analyze
+    pub fn from_parts(
+        name: String,
+        wcet: u64,
+        geometry: CacheGeometry,
+        model: TimingModel,
+        fingerprint: u128,
+        path_accesses: Vec<(String, Vec<(rtcache::MemoryBlock, bool)>)>,
+    ) -> Self {
+        let mut paths = Vec::with_capacity(path_accesses.len());
+        let mut all_blocks = Ciip::empty(geometry);
+        for (path_name, accesses) in path_accesses {
+            let trace = UsefulTrace::from_accesses(geometry, accesses);
+            let blocks = trace.all_blocks();
+            let packed = PackedFootprint::from_ciip(&blocks);
+            all_blocks = all_blocks.union(&blocks);
+            paths.push(AnalyzedPath { name: path_name, trace, blocks, packed });
+        }
+        let all_packed = PackedFootprint::from_ciip(&all_blocks);
+        AnalyzedProgram { name, wcet, geometry, model, fingerprint, paths, all_blocks, all_packed }
+    }
+
     /// The program (task) name.
     pub fn name(&self) -> &str {
         &self.name
@@ -517,6 +551,34 @@ mod tests {
         let s = a.max_useful_overlap(b.all_blocks());
         assert!(s <= a.useful_line_bound());
         assert!(s <= b.all_blocks().line_bound());
+    }
+
+    #[test]
+    fn from_parts_round_trips_the_whole_artifact() {
+        // The cluster peer-fetch contract: shipping only (name, wcet,
+        // fingerprint, per-path access sequences) and rebuilding with
+        // `from_parts` must reproduce the artifact exactly — CIIPs,
+        // packed footprints and skylines included. Debug formatting
+        // covers every field, private ones included.
+        for p in [rtworkloads::mobile_robot(), rtworkloads::edge_detection_with_dim(8)] {
+            let geometry = CacheGeometry::paper_l1();
+            let model = TimingModel::default();
+            let original = AnalyzedProgram::analyze(&p, geometry, model).unwrap();
+            let core: Vec<(String, Vec<(rtcache::MemoryBlock, bool)>)> = original
+                .paths()
+                .iter()
+                .map(|path| (path.name.clone(), path.trace.accesses().to_vec()))
+                .collect();
+            let rebuilt = AnalyzedProgram::from_parts(
+                original.name().to_string(),
+                original.wcet(),
+                geometry,
+                model,
+                original.fingerprint(),
+                core,
+            );
+            assert_eq!(format!("{original:?}"), format!("{rebuilt:?}"), "{}", p.name());
+        }
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! The outbound half of the reactor crate: a small blocking NDJSON
+//! client with connection reuse and hard deadlines.
+//!
+//! The inbound side ([`crate::run`]) multiplexes thousands of server
+//! connections on a few event loops; outbound peer traffic has the
+//! opposite shape — a handful of long-lived connections, one in-flight
+//! request each, issued from worker threads that are *already* blocked
+//! on the answer (a stage-cache miss cannot proceed without it). A
+//! plain blocking socket with `SO_RCVTIMEO`/`SO_SNDTIMEO` is the right
+//! tool: no cross-thread completion plumbing, and the OS enforces the
+//! deadline even when the peer wedges mid-line.
+//!
+//! [`PeerClient`] keeps one connection per instance and reconnects
+//! transparently once per request, so a peer restart costs a single
+//! round-trip instead of poisoning the client. Responses are framed by
+//! [`LineFramer`] with the same oversized-line cap as the server side.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::frame::{FrameError, LineFramer};
+
+/// A reusable blocking NDJSON connection to one peer.
+///
+/// Not `Sync`: wrap it in a `Mutex` to share a peer connection between
+/// threads (requests on one connection must not interleave).
+#[derive(Debug)]
+pub struct PeerClient {
+    addr: String,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    max_line: usize,
+    conn: Option<Conn>,
+}
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    framer: LineFramer,
+}
+
+impl PeerClient {
+    /// Creates a client for `addr` (connected lazily on first use).
+    ///
+    /// `io_timeout` bounds each request round-trip's write and read
+    /// halves separately; `max_line` is the fatal cap on a response
+    /// line's length and should match the serving reactor's
+    /// `max_line_bytes`.
+    pub fn new(
+        addr: impl Into<String>,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+        max_line: usize,
+    ) -> PeerClient {
+        PeerClient { addr: addr.into(), connect_timeout, io_timeout, max_line, conn: None }
+    }
+
+    /// The peer's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// True while a connection is being held for reuse.
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// Sends one request line (without the trailing `\n`) and returns
+    /// the peer's one response line.
+    ///
+    /// Reuses the held connection when there is one; a failure on a
+    /// *reused* connection triggers exactly one reconnect-and-retry
+    /// (the peer may simply have dropped an idle keepalive). Errors on
+    /// a fresh connection propagate. On any error the held connection
+    /// is discarded, so the next call starts clean.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut`/`WouldBlock` when a deadline expires, or any
+    /// underlying socket error; `InvalidData` for an oversized or
+    /// non-UTF-8 response line.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        let reused = self.conn.is_some();
+        match self.round_trip(line) {
+            Ok(response) => Ok(response),
+            Err(err) => {
+                self.conn = None;
+                if !reused {
+                    return Err(err);
+                }
+                // One retry on a fresh connection.
+                self.round_trip(line).inspect_err(|_| self.conn = None)
+            }
+        }
+    }
+
+    /// Drops the held connection (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn round_trip(&mut self, line: &str) -> io::Result<String> {
+        if self.conn.is_none() {
+            self.conn = Some(self.connect()?);
+        }
+        let conn = self.conn.as_mut().expect("connection just established");
+        conn.stream.write_all(line.as_bytes())?;
+        conn.stream.write_all(b"\n")?;
+        conn.stream.flush()?;
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            match conn.framer.next_line() {
+                Ok(Some(response)) => return Ok(response),
+                Ok(None) => {}
+                Err(FrameError::Oversized(limit)) => {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("peer {} response exceeds {limit} bytes", self.addr),
+                    ));
+                }
+                Err(FrameError::Utf8) => {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("peer {} sent a non-UTF-8 response line", self.addr),
+                    ));
+                }
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        format!("peer {} closed mid-response", self.addr),
+                    ));
+                }
+                Ok(n) => conn.framer.push(&scratch[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn connect(&self) -> io::Result<Conn> {
+        let mut last = None;
+        for addr in self.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, self.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.io_timeout))?;
+                    stream.set_write_timeout(Some(self.io_timeout))?;
+                    stream.set_nodelay(true)?;
+                    return Ok(Conn { stream, framer: LineFramer::new(self.max_line) });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(ErrorKind::AddrNotAvailable, format!("{}: no addresses", self.addr))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+    use std::thread;
+
+    const FAST: Duration = Duration::from_millis(2_000);
+
+    /// An accept loop that answers `n` connections with `reply(line)`
+    /// per request line, then exits.
+    fn serve_lines(
+        listener: TcpListener,
+        conns: usize,
+        reply: impl Fn(&str) -> Option<String> + Send + 'static,
+    ) -> thread::JoinHandle<()> {
+        thread::spawn(move || {
+            for _ in 0..conns {
+                let Ok((stream, _)) = listener.accept() else { return };
+                let mut writer = stream.try_clone().unwrap();
+                let reader = BufReader::new(stream);
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    match reply(&line) {
+                        Some(response) => {
+                            writer.write_all(response.as_bytes()).unwrap();
+                            writer.write_all(b"\n").unwrap();
+                        }
+                        None => break, // close without answering
+                    }
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn reuses_one_connection_across_requests() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = serve_lines(listener, 1, |line| Some(format!("echo:{line}")));
+        let mut client = PeerClient::new(addr.to_string(), FAST, FAST, 1 << 20);
+        assert_eq!(client.request("a").unwrap(), "echo:a");
+        assert!(client.is_connected());
+        assert_eq!(client.request("b").unwrap(), "echo:b");
+        drop(client); // closes the only accepted connection
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reconnects_once_after_peer_drop() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // First connection answers one request then closes; the second
+        // connection keeps answering. The client's second request must
+        // transparently land on the reconnect.
+        let server = serve_lines(listener, 2, {
+            let first = std::sync::atomic::AtomicBool::new(true);
+            move |line| {
+                if line == "die" && first.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                    None
+                } else {
+                    Some(format!("echo:{line}"))
+                }
+            }
+        });
+        let mut client = PeerClient::new(addr.to_string(), FAST, FAST, 1 << 20);
+        assert_eq!(client.request("warm").unwrap(), "echo:warm");
+        assert_eq!(client.request("die").unwrap(), "echo:die");
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn read_deadline_fires_on_a_silent_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Accept but never answer.
+        let _server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            thread::sleep(Duration::from_secs(5));
+            drop(stream);
+        });
+        let mut client =
+            PeerClient::new(addr.to_string(), FAST, Duration::from_millis(50), 1 << 20);
+        let err = client.request("hello").unwrap_err();
+        assert!(
+            matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut),
+            "expected a timeout, got {err:?}"
+        );
+        assert!(!client.is_connected(), "a failed request must drop the connection");
+    }
+
+    #[test]
+    fn oversized_response_is_invalid_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = serve_lines(listener, 1, |_| Some("x".repeat(256)));
+        let mut client = PeerClient::new(addr.to_string(), FAST, FAST, 64);
+        let err = client.request("hi").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData, "{err:?}");
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_failure_propagates() {
+        // A port nothing listens on: bind-then-drop reserves then frees it.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut client = PeerClient::new(addr.to_string(), Duration::from_millis(200), FAST, 64);
+        assert!(client.request("hi").is_err());
+        assert!(!client.is_connected());
+    }
+}

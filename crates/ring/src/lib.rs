@@ -1,0 +1,276 @@
+//! A vendored, std-only consistent-hash ring for sharding content keys
+//! across cluster nodes.
+//!
+//! Each node is projected onto a `u64` circle as `vnodes_per_node`
+//! virtual nodes; a key is owned by the first virtual node at or after
+//! its hash point (wrapping). Virtual nodes spread each physical node
+//! around the circle so that adding or removing one node remaps only
+//! about `1/N` of the key space instead of rehashing everything — the
+//! property the ownership-stability proptest in this crate pins down.
+//!
+//! Two deliberate design points:
+//!
+//! - **Hashing is specified, not borrowed.** Ownership must agree across
+//!   *processes* (every cluster node computes it independently), so the
+//!   ring hashes with its own FNV-1a-64 + avalanche finish rather than
+//!   `DefaultHasher`, whose algorithm is unspecified and may change
+//!   between toolchains.
+//! - **Position ties break by rendezvous hash.** If two virtual nodes of
+//!   *different* physical nodes land on the same circle position (a
+//!   64-bit collision — unlikely but possible), the owner among them is
+//!   chosen by highest rendezvous score `hash(node, key)`, which is
+//!   deterministic and independent of insertion order. Sort order alone
+//!   would make ownership depend on the node list's permutation.
+//!
+//! The ring is immutable after construction and `Sync`; lookups are a
+//! binary search plus (rarely) a bounded tie scan, no allocation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Virtual nodes per physical node. 64 keeps the expected per-node load
+/// within a few percent of uniform for small clusters while the whole
+/// ring for 16 nodes still fits in a couple of KiB.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes`, finished with a 64-bit avalanche mix
+/// (splitmix64's finalizer) so nearby inputs — `node-0`, `node-1` … —
+/// land far apart on the circle.
+fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET ^ seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // splitmix64 finalizer: full avalanche, bijective.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Projects a 128-bit content key onto the ring circle.
+fn hash_key(key: u128) -> u64 {
+    hash_bytes(0x006b_6579, &key.to_le_bytes())
+}
+
+/// Rendezvous score of `(node, key)`: the tie-break orders candidate
+/// owners by this, highest wins.
+fn rendezvous(node: &str, key: u128) -> u64 {
+    let mut bytes = Vec::with_capacity(node.len() + 16);
+    bytes.extend_from_slice(node.as_bytes());
+    bytes.extend_from_slice(&key.to_le_bytes());
+    hash_bytes(0x7276, &bytes)
+}
+
+/// An immutable consistent-hash ring over a fixed set of named nodes.
+///
+/// Node names are usually `host:port` addresses; equality of the name
+/// *is* identity on the ring, so every process that builds a ring from
+/// the same (order-insensitive) name set computes identical ownership.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Node names, in the caller's declaration order. `owner` returns
+    /// indices into this.
+    nodes: Vec<String>,
+    /// `(circle position, node index)`, sorted by position then index.
+    vnodes: Vec<(u64, u32)>,
+}
+
+impl Ring {
+    /// Builds a ring over `nodes` with [`DEFAULT_VNODES`] virtual nodes
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or contains a duplicate name.
+    pub fn new<S: AsRef<str>>(nodes: &[S]) -> Ring {
+        Ring::with_vnodes(nodes, DEFAULT_VNODES)
+    }
+
+    /// Builds a ring with an explicit virtual-node count (tests use small
+    /// counts to exercise tie handling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, contains a duplicate name, or
+    /// `vnodes_per_node` is zero.
+    pub fn with_vnodes<S: AsRef<str>>(nodes: &[S], vnodes_per_node: usize) -> Ring {
+        assert!(!nodes.is_empty(), "a ring needs at least one node");
+        assert!(vnodes_per_node > 0, "vnodes_per_node must be positive");
+        let nodes: Vec<String> = nodes.iter().map(|n| n.as_ref().to_string()).collect();
+        for (i, n) in nodes.iter().enumerate() {
+            assert!(!nodes[..i].contains(n), "duplicate ring node `{n}`");
+        }
+        let mut vnodes = Vec::with_capacity(nodes.len() * vnodes_per_node);
+        for (index, name) in nodes.iter().enumerate() {
+            for replica in 0..vnodes_per_node {
+                let mut bytes = Vec::with_capacity(name.len() + 9);
+                bytes.extend_from_slice(name.as_bytes());
+                bytes.push(b'#');
+                bytes.extend_from_slice(&(replica as u64).to_le_bytes());
+                vnodes.push((hash_bytes(0x7672, &bytes), index as u32));
+            }
+        }
+        vnodes.sort_unstable();
+        Ring { nodes, vnodes }
+    }
+
+    /// The node names, in declaration order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of physical nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the ring has exactly one node (it is never empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The owning node's index (into [`Ring::nodes`]) for `key`.
+    pub fn owner(&self, key: u128) -> usize {
+        let point = hash_key(key);
+        // First vnode at or after the key's point, wrapping at the top.
+        let start = self.vnodes.partition_point(|&(pos, _)| pos < point) % self.vnodes.len();
+        let (pos, index) = self.vnodes[start];
+        // Bounded tie scan: successive vnodes sharing the successor
+        // position compete by rendezvous score. Almost always a no-op.
+        let ties = self.vnodes[start..].iter().take_while(|&&(p, _)| p == pos);
+        let mut best = index;
+        let mut best_score = rendezvous(&self.nodes[index as usize], key);
+        for &(_, candidate) in ties.skip(1) {
+            let score = rendezvous(&self.nodes[candidate as usize], key);
+            if score > best_score || (score == best_score && candidate < best) {
+                best = candidate;
+                best_score = score;
+            }
+        }
+        best as usize
+    }
+
+    /// The owning node's name for `key`.
+    pub fn owner_name(&self, key: u128) -> &str {
+        &self.nodes[self.owner(key)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7227")).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_ring_panics() {
+        let _ = Ring::new::<&str>(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ring node")]
+    fn duplicate_node_panics() {
+        let _ = Ring::new(&["a", "a"]);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = Ring::new(&["solo:1"]);
+        for key in 0..1000u128 {
+            assert_eq!(ring.owner(key * 0x9e37_79b9_7f4a_7c15), 0);
+        }
+    }
+
+    #[test]
+    fn ownership_is_reproducible_across_ring_instances() {
+        // Two independently built rings (same node set) must agree on
+        // every key: this is the cross-process agreement contract.
+        let a = Ring::new(&names(5));
+        let b = Ring::new(&names(5));
+        for key in 0..4096u128 {
+            let key = key.wrapping_mul(0x1234_5678_9abc_def0_1111_2222_3333_4444);
+            assert_eq!(a.owner(key), b.owner(key));
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_uniform() {
+        let ring = Ring::new(&names(4));
+        let mut counts = [0usize; 4];
+        let samples = 40_000u128;
+        for key in 0..samples {
+            counts[ring.owner(key.wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_0c65_31b3_9c9d))] += 1;
+        }
+        let expect = samples as usize / 4;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "node {i} owns {c} of {samples} keys (expected ~{expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn position_ties_resolve_by_rendezvous_not_declaration_order() {
+        // Same node set in two different declaration orders must agree
+        // on ownership by *name* — including any positional ties, which
+        // sort order alone would break differently per permutation.
+        let fwd = Ring::with_vnodes(&names(6), 8);
+        let mut reversed = names(6);
+        reversed.reverse();
+        let rev = Ring::with_vnodes(&reversed, 8);
+        for key in 0..8192u128 {
+            let key = key.wrapping_mul(0xdead_beef_cafe_f00d_0123_4567_89ab_cdef);
+            assert_eq!(fwd.owner_name(key), rev.owner_name(key), "key {key:x}");
+        }
+    }
+
+    proptest! {
+        /// Adding one node to an N-node ring remaps roughly 1/(N+1) of
+        /// the keys — the defining consistent-hashing property. The
+        /// bound is generous (3x the ideal fraction) because small
+        /// vnode counts wobble, but a modulo-style rehash would move
+        /// ~N/(N+1) of the keys and fail by an order of magnitude.
+        #[test]
+        fn adding_a_node_remaps_about_one_nth(n in 2usize..8, seed in 0u64..1000) {
+            let before = Ring::new(&names(n));
+            let mut grown = names(n);
+            grown.push("10.0.9.9:7227".to_string());
+            let after = Ring::new(&grown);
+            let samples = 4000u128;
+            let mut moved = 0usize;
+            for i in 0..samples {
+                let key = (u128::from(seed) << 64 | i)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_0c65_31b3_9c9d);
+                if before.owner_name(key) != after.owner_name(key) {
+                    moved += 1;
+                }
+            }
+            let ideal = samples as usize / (n + 1);
+            prop_assert!(moved <= ideal * 3,
+                "adding 1 node to {n} moved {moved}/{samples} keys (ideal ~{ideal})");
+            // And removal is the mirror image: every moved key must now
+            // be owned by the new node (keys never shuffle between
+            // surviving nodes).
+            for i in 0..samples {
+                let key = (u128::from(seed) << 64 | i)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_0c65_31b3_9c9d);
+                if before.owner_name(key) != after.owner_name(key) {
+                    prop_assert_eq!(after.owner_name(key), "10.0.9.9:7227");
+                }
+            }
+        }
+    }
+}

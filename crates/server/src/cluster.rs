@@ -1,0 +1,572 @@
+//! Cluster mode: sharding the `analyze` stage across nodes.
+//!
+//! ## Topology
+//!
+//! A cluster is a static list of node addresses (one `host:port` per
+//! line of a peers file); every node loads the same file, builds the
+//! same [`rtring::Ring`] over it and therefore computes identical
+//! ownership for every [`AnalysisKey`]. A node started with
+//! `--node-id N` *is* line `N` and owns its ring share; one started
+//! with `--front` is a stateless member of nothing — it routes every
+//! key to its owner, which makes it a fan-out/join tier for multi-task
+//! specs and explore grids.
+//!
+//! ## Peer fetch protocol
+//!
+//! A non-owner needing an artifact sends the owner one `peer_get` frame
+//! (name, source, geometry, model) over a reused [`rtreact::PeerClient`]
+//! connection. The owner answers with the artifact's *wire core* —
+//! name, WCET, fingerprint, and per-path classified access sequences —
+//! from which [`AnalyzedProgram::from_parts`] deterministically rebuilds
+//! the full artifact (CIIPs, packed footprints, skylines). The owner
+//! computes on a miss, so the owner's `StageStore` single-flight
+//! extends cluster-wide: however many nodes need a key at once, the
+//! stage runs exactly once, on the owner.
+//!
+//! ## Failure and fallback
+//!
+//! Peer fetch is bounded by `--peer-deadline-ms`. On timeout, connect
+//! failure, an error response or a decode mismatch, the requester
+//! *falls back to local compute* — a dead peer costs latency, never
+//! correctness — and best-effort `peer_put`s the result to the owner so
+//! the cluster converges. The fallback matrix:
+//!
+//! | failure                      | counter    | outcome                     |
+//! |------------------------------|------------|-----------------------------|
+//! | owner answers with artifact  | `hits`     | replica cached locally      |
+//! | owner errors / decode fails  | `misses`   | local compute + `peer_put`  |
+//! | deadline / connect failure   | `timeouts` | local compute + `peer_put`  |
+//!
+//! `fallbacks() == misses() + timeouts()` is the number of local
+//! recomputes this node performed for keys it does not own; the
+//! cluster-wide recompute count is `Σ analyze-stage misses + Σ
+//! fallbacks`, which the bench gates against the single-node miss
+//! count.
+
+use std::io::ErrorKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crpd::AnalyzedProgram;
+use rtcache::{CacheGeometry, MemoryBlock};
+use rtreact::PeerClient;
+use rtwcet::TimingModel;
+
+use crate::json::Json;
+use crate::proto::{ok_response_with, MAX_SPEC_BYTES};
+use crate::store::AnalysisKey;
+
+/// Parallel connections kept per peer: concurrent fetches to one owner
+/// beyond this serialize on the last slot's mutex.
+const CLIENTS_PER_PEER: usize = 4;
+
+/// Frame cap for peer responses; matches the serving reactor's default
+/// `max_line_bytes`.
+const PEER_MAX_LINE: usize = 8 << 20;
+
+/// How this node participates in a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Ring member addresses, in peers-file order.
+    pub peers: Vec<String>,
+    /// This node's index into `peers`, or `None` for a stateless front.
+    pub self_index: Option<usize>,
+    /// Deadline on each peer fetch round-trip.
+    pub peer_deadline: Duration,
+}
+
+/// Parses a peers file: one `host:port` per line, `#` comments and
+/// blank lines ignored.
+///
+/// # Errors
+///
+/// Returns a message if no address survives filtering or a line
+/// contains whitespace (a likely formatting mistake).
+pub fn parse_peers(text: &str) -> Result<Vec<String>, String> {
+    let mut peers = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.contains(char::is_whitespace) {
+            return Err(format!(
+                "peers file line {}: unexpected whitespace in `{line}`",
+                number + 1
+            ));
+        }
+        peers.push(line.to_string());
+    }
+    if peers.is_empty() {
+        return Err("peers file declares no addresses".to_string());
+    }
+    Ok(peers)
+}
+
+/// Monotonic peer-fetch counters (see the module-level fallback matrix).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerStats {
+    /// Fetches answered with an artifact by the owner.
+    pub hits: u64,
+    /// Owner reachable but unhelpful (error response, decode mismatch).
+    pub misses: u64,
+    /// Deadline expired or the owner was unreachable.
+    pub timeouts: u64,
+    /// Best-effort `peer_put` pushes that the owner acknowledged.
+    pub puts: u64,
+}
+
+impl PeerStats {
+    /// Local recomputes of keys this node does not own.
+    pub fn fallbacks(&self) -> u64 {
+        self.misses + self.timeouts
+    }
+}
+
+/// Why a peer fetch failed (drives the counter split and is logged by
+/// the replica path).
+#[derive(Debug)]
+pub enum FetchError {
+    /// The deadline expired or the owner was unreachable.
+    Timeout(String),
+    /// The owner answered, but not with a usable artifact.
+    Rejected(String),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Timeout(m) => write!(f, "peer timeout: {m}"),
+            FetchError::Rejected(m) => write!(f, "peer rejected: {m}"),
+        }
+    }
+}
+
+/// One peer's reusable connection slots.
+#[derive(Debug)]
+struct PeerHandle {
+    clients: Vec<Mutex<PeerClient>>,
+}
+
+/// The cluster state a node (or front) routes through.
+#[derive(Debug)]
+pub struct Cluster {
+    ring: rtring::Ring,
+    self_index: Option<usize>,
+    peers: Vec<PeerHandle>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    timeouts: AtomicU64,
+    puts: AtomicU64,
+}
+
+impl Cluster {
+    /// Builds the ring and per-peer connection slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self_index` is out of range (the CLI validates first).
+    pub fn new(config: &ClusterConfig) -> Cluster {
+        if let Some(index) = config.self_index {
+            assert!(index < config.peers.len(), "--node-id {index} out of range");
+        }
+        let connect = config.peer_deadline.min(Duration::from_secs(1));
+        let peers = config
+            .peers
+            .iter()
+            .map(|addr| PeerHandle {
+                clients: (0..CLIENTS_PER_PEER)
+                    .map(|_| {
+                        Mutex::new(PeerClient::new(
+                            addr.clone(),
+                            connect,
+                            config.peer_deadline,
+                            PEER_MAX_LINE,
+                        ))
+                    })
+                    .collect(),
+            })
+            .collect();
+        Cluster {
+            ring: rtring::Ring::new(&config.peers),
+            self_index: config.self_index,
+            peers,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+        }
+    }
+
+    /// The consistent-hash ring over the member addresses.
+    pub fn ring(&self) -> &rtring::Ring {
+        &self.ring
+    }
+
+    /// This node's ring index (`None` for a front).
+    pub fn self_index(&self) -> Option<usize> {
+        self.self_index
+    }
+
+    /// True when this node is a stateless front (owns nothing).
+    pub fn is_front(&self) -> bool {
+        self.self_index.is_none()
+    }
+
+    /// Whether this node owns `route` (a [`route_key`] value). A front
+    /// owns nothing.
+    ///
+    /// [`route_key`]: crate::store::route_key
+    pub fn owns(&self, route: u128) -> bool {
+        self.self_index == Some(self.ring.owner(route))
+    }
+
+    /// The owning member's address for `route`.
+    pub fn owner_addr(&self, route: u128) -> &str {
+        self.ring.owner_name(route)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PeerStats {
+        PeerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fetches the artifact for `key` from its owner, rebuilding it from
+    /// the wire core and validating it against the request.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::Timeout`] for deadline/connectivity failures,
+    /// [`FetchError::Rejected`] when the owner answered without a usable
+    /// artifact. Either way the caller computes locally.
+    pub fn fetch(
+        &self,
+        key: &AnalysisKey,
+        name: &str,
+        source: &str,
+    ) -> Result<AnalyzedProgram, FetchError> {
+        let route = crate::store::route_key(key);
+        let owner = self.ring.owner(route);
+        let request = Json::obj([
+            ("cmd", Json::from("peer_get")),
+            ("name", Json::from(name)),
+            ("source", Json::from(source)),
+            ("geometry", geometry_json(key.geometry)),
+            ("model", model_json(key.model)),
+        ])
+        .encode();
+        let line = self.round_trip(owner, &request).map_err(|e| {
+            let kind = e.kind();
+            let err = FetchError::Timeout(format!("{}: {e}", self.ring.nodes()[owner]));
+            if matches!(kind, ErrorKind::TimedOut | ErrorKind::WouldBlock) {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // Connection-level failures (refused, reset, EOF) are
+                // indistinguishable from a dead peer; count them with
+                // the timeouts.
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            err
+        })?;
+        match self.decode_reply(&line, key) {
+            Ok(artifact) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(artifact)
+            }
+            Err(reason) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Err(FetchError::Rejected(format!("{}: {reason}", self.ring.nodes()[owner])))
+            }
+        }
+    }
+
+    /// Best-effort push of a fallback-computed artifact to its owner.
+    /// Failures are silently dropped — the owner will compute the key
+    /// itself if it ever needs it.
+    pub fn offer(&self, key: &AnalysisKey, artifact: &AnalyzedProgram) {
+        let route = crate::store::route_key(key);
+        let owner = self.ring.owner(route);
+        if self.self_index == Some(owner) {
+            return;
+        }
+        let Some(artifact) = artifact_json(key, artifact) else { return };
+        let frame = Json::obj([("cmd", Json::from("peer_put")), ("artifact", artifact)]);
+        let frame = frame.encode();
+        if frame.len() > MAX_SPEC_BYTES {
+            return; // the owner would reject it with payload_too_large
+        }
+        if let Ok(line) = self.round_trip(owner, &frame) {
+            if Json::parse(&line)
+                .ok()
+                .and_then(|doc| doc.get("ok").and_then(Json::as_bool))
+                .unwrap_or(false)
+            {
+                self.puts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// One request/response round-trip on a reused connection slot of
+    /// peer `index`: the first free slot, else blocking on the last.
+    fn round_trip(&self, index: usize, line: &str) -> std::io::Result<String> {
+        let clients = &self.peers[index].clients;
+        for slot in &clients[..clients.len() - 1] {
+            if let Ok(mut client) = slot.try_lock() {
+                return client.request(line);
+            }
+        }
+        let mut client = clients[clients.len() - 1].lock().expect("peer client lock");
+        client.request(line)
+    }
+
+    /// Decodes and validates a `peer_get` reply against the request key.
+    fn decode_reply(&self, line: &str, key: &AnalysisKey) -> Result<AnalyzedProgram, String> {
+        let doc = Json::parse(line).map_err(|e| e.to_string())?;
+        if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+            let error = doc.get("error").and_then(Json::as_str).unwrap_or("unknown error");
+            return Err(error.to_string());
+        }
+        let artifact = doc.get("artifact").ok_or("reply lacks `artifact`")?;
+        let (wire_key, artifact) = artifact_from_json(artifact)?;
+        if wire_key != *key {
+            return Err("artifact key does not match the request".to_string());
+        }
+        Ok(artifact)
+    }
+}
+
+/// Encodes the `peer_get` success reply for an artifact.
+pub fn peer_get_response(id: Option<u64>, key: &AnalysisKey, artifact: &AnalyzedProgram) -> String {
+    match artifact_json(key, artifact) {
+        Some(json) => ok_response_with(id, "artifact", json),
+        None => crate::proto::err_response_coded(
+            id,
+            crate::proto::CODE_PAYLOAD_TOO_LARGE,
+            "artifact does not fit a peer frame",
+        ),
+    }
+}
+
+fn geometry_json(geometry: CacheGeometry) -> Json {
+    Json::Arr(vec![
+        Json::from(u64::from(geometry.sets())),
+        Json::from(u64::from(geometry.ways())),
+        Json::from(u64::from(geometry.line_bytes())),
+    ])
+}
+
+fn model_json(model: TimingModel) -> Json {
+    Json::Arr(vec![Json::from(model.cpi), Json::from(model.miss_penalty)])
+}
+
+/// Largest integer a `Json::Num` (f64) round-trips exactly.
+const MAX_EXACT: u64 = 1 << 53;
+
+/// Encodes an artifact's wire core, or `None` when it cannot travel
+/// (a block number beyond f64-exact range — unreachable for real
+/// programs, whose block numbers are addresses shifted right).
+pub fn artifact_json(key: &AnalysisKey, artifact: &AnalyzedProgram) -> Option<Json> {
+    let mut paths = Vec::with_capacity(artifact.paths().len());
+    for path in artifact.paths() {
+        let mut accesses = Vec::with_capacity(path.trace.accesses().len());
+        for &(block, hit) in path.trace.accesses() {
+            if block.number() >= MAX_EXACT {
+                return None;
+            }
+            accesses.push(Json::Arr(vec![Json::from(block.number()), Json::from(u64::from(hit))]));
+        }
+        paths.push(Json::obj([
+            ("name", Json::from(path.name.as_str())),
+            ("acc", Json::Arr(accesses)),
+        ]));
+    }
+    Some(Json::obj([
+        ("name", Json::from(artifact.name())),
+        ("wcet", Json::from(artifact.wcet())),
+        ("fingerprint", Json::from(format!("{:032x}", artifact.fingerprint()).as_str())),
+        ("program_hash", Json::from(format!("{:032x}", key.program_hash).as_str())),
+        ("geometry", geometry_json(key.geometry)),
+        ("model", model_json(key.model)),
+        ("paths", Json::Arr(paths)),
+    ]))
+}
+
+/// Decodes an artifact wire object back into its [`AnalysisKey`] and
+/// rebuilt [`AnalyzedProgram`].
+///
+/// # Errors
+///
+/// Returns a message for any missing field, malformed hex hash, or
+/// invalid geometry.
+pub fn artifact_from_json(doc: &Json) -> Result<(AnalysisKey, AnalyzedProgram), String> {
+    let name =
+        doc.get("name").and_then(Json::as_str).ok_or("artifact lacks string `name`")?.to_string();
+    let wcet = doc.get("wcet").and_then(Json::as_u64).ok_or("artifact lacks integer `wcet`")?;
+    let fingerprint = hex_u128(doc.get("fingerprint"), "fingerprint")?;
+    let program_hash = hex_u128(doc.get("program_hash"), "program_hash")?;
+    let geometry = {
+        let (sets, ways, line) = triple(doc.get("geometry"))?;
+        CacheGeometry::new(sets, ways, line).map_err(|e| format!("artifact geometry: {e}"))?
+    };
+    let model = {
+        let err = "artifact `model` must be [cpi, miss_penalty]";
+        let Some(Json::Arr(parts)) = doc.get("model") else { return Err(err.into()) };
+        let [cpi, miss] = parts.as_slice() else { return Err(err.into()) };
+        TimingModel { cpi: cpi.as_u64().ok_or(err)?, miss_penalty: miss.as_u64().ok_or(err)? }
+    };
+    let Some(Json::Arr(paths)) = doc.get("paths") else {
+        return Err("artifact lacks array `paths`".into());
+    };
+    let mut path_accesses = Vec::with_capacity(paths.len());
+    for path in paths {
+        let path_name = path
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("artifact path lacks string `name`")?
+            .to_string();
+        let Some(Json::Arr(accesses)) = path.get("acc") else {
+            return Err(format!("artifact path `{path_name}` lacks array `acc`"));
+        };
+        let mut decoded = Vec::with_capacity(accesses.len());
+        for access in accesses {
+            let Json::Arr(pair) = access else {
+                return Err(format!("path `{path_name}`: access must be [block, hit]"));
+            };
+            let [block, hit] = pair.as_slice() else {
+                return Err(format!("path `{path_name}`: access must be [block, hit]"));
+            };
+            let block =
+                block.as_u64().ok_or_else(|| format!("path `{path_name}`: bad block number"))?;
+            let hit = match hit.as_u64() {
+                Some(0) => false,
+                Some(1) => true,
+                _ => return Err(format!("path `{path_name}`: hit flag must be 0 or 1")),
+            };
+            decoded.push((MemoryBlock::new(block), hit));
+        }
+        path_accesses.push((path_name, decoded));
+    }
+    let key = AnalysisKey { program_hash, geometry, model };
+    let artifact =
+        AnalyzedProgram::from_parts(name, wcet, geometry, model, fingerprint, path_accesses);
+    Ok((key, artifact))
+}
+
+fn hex_u128(value: Option<&Json>, field: &str) -> Result<u128, String> {
+    let text = value
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("artifact lacks hex string `{field}`"))?;
+    u128::from_str_radix(text, 16).map_err(|e| format!("artifact `{field}`: {e}"))
+}
+
+fn triple(value: Option<&Json>) -> Result<(u32, u32, u32), String> {
+    let err = "artifact `geometry` must be [sets, ways, line_bytes]";
+    let Some(Json::Arr(parts)) = value else { return Err(err.into()) };
+    let [a, b, c] = parts.as_slice() else { return Err(err.into()) };
+    let field = |v: &Json| -> Result<u32, String> {
+        v.as_u64().and_then(|n| u32::try_from(n).ok()).ok_or_else(|| err.to_string())
+    };
+    Ok((field(a)?, field(b)?, field(c)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::program_hash;
+
+    const TASK: &str =
+        "start: li r1, 5\nloop: addi r1, r1, -1\nbne r1, r0, loop\n.bound loop, 5\nhalt\n";
+
+    fn analyzed(name: &str, source: &str) -> (AnalysisKey, AnalyzedProgram) {
+        let geometry = CacheGeometry::new(64, 2, 16).unwrap();
+        let model = TimingModel::default();
+        let program = rtprogram::asm::assemble(name, source).unwrap();
+        let artifact = AnalyzedProgram::analyze(&program, geometry, model).unwrap();
+        let key = AnalysisKey { program_hash: program_hash(name, source), geometry, model };
+        (key, artifact)
+    }
+
+    #[test]
+    fn peers_file_parses_and_rejects_garbage() {
+        let peers = parse_peers("# cluster\n10.0.0.1:7227\n\n10.0.0.2:7227 # second\n").unwrap();
+        assert_eq!(peers, vec!["10.0.0.1:7227", "10.0.0.2:7227"]);
+        assert!(parse_peers("").unwrap_err().contains("no addresses"));
+        assert!(parse_peers("# only comments\n").unwrap_err().contains("no addresses"));
+        assert!(parse_peers("a:1 b:2\n").unwrap_err().contains("whitespace"));
+    }
+
+    #[test]
+    fn artifact_wire_round_trip_is_exact() {
+        let (key, original) = analyzed("t", TASK);
+        let json = artifact_json(&key, &original).expect("artifact must encode");
+        // Through actual bytes, like the wire.
+        let decoded = Json::parse(&json.encode()).unwrap();
+        let (wire_key, rebuilt) = artifact_from_json(&decoded).unwrap();
+        assert_eq!(wire_key, key);
+        assert_eq!(format!("{original:?}"), format!("{rebuilt:?}"));
+    }
+
+    #[test]
+    fn artifact_decode_rejects_corruption() {
+        let (key, original) = analyzed("t", TASK);
+        let good = artifact_json(&key, &original).unwrap();
+        for (field, replacement) in [
+            ("name", Json::Num(7.0)),
+            ("wcet", Json::from("x")),
+            ("fingerprint", Json::from("zz")),
+            ("program_hash", Json::Null),
+            ("geometry", Json::Arr(vec![Json::from(3u64), Json::from(1u64), Json::from(16u64)])),
+            ("model", Json::from("nope")),
+            ("paths", Json::from("nope")),
+        ] {
+            let Json::Obj(mut map) = good.clone() else { panic!("artifact must be an object") };
+            map.insert(field.to_string(), replacement);
+            assert!(artifact_from_json(&Json::Obj(map)).is_err(), "corrupt `{field}` must fail");
+        }
+    }
+
+    #[test]
+    fn front_owns_nothing_and_members_partition() {
+        let config = ClusterConfig {
+            peers: vec!["a:1".into(), "b:2".into(), "c:3".into()],
+            self_index: None,
+            peer_deadline: Duration::from_millis(100),
+        };
+        let front = Cluster::new(&config);
+        assert!(front.is_front());
+        let members: Vec<Cluster> = (0..3)
+            .map(|i| Cluster::new(&ClusterConfig { self_index: Some(i), ..config.clone() }))
+            .collect();
+        for key in 0..512u128 {
+            let route = key.wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_0c65_31b3_9c9d);
+            assert!(!front.owns(route));
+            let owners: Vec<bool> = members.iter().map(|m| m.owns(route)).collect();
+            assert_eq!(owners.iter().filter(|o| **o).count(), 1, "exactly one owner per key");
+        }
+    }
+
+    #[test]
+    fn fetch_counts_timeouts_against_dead_peers() {
+        // Nothing listens on this address (bind-then-drop frees it).
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let cluster = Cluster::new(&ClusterConfig {
+            peers: vec![addr],
+            self_index: None,
+            peer_deadline: Duration::from_millis(100),
+        });
+        let (key, _) = analyzed("t", TASK);
+        let err = cluster.fetch(&key, "t", TASK).unwrap_err();
+        assert!(matches!(err, FetchError::Timeout(_)), "{err}");
+        assert_eq!(cluster.stats().timeouts, 1);
+        assert_eq!(cluster.stats().fallbacks(), 1);
+    }
+}

@@ -12,10 +12,16 @@
 //! Everything is `std`-only — the JSON codec ([`json`]) is hand-rolled —
 //! and responses render through the exact same `rtcli` code paths as the
 //! one-shot commands, so server output is byte-identical to the CLI's.
+//!
+//! Started with `--cluster PEERS_FILE`, several daemons shard the
+//! `analyze` stage by consistent hashing and fetch each other's cached
+//! artifacts over the same protocol, with local compute as the fallback
+//! when a peer is unreachable ([`cluster`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod json;
 pub mod metrics;
 pub mod ops;

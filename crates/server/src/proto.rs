@@ -21,7 +21,15 @@
 //! | `statusz`  | —                                         | `"status": {...}` live ops snapshot |
 //! | `journal`  | optional `n` (record count, default 32)   | `"journal": [...]` last flight records |
 //! | `flight`   | —                                         | `"flights": [...]` slow-request black boxes |
+//! | `peer_get` | `name`, `source`, `geometry`, `model`     | `"artifact": {...}` analyzed-program core |
+//! | `peer_put` | `artifact` (as returned by `peer_get`)    | ack (best-effort insert) |
 //! | `shutdown` | —                                         | ack, then drain     |
+//!
+//! `peer_get`/`peer_put` are the cluster peer-fetch frames (see the
+//! `cluster` module): `geometry` is `[sets, ways, line_bytes]`, `model`
+//! is `[cpi, miss_penalty]`, and the artifact object carries the
+//! wire core an [`crpd::AnalyzedProgram`] can be rebuilt from. Both
+//! directions are subject to [`MAX_SPEC_BYTES`].
 //!
 //! The `spec` payload is exactly the [`SystemSpec`] text format the
 //! one-shot CLI reads from disk (`trisc wcrt system.spec`); `sources`
@@ -53,7 +61,10 @@
 //! Success: `{"id": 1, "ok": true, "output": "..."}` (plus `"metrics"`
 //! for the metrics command). Failure: `{"id": 1, "ok": false, "error":
 //! "..."}`, with a machine-readable `"code"` field (`overloaded`,
-//! `deadline_exceeded`) on typed admission errors. The `id` is echoed
+//! `deadline_exceeded`, `payload_too_large`) on typed errors — the
+//! last one whenever a `spec`+`sources` payload (top-level, per
+//! `batch` item, or per peer frame) crosses [`MAX_SPEC_BYTES`]. The
+//! `id` is echoed
 //! verbatim when the request carried one, so clients may pipeline
 //! requests over one connection.
 //!
@@ -73,8 +84,52 @@
 //! [`SystemSpec`]: rtcli::SystemSpec
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use crate::json::Json;
+
+/// A request-parse failure: a human-readable message plus an optional
+/// machine-readable code for typed failure classes (today only
+/// [`CODE_PAYLOAD_TOO_LARGE`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Machine-readable class, when the failure has one.
+    pub code: Option<&'static str>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn plain(message: impl Into<String>) -> ParseError {
+        ParseError { code: None, message: message.into() }
+    }
+
+    fn too_large(message: String) -> ParseError {
+        ParseError { code: Some(CODE_PAYLOAD_TOO_LARGE), message }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for ParseError {
+    fn from(message: String) -> ParseError {
+        ParseError::plain(message)
+    }
+}
+
+impl From<&str> for ParseError {
+    fn from(message: &str) -> ParseError {
+        ParseError::plain(message)
+    }
+}
+
+/// The `code` value of responses rejecting a payload over
+/// [`MAX_SPEC_BYTES`].
+pub const CODE_PAYLOAD_TOO_LARGE: &str = "payload_too_large";
 
 /// One parsed request frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,6 +199,25 @@ pub enum Command {
         /// The analysis requests to execute (wcet/crpd/wcrt/sim only).
         items: Vec<Command>,
     },
+    /// Cluster peer fetch: return (computing on miss, as the cluster-wide
+    /// single-flight leader) the analyzed-program artifact for one task.
+    PeerGet {
+        /// Task name (half of the stage key).
+        name: String,
+        /// Assembly source text (the other half), so the owner can
+        /// compute on a miss.
+        source: String,
+        /// `(sets, ways, line_bytes)` of the analysis geometry.
+        geometry: (u32, u32, u32),
+        /// `(cpi, miss_penalty)` of the timing model.
+        model: (u64, u64),
+    },
+    /// Cluster peer push: offer an artifact this node computed as a
+    /// fallback to its ring owner (best-effort; never overwrites).
+    PeerPut {
+        /// The artifact wire object, decoded by the cluster module.
+        artifact: Json,
+    },
 }
 
 impl Command {
@@ -163,12 +237,16 @@ impl Command {
             Command::Sim { .. } => "sim",
             Command::Explore { .. } => "explore",
             Command::Batch { .. } => "batch",
+            Command::PeerGet { .. } => "peer_get",
+            Command::PeerPut { .. } => "peer_put",
         }
     }
 
     /// Whether this command runs analysis (and is therefore subject to
     /// shedding and deadlines), as opposed to the always-available ops
-    /// plane.
+    /// plane. Peer frames count: `peer_get` computes on a miss and
+    /// `peer_put` rebuilds the offered artifact, and shedding either is
+    /// safe — the requesting peer falls back to local compute.
     pub fn is_analysis(&self) -> bool {
         matches!(
             self,
@@ -178,6 +256,8 @@ impl Command {
                 | Command::Sim { .. }
                 | Command::Explore { .. }
                 | Command::Batch { .. }
+                | Command::PeerGet { .. }
+                | Command::PeerPut { .. }
         )
     }
 }
@@ -197,10 +277,11 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message for malformed JSON, a missing or
-    /// unknown `cmd`, or payload fields of the wrong type.
-    pub fn parse(line: &str) -> Result<Request, String> {
-        let doc = Json::parse(line).map_err(|e| e.to_string())?;
+    /// Returns a [`ParseError`] for malformed JSON, a missing or unknown
+    /// `cmd`, payload fields of the wrong type, or (typed with
+    /// [`CODE_PAYLOAD_TOO_LARGE`]) a payload over [`MAX_SPEC_BYTES`].
+    pub fn parse(line: &str) -> Result<Request, ParseError> {
+        let doc = Json::parse(line).map_err(|e| ParseError::plain(e.to_string()))?;
         let id = match doc.get("id") {
             None | Some(Json::Null) => None,
             Some(v) => Some(v.as_u64().ok_or("`id` must be a non-negative integer")?),
@@ -214,7 +295,7 @@ impl Request {
     }
 }
 
-fn parse_command(doc: &Json) -> Result<Command, String> {
+fn parse_command(doc: &Json) -> Result<Command, ParseError> {
     let cmd_name = doc.get("cmd").and_then(Json::as_str).ok_or("missing string field `cmd`")?;
     let cmd = match cmd_name {
         "ping" => Command::Ping,
@@ -232,34 +313,41 @@ fn parse_command(doc: &Json) -> Result<Command, String> {
         "shutdown" => Command::Shutdown,
         "batch" => {
             let Some(Json::Arr(items)) = doc.get("items") else {
-                return Err("missing array field `items`".to_string());
+                return Err("missing array field `items`".into());
             };
             if items.is_empty() {
-                return Err("`items` must not be empty".to_string());
+                return Err("`items` must not be empty".into());
             }
             if items.len() > MAX_BATCH_ITEMS {
                 return Err(format!(
                     "batch of {} items exceeds the {MAX_BATCH_ITEMS}-item limit",
                     items.len()
-                ));
+                )
+                .into());
             }
             let items = items
                 .iter()
                 .enumerate()
                 .map(|(index, item)| {
-                    let cmd = parse_command(item).map_err(|e| format!("item {index}: {e}"))?;
+                    // Each item runs through `spec_payload` and is
+                    // therefore individually capped at MAX_SPEC_BYTES;
+                    // prefix the item index but keep the typed code.
+                    let cmd = parse_command(item).map_err(|e| ParseError {
+                        code: e.code,
+                        message: format!("item {index}: {}", e.message),
+                    })?;
                     if !matches!(
                         cmd,
                         Command::Wcet(_) | Command::Crpd(_) | Command::Wcrt(_) | Command::Sim { .. }
                     ) {
-                        return Err(format!(
+                        return Err(ParseError::plain(format!(
                             "item {index}: cmd `{}` is not batchable (expected wcet|crpd|wcrt|sim)",
                             cmd.endpoint()
-                        ));
+                        )));
                     }
                     Ok(cmd)
                 })
-                .collect::<Result<Vec<Command>, String>>()?;
+                .collect::<Result<Vec<Command>, ParseError>>()?;
             Command::Batch { items }
         }
         "wcet" => Command::Wcet(spec_payload(doc)?),
@@ -280,13 +368,72 @@ fn parse_command(doc: &Json) -> Result<Command, String> {
                 .to_string();
             Command::Explore { payload: spec_payload(doc)?, grid }
         }
+        "peer_get" => {
+            let name = doc
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("missing string field `name`")?
+                .to_string();
+            let source = doc
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or("missing string field `source`")?
+                .to_string();
+            let total = name.len() + source.len();
+            if total > MAX_SPEC_BYTES {
+                return Err(ParseError::too_large(format!(
+                    "peer_get payload of {total} bytes exceeds the {MAX_SPEC_BYTES}-byte limit"
+                )));
+            }
+            Command::PeerGet {
+                name,
+                source,
+                geometry: geometry_triple(doc)?,
+                model: model_pair(doc)?,
+            }
+        }
+        "peer_put" => {
+            let artifact =
+                doc.get("artifact").cloned().ok_or("missing object field `artifact`")?;
+            if !matches!(artifact, Json::Obj(_)) {
+                return Err("`artifact` must be an object".into());
+            }
+            let encoded = artifact.encode().len();
+            if encoded > MAX_SPEC_BYTES {
+                return Err(ParseError::too_large(format!(
+                    "peer_put artifact of {encoded} bytes exceeds the {MAX_SPEC_BYTES}-byte limit"
+                )));
+            }
+            Command::PeerPut { artifact }
+        }
         other => {
             return Err(format!(
-                "unknown cmd `{other}` (expected ping|wcet|crpd|wcrt|sim|explore|batch|metrics|metrics_prom|statusz|journal|flight|shutdown)"
-            ))
+                "unknown cmd `{other}` (expected ping|wcet|crpd|wcrt|sim|explore|batch|peer_get|peer_put|metrics|metrics_prom|statusz|journal|flight|shutdown)"
+            )
+            .into())
         }
     };
     Ok(cmd)
+}
+
+/// Parses the `[sets, ways, line_bytes]` geometry triple of a peer frame.
+fn geometry_triple(doc: &Json) -> Result<(u32, u32, u32), ParseError> {
+    let err = "`geometry` must be [sets, ways, line_bytes]";
+    let Some(Json::Arr(parts)) = doc.get("geometry") else { return Err(err.into()) };
+    let [sets, ways, line] = parts.as_slice() else { return Err(err.into()) };
+    let field = |v: &Json| -> Result<u32, ParseError> {
+        v.as_u64().and_then(|n| u32::try_from(n).ok()).ok_or_else(|| err.into())
+    };
+    Ok((field(sets)?, field(ways)?, field(line)?))
+}
+
+/// Parses the `[cpi, miss_penalty]` model pair of a peer frame.
+fn model_pair(doc: &Json) -> Result<(u64, u64), ParseError> {
+    let err = "`model` must be [cpi, miss_penalty]";
+    let Some(Json::Arr(parts)) = doc.get("model") else { return Err(err.into()) };
+    let [cpi, miss] = parts.as_slice() else { return Err(err.into()) };
+    let field = |v: &Json| -> Result<u64, ParseError> { v.as_u64().ok_or_else(|| err.into()) };
+    Ok((field(cpi)?, field(miss)?))
 }
 
 /// Upper bound on the combined `spec` + `sources` payload of one
@@ -299,7 +446,7 @@ pub const MAX_SPEC_BYTES: usize = 1 << 20;
 /// [`MAX_SPEC_BYTES`] cap still applies to each item individually).
 pub const MAX_BATCH_ITEMS: usize = 64;
 
-fn spec_payload(doc: &Json) -> Result<SpecPayload, String> {
+fn spec_payload(doc: &Json) -> Result<SpecPayload, ParseError> {
     let spec =
         doc.get("spec").and_then(Json::as_str).ok_or("missing string field `spec`")?.to_string();
     let mut sources = BTreeMap::new();
@@ -308,18 +455,19 @@ fn spec_payload(doc: &Json) -> Result<SpecPayload, String> {
         None | Some(Json::Null) => {}
         Some(Json::Obj(map)) => {
             for (file, text) in map {
-                let text =
-                    text.as_str().ok_or_else(|| format!("source `{file}` must be a string"))?;
+                let text = text.as_str().ok_or_else(|| {
+                    ParseError::plain(format!("source `{file}` must be a string"))
+                })?;
                 total += file.len() + text.len();
                 sources.insert(file.clone(), text.to_string());
             }
         }
-        Some(_) => return Err("`sources` must be an object of strings".to_string()),
+        Some(_) => return Err("`sources` must be an object of strings".into()),
     }
     if total > MAX_SPEC_BYTES {
-        return Err(format!(
+        return Err(ParseError::too_large(format!(
             "spec payload of {total} bytes exceeds the {MAX_SPEC_BYTES}-byte limit"
-        ));
+        )));
     }
     Ok(SpecPayload { spec, sources })
 }
@@ -446,7 +594,8 @@ mod tests {
             (r#"{"cmd":"batch","items":[{"cmd":"wcet","spec":"s"},{"spec":"x"}]}"#, "item 1"),
         ] {
             let err = Request::parse(line).unwrap_err();
-            assert!(err.contains(needle), "{line}: {err}");
+            assert!(err.message.contains(needle), "{line}: {err}");
+            assert_eq!(err.code, None, "{line} should not carry a typed code");
         }
     }
 
@@ -455,7 +604,8 @@ mod tests {
         let big = "x".repeat(MAX_SPEC_BYTES + 1);
         let line = format!(r#"{{"cmd":"wcrt","spec":"{big}"}}"#);
         let err = Request::parse(&line).unwrap_err();
-        assert!(err.contains("exceeds"), "{err}");
+        assert!(err.message.contains("exceeds"), "{err}");
+        assert_eq!(err.code, Some(CODE_PAYLOAD_TOO_LARGE));
 
         // The limit covers spec + sources combined, and sits just above
         // the boundary: an exactly-at-limit payload is accepted.
@@ -463,10 +613,73 @@ mod tests {
         let source = "y".repeat(MAX_SPEC_BYTES);
         let line = format!(r#"{{"cmd":"wcet","spec":"{spec}","sources":{{"a.s":"{source}"}}}}"#);
         let err = Request::parse(&line.replace('\n', "\\n")).unwrap_err();
-        assert!(err.contains("exceeds"), "{err}");
+        assert!(err.message.contains("exceeds"), "{err}");
+        assert_eq!(err.code, Some(CODE_PAYLOAD_TOO_LARGE));
 
         let ok = format!(r#"{{"cmd":"wcrt","spec":"{}"}}"#, "z".repeat(MAX_SPEC_BYTES));
         assert!(Request::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn oversized_batch_item_is_typed_and_indexed() {
+        // The cap applies to each batch item individually, not just the
+        // top-level line, and the typed code survives the item prefix.
+        let big = "x".repeat(MAX_SPEC_BYTES + 1);
+        let line = format!(
+            r#"{{"cmd":"batch","items":[{{"cmd":"wcet","spec":"ok"}},{{"cmd":"wcrt","spec":"{big}"}}]}}"#
+        );
+        let err = Request::parse(&line).unwrap_err();
+        assert!(err.message.contains("item 1"), "{err}");
+        assert!(err.message.contains("exceeds"), "{err}");
+        assert_eq!(err.code, Some(CODE_PAYLOAD_TOO_LARGE));
+    }
+
+    #[test]
+    fn parses_peer_frames() {
+        let r = Request::parse(
+            r#"{"id":9,"cmd":"peer_get","name":"a","source":"halt\n","geometry":[64,2,16],"model":[1,20]}"#,
+        )
+        .unwrap();
+        assert_eq!(r.cmd.endpoint(), "peer_get");
+        assert!(r.cmd.is_analysis());
+        let Command::PeerGet { name, source, geometry, model } = r.cmd else {
+            panic!("expected peer_get")
+        };
+        assert_eq!(name, "a");
+        assert_eq!(source, "halt\n");
+        assert_eq!(geometry, (64, 2, 16));
+        assert_eq!(model, (1, 20));
+
+        let r = Request::parse(r#"{"cmd":"peer_put","artifact":{"name":"a"}}"#).unwrap();
+        assert_eq!(r.cmd.endpoint(), "peer_put");
+        assert!(r.cmd.is_analysis());
+
+        for (line, needle) in [
+            (r#"{"cmd":"peer_get","source":"s","geometry":[1,1,4],"model":[1,1]}"#, "`name`"),
+            (r#"{"cmd":"peer_get","name":"a","geometry":[1,1,4],"model":[1,1]}"#, "`source`"),
+            (r#"{"cmd":"peer_get","name":"a","source":"s","model":[1,1]}"#, "`geometry`"),
+            (
+                r#"{"cmd":"peer_get","name":"a","source":"s","geometry":[1,1],"model":[1,1]}"#,
+                "`geometry`",
+            ),
+            (r#"{"cmd":"peer_get","name":"a","source":"s","geometry":[1,1,4]}"#, "`model`"),
+            (r#"{"cmd":"peer_put"}"#, "`artifact`"),
+            (r#"{"cmd":"peer_put","artifact":[1]}"#, "`artifact`"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.message.contains(needle), "{line}: {err}");
+        }
+
+        // Oversized peer frames carry the typed code in both directions.
+        let big = "s".repeat(MAX_SPEC_BYTES + 1);
+        let line = format!(
+            r#"{{"cmd":"peer_get","name":"a","source":"{big}","geometry":[1,1,4],"model":[1,1]}}"#
+        );
+        let err = Request::parse(&line).unwrap_err();
+        assert_eq!(err.code, Some(CODE_PAYLOAD_TOO_LARGE), "{err}");
+        let line = format!(r#"{{"cmd":"peer_put","artifact":{{"blob":"{big}"}}}}"#);
+        let err = Request::parse(&line).unwrap_err();
+        assert_eq!(err.code, Some(CODE_PAYLOAD_TOO_LARGE), "{err}");
     }
 
     #[test]
@@ -494,7 +707,7 @@ mod tests {
         let item = r#"{"cmd":"wcet","spec":"s"}"#;
         let items = vec![item; MAX_BATCH_ITEMS + 1].join(",");
         let err = Request::parse(&format!(r#"{{"cmd":"batch","items":[{items}]}}"#)).unwrap_err();
-        assert!(err.contains("65 items exceeds"), "{err}");
+        assert!(err.message.contains("65 items exceeds"), "{err}");
         let items = vec![item; MAX_BATCH_ITEMS].join(",");
         assert!(Request::parse(&format!(r#"{{"cmd":"batch","items":[{items}]}}"#)).is_ok());
     }

@@ -98,6 +98,11 @@ pub struct StageStore<K, V> {
     hits: AtomicU64,
     misses: AtomicU64,
     waits: AtomicU64,
+    /// Ready-entry cap; inserting past it evicts an arbitrary other
+    /// ready entry. `None` (every pipeline stage) never evicts — only
+    /// the cluster replica store is bounded, since replicas are a pure
+    /// cache over artifacts some other node owns.
+    capacity: Option<usize>,
 }
 
 impl<K: Eq + Hash + Clone, V> StageStore<K, V> {
@@ -109,7 +114,18 @@ impl<K: Eq + Hash + Clone, V> StageStore<K, V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             waits: AtomicU64::new(0),
+            capacity: None,
         }
+    }
+
+    /// A store that holds at most `capacity` ready artifacts, evicting
+    /// an arbitrary resident entry on overflow. Eviction only affects
+    /// cache residency (an evicted key recomputes or refetches), never
+    /// results.
+    pub fn with_capacity(stage: &'static str, capacity: usize) -> Self {
+        let mut store = StageStore::new(stage);
+        store.capacity = Some(capacity.max(1));
+        store
     }
 
     /// Returns the memoized artifact for `key`, running `compute` (as the
@@ -162,10 +178,60 @@ impl<K: Eq + Hash + Clone, V> StageStore<K, V> {
         let artifact = Arc::new(compute()?);
         let key = guard.key.take().expect("leader key");
         let mut entries = self.entries.lock().expect("stage store lock");
-        entries.insert(key, Slot::Ready(Arc::clone(&artifact)));
+        entries.insert(key.clone(), Slot::Ready(Arc::clone(&artifact)));
+        Self::enforce_capacity(&mut entries, self.capacity, &key);
         drop(entries);
         self.ready.notify_all();
         Ok(artifact)
+    }
+
+    /// Inserts an externally produced artifact if the key is vacant
+    /// (never overwriting a ready value or racing a leader), without
+    /// touching the hit/miss counters. Returns whether it was stored.
+    ///
+    /// This is the landing half of the cluster's `peer_put`: the value
+    /// was computed (and counted) on another node, so recording a miss
+    /// here would double-count the cluster-wide recompute total.
+    pub fn offer(&self, key: K, value: Arc<V>) -> bool {
+        let mut entries = self.entries.lock().expect("stage store lock");
+        if entries.contains_key(&key) {
+            return false;
+        }
+        entries.insert(key.clone(), Slot::Ready(value));
+        Self::enforce_capacity(&mut entries, self.capacity, &key);
+        true
+    }
+
+    /// The keys of every ready artifact (order unspecified).
+    pub fn keys(&self) -> Vec<K> {
+        let entries = self.entries.lock().expect("stage store lock");
+        entries
+            .iter()
+            .filter(|(_, slot)| matches!(slot, Slot::Ready(_)))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Evicts arbitrary ready entries (sparing `keep`) until the ready
+    /// count fits `capacity`. Called with the map lock held.
+    fn enforce_capacity(entries: &mut HashMap<K, Slot<V>>, capacity: Option<usize>, keep: &K) {
+        let Some(capacity) = capacity else { return };
+        loop {
+            let ready = entries.values().filter(|s| matches!(s, Slot::Ready(_))).count();
+            if ready <= capacity {
+                return;
+            }
+            let victim = entries
+                .iter()
+                .find(|(k, slot)| matches!(slot, Slot::Ready(_)) && *k != keep)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    entries.remove(&k);
+                }
+                None => return,
+            }
+        }
     }
 
     /// Number of lookups served from the cache so far.
@@ -232,13 +298,41 @@ impl<K: Eq + Hash + Clone, V> Drop for InFlightGuard<'_, K, V> {
     }
 }
 
+/// Routing key for cluster sharding: a hash of everything in an
+/// [`AnalysisKey`], fed to the consistent-hash ring. Derived with the
+/// same length-prefixed 128-bit content hash as [`program_hash`], so
+/// every node (whatever its thread count or start order) maps a key to
+/// the same owner.
+pub fn route_key(key: &AnalysisKey) -> u128 {
+    crpd::content_hash128([
+        key.program_hash.to_le_bytes().as_slice(),
+        format!("{:?}", key.geometry).as_bytes(),
+        format!("{:?}", key.model).as_bytes(),
+    ])
+}
+
+/// Default bound on the cluster replica store (artifacts fetched from
+/// peers); owned artifacts are never evicted.
+pub const DEFAULT_REPLICA_CAPACITY: usize = 256;
+
 /// The server's artifact DAG: per-stage single-flight stores plus the
 /// shared CRPD pairwise-cell cache.
+///
+/// In cluster mode the `analyze` stage is sharded: each key has one
+/// *owner* node (consistent hashing over [`route_key`]), and only the
+/// owner caches it in `analyses`. Other nodes hold a fetched copy in
+/// the bounded `replicas` store, which is why per-node peak memory
+/// drops roughly `N`× while the cluster-wide recompute count matches a
+/// single node's.
 #[derive(Debug)]
 pub struct ArtifactStore {
     programs: StageStore<u128, Program>,
     analyses: StageStore<AnalysisKey, AnalyzedProgram>,
+    /// Bounded cache of artifacts owned by *other* nodes; unused (and
+    /// empty) outside cluster mode.
+    replicas: StageStore<AnalysisKey, AnalyzedProgram>,
     cells: CrpdCellCache,
+    cluster: Option<Arc<crate::cluster::Cluster>>,
 }
 
 impl Default for ArtifactStore {
@@ -246,7 +340,9 @@ impl Default for ArtifactStore {
         ArtifactStore {
             programs: StageStore::new("assemble"),
             analyses: StageStore::new("analyze"),
+            replicas: StageStore::with_capacity("peer_replica", DEFAULT_REPLICA_CAPACITY),
             cells: CrpdCellCache::default(),
+            cluster: None,
         }
     }
 }
@@ -295,6 +391,33 @@ impl ArtifactStore {
         geometry: CacheGeometry,
         model: TimingModel,
     ) -> Result<Arc<AnalyzedProgram>, CliError> {
+        let key = AnalysisKey { program_hash: program_hash(name, source), geometry, model };
+        if let Some(cluster) = &self.cluster {
+            if !cluster.owns(route_key(&key)) {
+                return self.replicated_program(cluster, &key, name, source);
+            }
+        }
+        self.analyzed_program_local(name, source, geometry, model)
+    }
+
+    /// [`analyzed_program`] without cluster routing: always resolves
+    /// through the local `assemble`/`analyze` stores. This is what the
+    /// `peer_get` handler calls — the owner must answer from its own
+    /// stages, never forward the key onward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Asm`] or [`CliError::Analysis`] from the
+    /// underlying pipeline; errors are never cached.
+    ///
+    /// [`analyzed_program`]: ArtifactStore::analyzed_program
+    pub fn analyzed_program_local(
+        &self,
+        name: &str,
+        source: &str,
+        geometry: CacheGeometry,
+        model: TimingModel,
+    ) -> Result<Arc<AnalyzedProgram>, CliError> {
         let hash = program_hash(name, source);
         let program = self.programs.get_or_compute(hash, || {
             let _span = rtobs::span_labeled("assemble", || name.to_string());
@@ -305,6 +428,78 @@ impl ArtifactStore {
             AnalyzedProgram::analyze(&program, geometry, model)
                 .map_err(|e| CliError::Analysis(e.to_string()))
         })
+    }
+
+    /// The replica path for a key this node does not own: fetch from the
+    /// owner (under the replica store's single-flight, so concurrent
+    /// local requests share one fetch), falling back to a local compute
+    /// on any peer failure. The fallback lands in `replicas` — not
+    /// `analyses` — so the `analyze` miss counter keeps meaning "stages
+    /// this node ran as owner-or-single-node", and is pushed back to the
+    /// owner best-effort so the cluster converges.
+    fn replicated_program(
+        &self,
+        cluster: &Arc<crate::cluster::Cluster>,
+        key: &AnalysisKey,
+        name: &str,
+        source: &str,
+    ) -> Result<Arc<AnalyzedProgram>, CliError> {
+        self.replicas.get_or_compute(*key, || {
+            let _span = rtobs::span_labeled("peer_fetch", || name.to_string());
+            match cluster.fetch(key, name, source) {
+                Ok(artifact) => Ok(artifact),
+                Err(error) => {
+                    // Dead or unhelpful peer: compute here (latency, not
+                    // correctness, is what the failure costs).
+                    eprintln!("trisc cluster: peer fetch for `{name}` failed ({error}); computing locally");
+                    let program = self.programs.get_or_compute(key.program_hash, || {
+                        let _span = rtobs::span_labeled("assemble", || name.to_string());
+                        rtprogram::asm::assemble(name, source)
+                            .map_err(|e| CliError::Asm(e.to_string()))
+                    })?;
+                    let artifact =
+                        AnalyzedProgram::analyze(&program, key.geometry, key.model)
+                            .map_err(|e| CliError::Analysis(e.to_string()))?;
+                    cluster.offer(key, &artifact);
+                    Ok(artifact)
+                }
+            }
+        })
+    }
+
+    /// A store that routes the `analyze` stage through `cluster`, with
+    /// the peer-replica cache bounded to `replica_capacity` artifacts.
+    pub fn with_cluster(cluster: Arc<crate::cluster::Cluster>, replica_capacity: usize) -> Self {
+        ArtifactStore {
+            replicas: StageStore::with_capacity("peer_replica", replica_capacity),
+            cluster: Some(cluster),
+            ..ArtifactStore::default()
+        }
+    }
+
+    /// The cluster this store routes through, if any.
+    pub fn cluster(&self) -> Option<&Arc<crate::cluster::Cluster>> {
+        self.cluster.as_ref()
+    }
+
+    /// The bounded cache of artifacts owned by other nodes.
+    pub fn replicas(&self) -> &StageStore<AnalysisKey, AnalyzedProgram> {
+        &self.replicas
+    }
+
+    /// Number of resident `analyze` artifacts whose [`route_key`] this
+    /// node owns. Outside cluster mode a node is its own one-member ring,
+    /// so this equals [`len`](ArtifactStore::len); in cluster mode
+    /// fallback-computed keys live in `replicas`, so every `analyses`
+    /// resident is owned unless the ring changed underneath us.
+    pub fn ring_owned_keys(&self) -> u64 {
+        match &self.cluster {
+            None => self.analyses.len() as u64,
+            Some(cluster) => {
+                self.analyses.keys().iter().filter(|key| cluster.owns(route_key(key))).count()
+                    as u64
+            }
+        }
     }
 
     /// The memoized `assemble` stage.

@@ -1,0 +1,409 @@
+//! End-to-end cluster tests: 3 member nodes plus a stateless front, all
+//! in-process, exercising consistent-hash routing, peer artifact fetch,
+//! recompute parity, dead-peer fallback, and the peer wire protocol.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+
+use rtcli::ServeOptions;
+use rtserver::json::Json;
+use rtserver::{Server, ServerHandle};
+
+/// Reserves `n` distinct loopback ports by binding and dropping
+/// listeners; the kernel leaves just-closed listening ports out of the
+/// ephemeral pool long enough for the nodes to claim them.
+fn reserve_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port")).collect();
+    listeners.iter().map(|l| l.local_addr().expect("reserved addr").port()).collect()
+}
+
+/// Writes a peers file naming `ports` on loopback; returns its path.
+fn write_peers_file(tag: &str, ports: &[u16]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("rtcluster-{tag}-{}.txt", std::process::id()));
+    let body: String = ports.iter().map(|p| format!("127.0.0.1:{p}\n")).collect();
+    std::fs::write(&path, format!("# test cluster\n{body}")).expect("write peers file");
+    path
+}
+
+struct TestCluster {
+    nodes: Vec<ServerHandle>,
+    front: ServerHandle,
+    peers_path: PathBuf,
+}
+
+impl TestCluster {
+    /// Spawns `n` member nodes and one stateless front, all sharing one
+    /// peers file.
+    fn spawn(tag: &str, n: usize) -> TestCluster {
+        let ports = reserve_ports(n);
+        let peers_path = write_peers_file(tag, &ports);
+        let base = ServeOptions {
+            host: "127.0.0.1".to_string(),
+            threads: 2,
+            cluster: Some(peers_path.display().to_string()),
+            peer_deadline_ms: 1000,
+            ..ServeOptions::default()
+        };
+        let nodes: Vec<ServerHandle> = ports
+            .iter()
+            .enumerate()
+            .map(|(index, port)| {
+                let opts = ServeOptions { port: *port, node_id: Some(index), ..base.clone() };
+                Server::spawn(&opts).expect("spawn member node")
+            })
+            .collect();
+        let front = Server::spawn(&ServeOptions { port: 0, front: true, ..base.clone() })
+            .expect("spawn front");
+        TestCluster { nodes, front, peers_path }
+    }
+
+    fn shutdown(self) {
+        let TestCluster { nodes, front, peers_path } = self;
+        one_shot(front.addr(), r#"{"cmd":"shutdown"}"#);
+        front.join().expect("front exits cleanly");
+        for node in nodes {
+            one_shot(node.addr(), r#"{"cmd":"shutdown"}"#);
+            node.join().expect("node exits cleanly");
+        }
+        std::fs::remove_file(peers_path).ok();
+    }
+}
+
+/// Sends one line, reads one reply line, parses it.
+fn one_shot(addr: SocketAddr, line: &str) -> Json {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{line}").and_then(|()| writer.flush()).expect("send");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("recv");
+    Json::parse(response.trim_end()).expect("reply is json")
+}
+
+/// A distinct little looping task; `seed` varies the loop bound and a
+/// constant so every task hashes — and analyzes — differently.
+fn task_source(seed: u64) -> String {
+    format!(
+        ".data {:#x}\nbuf: .word {seed}\n.text {:#x}\nstart: li r1, buf\nld r2, 0(r1)\n\
+         li r3, {}\nloop: addi r3, r3, -1\nld r4, 0(r1)\nbne r3, r0, loop\n.bound loop, {}\nhalt\n",
+        0x100000 + seed * 0x400,
+        0x1000 + seed * 0x200,
+        2 + seed % 3,
+        2 + seed % 3,
+    )
+}
+
+/// A `wcrt` request over `n` distinct tasks with inline sources.
+fn wcrt_request(n: u64) -> String {
+    let mut spec = String::from("cache 64 2 16\ncmiss 20\nccs 50\n");
+    let mut sources = Vec::new();
+    for seed in 0..n {
+        spec.push_str(&format!("task t{seed} t{seed}.s {} {}\n", 10_000 * (seed + 1), seed + 1));
+        sources.push((format!("t{seed}.s"), Json::from(task_source(seed).as_str())));
+    }
+    let sources = Json::Obj(sources.into_iter().collect::<std::collections::BTreeMap<_, _>>());
+    Json::obj([
+        ("cmd", Json::from("wcrt")),
+        ("spec", Json::from(spec.as_str())),
+        ("sources", sources),
+    ])
+    .encode()
+}
+
+fn num(doc: &Json, path: &[&str]) -> u64 {
+    let mut cursor = doc;
+    for key in path {
+        cursor = cursor.get(key).unwrap_or_else(|| panic!("missing `{key}`"));
+    }
+    cursor.as_u64().unwrap_or_else(|| panic!("`{}` is not a number", path.join(".")))
+}
+
+/// `analyze`-stage misses of the server at `addr` — the number of
+/// analysis computations it actually ran.
+fn analyze_misses(addr: SocketAddr) -> u64 {
+    let metrics = one_shot(addr, r#"{"cmd":"metrics"}"#);
+    num(&metrics, &["metrics", "stages", "analyze", "misses"])
+}
+
+/// How many of the first `tasks` request keys each member owns, by
+/// rebuilding the ring from the members' live addresses — ring
+/// positions depend on the peer address strings, and test ports are
+/// random per run, so ownership must be recomputed, never hardcoded.
+fn owned_key_counts(nodes: &[ServerHandle], tasks: u64) -> Vec<u64> {
+    let peers: Vec<String> =
+        nodes.iter().map(|n| format!("127.0.0.1:{}", n.addr().port())).collect();
+    let ring = rtring::Ring::new(&peers);
+    let geometry = rtcache::CacheGeometry::new(64, 2, 16).unwrap();
+    let model = rtwcet::TimingModel::default();
+    let mut owned = vec![0u64; peers.len()];
+    for seed in 0..tasks {
+        let key = rtserver::store::AnalysisKey {
+            program_hash: rtserver::store::program_hash(&format!("t{seed}"), &task_source(seed)),
+            geometry,
+            model,
+        };
+        owned[ring.owner(rtserver::store::route_key(&key))] += 1;
+    }
+    owned
+}
+
+fn peer_stats(addr: SocketAddr) -> Json {
+    let status = one_shot(addr, r#"{"cmd":"statusz"}"#);
+    status.get("status").and_then(|s| s.get("peer")).expect("statusz peer section").clone()
+}
+
+#[test]
+fn cluster_output_is_byte_identical_with_single_node_recompute_parity() {
+    const TASKS: u64 = 6;
+    let request = wcrt_request(TASKS);
+
+    // Baseline: one plain single-node server.
+    let single = Server::spawn(&ServeOptions {
+        host: "127.0.0.1".into(),
+        port: 0,
+        threads: 2,
+        ..ServeOptions::default()
+    })
+    .expect("spawn single node");
+    let reply = one_shot(single.addr(), &request);
+    let expected =
+        reply.get("output").and_then(Json::as_str).expect("single-node output").to_string();
+    let single_misses = analyze_misses(single.addr());
+    assert_eq!(single_misses, TASKS, "each distinct task analyzes once");
+    one_shot(single.addr(), r#"{"cmd":"shutdown"}"#);
+    single.join().expect("single node exits");
+
+    // Cluster: 3 members + front; the same request through the front.
+    let cluster = TestCluster::spawn("parity", 3);
+    let reply = one_shot(cluster.front.addr(), &request);
+    let output = reply.get("output").and_then(Json::as_str).expect("cluster output");
+    assert_eq!(output, expected, "cluster output must be byte-identical to single-node");
+
+    // Recompute parity: with every node up, the cluster-wide analyze
+    // count equals the single-node count — owners computed each key
+    // exactly once, the front fetched and computed nothing.
+    let node_misses: u64 = cluster.nodes.iter().map(|n| analyze_misses(n.addr())).sum();
+    let front_peer = peer_stats(cluster.front.addr());
+    let fallbacks = num(&front_peer, &["fallbacks"]);
+    assert_eq!(
+        node_misses + fallbacks,
+        single_misses,
+        "cluster-wide recompute count must match single-node"
+    );
+    assert_eq!(fallbacks, 0, "healthy cluster: no local fallbacks on the front");
+    assert_eq!(analyze_misses(cluster.front.addr()), 0, "the front owns (and computes) nothing");
+    assert_eq!(num(&front_peer, &["fetch_hits"]), TASKS, "every task artifact came from a peer");
+    assert_eq!(num(&front_peer, &["ring_nodes"]), 3);
+
+    // The work really was sharded exactly along ring ownership: each
+    // member computed precisely the keys an independently rebuilt ring
+    // assigns to it, and every member's resident analyze keys are
+    // ring-owned by it.
+    let owned = owned_key_counts(&cluster.nodes, TASKS);
+    for (node, expected_misses) in cluster.nodes.iter().zip(&owned) {
+        assert_eq!(
+            analyze_misses(node.addr()),
+            *expected_misses,
+            "a member computes exactly its ring share"
+        );
+    }
+    for node in &cluster.nodes {
+        let peer = peer_stats(node.addr());
+        let status = one_shot(node.addr(), r#"{"cmd":"metrics"}"#);
+        let entries = num(&status, &["metrics", "stages", "analyze", "entries"]);
+        assert_eq!(
+            num(&peer, &["ring_owned_keys"]),
+            entries,
+            "a member's resident analyze artifacts are exactly its ring share"
+        );
+    }
+
+    // Repeating the request is pure cache: no new computations anywhere.
+    let reply = one_shot(cluster.front.addr(), &request);
+    assert_eq!(reply.get("output").and_then(Json::as_str), Some(expected.as_str()));
+    let repeat_misses: u64 = cluster.nodes.iter().map(|n| analyze_misses(n.addr())).sum();
+    assert_eq!(repeat_misses, node_misses, "repeat request recomputes nothing");
+
+    // Prometheus exposition carries the peer families on every role.
+    let prom = one_shot(cluster.front.addr(), r#"{"cmd":"metrics_prom"}"#);
+    let text = prom.get("output").and_then(Json::as_str).expect("prometheus text");
+    rtserver::metrics::validate_prometheus(text).expect("conformant exposition");
+    assert!(text.contains(&format!("rtserver_peer_fetch_hits_total {TASKS}")), "{text}");
+    assert!(text.contains("rtserver_peer_fetch_misses_total 0"), "{text}");
+    assert!(text.contains("rtserver_peer_fetch_timeouts_total 0"), "{text}");
+    assert!(text.contains("rtserver_ring_owned_keys 0"), "{text}");
+
+    cluster.shutdown();
+}
+
+#[test]
+fn a_dead_node_costs_latency_never_correctness() {
+    const TASKS: u64 = 5;
+    let request = wcrt_request(TASKS);
+
+    // Baseline output from a healthy single node.
+    let single = Server::spawn(&ServeOptions {
+        host: "127.0.0.1".into(),
+        port: 0,
+        threads: 2,
+        ..ServeOptions::default()
+    })
+    .expect("spawn single node");
+    let expected = one_shot(single.addr(), &request)
+        .get("output")
+        .and_then(Json::as_str)
+        .expect("single-node output")
+        .to_string();
+    one_shot(single.addr(), r#"{"cmd":"shutdown"}"#);
+    single.join().expect("single node exits");
+
+    // Kill one member before any traffic: keys it owns must fall back to
+    // local compute on the front. Ring positions depend on the peer
+    // addresses (ports are random per test run), so pick the victim by
+    // rebuilding the ring and finding a node that owns at least one of
+    // the request's keys — killing a node that owns nothing would make
+    // this test vacuous.
+    let mut cluster = TestCluster::spawn("deadnode", 3);
+    let owned = owned_key_counts(&cluster.nodes, TASKS);
+    let victim_index = owned.iter().position(|&n| n > 0).expect("5 keys land somewhere");
+    let victim_keys = owned[victim_index];
+    let victim = cluster.nodes.remove(victim_index);
+    one_shot(victim.addr(), r#"{"cmd":"shutdown"}"#);
+    victim.join().expect("victim exits");
+
+    let reply = one_shot(cluster.front.addr(), &request);
+    let output = reply.get("output").and_then(Json::as_str).expect("cluster output");
+    assert_eq!(output, expected, "a dead peer must not change a single byte of output");
+
+    // The failure shows up in the counters: the dead node's keys timed
+    // out and fell back; cluster-wide recompute count still matches
+    // single-node (owner computes + front fallbacks, each key once).
+    let front_peer = peer_stats(cluster.front.addr());
+    let fallbacks = num(&front_peer, &["fallbacks"]);
+    assert_eq!(fallbacks, victim_keys, "exactly the dead node's keys fell back: {front_peer:?}");
+    assert_eq!(num(&front_peer, &["fetch_timeouts"]), fallbacks);
+    let node_misses: u64 = cluster.nodes.iter().map(|n| analyze_misses(n.addr())).sum();
+    assert_eq!(node_misses + fallbacks, TASKS, "every key computed exactly once cluster-wide");
+
+    cluster.shutdown();
+}
+
+#[test]
+fn ownership_is_deterministic_across_instances_and_thread_counts() {
+    use rtserver::store::{route_key, AnalysisKey};
+    let geometry = rtcache::CacheGeometry::new(64, 2, 16).unwrap();
+    let model = rtwcet::TimingModel::default();
+    let peers: Vec<String> = (0..3).map(|i| format!("10.0.0.{i}:7227")).collect();
+    // Ownership must be a pure function of (peers, key): independent of
+    // ring instance, construction order, and however many threads the
+    // analysis pool runs — the routing layer never consults pool state.
+    let ring_a = rtring::Ring::new(&peers);
+    let ring_b = rtring::Ring::new(&peers);
+    let owners: Vec<usize> = (0..64u64)
+        .map(|seed| {
+            let key = AnalysisKey {
+                program_hash: rtserver::store::program_hash(
+                    &format!("t{seed}"),
+                    &format!("li r1, {seed}\nhalt\n"),
+                ),
+                geometry,
+                model,
+            };
+            let route = route_key(&key);
+            assert_eq!(ring_a.owner(route), ring_b.owner(route));
+            ring_a.owner(route)
+        })
+        .collect();
+    let pools = [rtpar::Pool::new(1), rtpar::Pool::new(8)];
+    for pool in &pools {
+        let again: Vec<usize> = pool.install(|| {
+            rtpar::par_map_range(64, |seed| {
+                let key = AnalysisKey {
+                    program_hash: rtserver::store::program_hash(
+                        &format!("t{seed}"),
+                        &format!("li r1, {seed}\nhalt\n"),
+                    ),
+                    geometry,
+                    model,
+                };
+                ring_a.owner(route_key(&key))
+            })
+        });
+        assert_eq!(again, owners, "ownership must not depend on thread count");
+    }
+}
+
+#[test]
+fn peer_frames_round_trip_and_oversized_payloads_are_typed() {
+    let cluster = TestCluster::spawn("wire", 2);
+    let node = cluster.nodes[0].addr();
+
+    // A raw peer_get against a member returns a decodable artifact.
+    let source = task_source(0);
+    let get = Json::obj([
+        ("id", Json::from(7u64)),
+        ("cmd", Json::from("peer_get")),
+        ("name", Json::from("t0")),
+        ("source", Json::from(source.as_str())),
+        ("geometry", Json::Arr(vec![Json::from(64u64), Json::from(2u64), Json::from(16u64)])),
+        ("model", Json::Arr(vec![Json::from(1u64), Json::from(20u64)])),
+    ])
+    .encode();
+    let reply = one_shot(node, &get);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "{reply:?}");
+    let artifact = reply.get("artifact").expect("artifact payload");
+    let (key, rebuilt) = rtserver::cluster::artifact_from_json(artifact).expect("artifact decodes");
+    assert_eq!(key.program_hash, rtserver::store::program_hash("t0", &source));
+    assert!(rebuilt.wcet() > 0);
+
+    // peer_put of that artifact into the *other* node: stored once, then
+    // reported already-present.
+    let other = cluster.nodes[1].addr();
+    let put = Json::obj([("cmd", Json::from("peer_put")), ("artifact", artifact.clone())]).encode();
+    let reply = one_shot(other, &put);
+    assert_eq!(reply.get("output").and_then(Json::as_str), Some("stored"), "{reply:?}");
+    let reply = one_shot(other, &put);
+    assert_eq!(reply.get("output").and_then(Json::as_str), Some("already present"));
+
+    // Oversized single-command spec: typed payload_too_large.
+    let big = "x".repeat((1 << 20) + 1);
+    let oversized =
+        Json::obj([("cmd", Json::from("wcrt")), ("spec", Json::from(big.as_str()))]).encode();
+    let reply = one_shot(node, &oversized);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("payload_too_large"), "{reply:?}");
+
+    // Oversized *batch item*: the same typed code, with the item index
+    // in the message.
+    let item = Json::obj([("cmd", Json::from("wcrt")), ("spec", Json::from(big.as_str()))]);
+    let batch = Json::obj([
+        ("cmd", Json::from("batch")),
+        (
+            "items",
+            Json::Arr(vec![
+                Json::obj([("cmd", Json::from("wcrt")), ("spec", Json::from("cache 64 2 16\n"))]),
+                item,
+            ]),
+        ),
+    ])
+    .encode();
+    let reply = one_shot(node, &batch);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("payload_too_large"), "{reply:?}");
+    let message = reply.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(message.contains("item 1"), "the offending item is named: {message}");
+
+    // Oversized peer_put artifact: typed payload_too_large too.
+    let fat_put = Json::obj([
+        ("cmd", Json::from("peer_put")),
+        ("artifact", Json::obj([("blob", Json::from(big.as_str()))])),
+    ])
+    .encode();
+    let reply = one_shot(node, &fat_put);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("payload_too_large"), "{reply:?}");
+
+    cluster.shutdown();
+}
